@@ -1,0 +1,146 @@
+// §3.3 in-text analysis: "in a 4KB write/read, a minimum of two physical
+// disk sectors need to be accessed (one for the data and one for the IV)
+// versus one in the baseline. Whereas a 32KB IO typically requires 9 sectors
+// to be accessed versus 8 in the baseline."
+//
+// This bench prints the THEORETICAL sector counts per layout and IO size
+// and then validates them against the simulated device's actual sector
+// counters for single-op writes on a one-OSD store.
+#include <cstdio>
+
+#include "core/format.h"
+#include "device/nvme.h"
+#include "objstore/object_store.h"
+#include "sim/scheduler.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace vde;
+
+constexpr uint64_t kSector = 4096;
+constexpr uint64_t kObjectSize = 4ull << 20;
+
+struct SectorCount {
+  uint64_t written;
+  uint64_t rmw_read;
+};
+
+// Sectors spanned by the byte range [start, start+len) plus the RMW reads
+// its partial head/tail sectors require.
+SectorCount SpanCost(uint64_t start, uint64_t len) {
+  const uint64_t first = start / kSector;
+  const uint64_t last = (start + len + kSector - 1) / kSector;
+  uint64_t rmw = 0;
+  if (start % kSector != 0) rmw++;
+  const uint64_t tail = (start + len) / kSector;
+  if ((start + len) % kSector != 0 && tail != first) rmw++;
+  return {last - first, rmw};
+}
+
+// Theoretical sectors touched by one IO of `io` bytes at in-object block
+// `first_block` (matching the Measured() extent below).
+SectorCount Theoretical(core::IvLayout layout, uint64_t io,
+                        uint64_t first_block) {
+  const uint64_t blocks = io / kSector;
+  switch (layout) {
+    case core::IvLayout::kNone:
+      return {blocks, 0};
+    case core::IvLayout::kObjectEnd: {
+      // Data sectors (aligned) + IV region span (Fig. 2b).
+      const auto iv =
+          SpanCost(kObjectSize + first_block * 16, blocks * 16);
+      return {blocks + iv.written, iv.rmw_read};
+    }
+    case core::IvLayout::kUnaligned:
+      // Interleaved stride-4112 span (Fig. 2a): unaligned head and tail.
+      return SpanCost(first_block * (kSector + 16), blocks * (kSector + 16));
+    case core::IvLayout::kOmap:
+      // Data sectors only on the data path; IV bytes ride the KV store's
+      // WAL (measured separately, ~1 sector per transaction commit).
+      return {blocks, 0};
+  }
+  return {0, 0};
+}
+
+// Measured: apply one write transaction on a fresh store, count sectors.
+SectorCount Measured(const core::EncryptionSpec& spec, uint64_t io) {
+  SectorCount out{0, 0};
+  sim::Scheduler sched;
+  auto body = [&]() -> sim::Task<void> {
+    auto nvme = std::make_shared<dev::NvmeDevice>();
+    objstore::StoreConfig cfg;
+    cfg.journal_size = 8ull << 20;
+    cfg.kv_region_size = 64ull << 20;
+    auto store = co_await objstore::ObjectStore::Open(nvme, cfg);
+    if (!store.ok()) co_return;
+
+    Rng rng(1);
+    Bytes key = rng.RandomBytes(64);
+    auto format = core::MakeFormat(spec, key, kObjectSize);
+    core::ObjectExtent ext;
+    ext.oid = "obj";
+    ext.first_block = 1;  // unaligned stride offsets show up at block >= 1
+    ext.block_count = io / kSector;
+    ext.image_block = 1;
+    objstore::Transaction txn;
+    txn.oid = "obj";
+    const Bytes plain = rng.RandomBytes(io);
+    if (!format->MakeWrite(ext, plain, txn).ok()) co_return;
+
+    // The final-location sector traffic (what the paper's model counts) is
+    // tracked by the store's apply-path counters; journal and OMAP WAL
+    // traffic are excluded by construction.
+    if (!(co_await (*store)->Apply(txn, {})).ok()) co_return;
+    co_await (*store)->Drain();
+    out.written = (*store)->stats().apply_sectors_written;
+    out.rmw_read = (*store)->stats().rmw_sectors;
+  };
+  sched.Spawn(body());
+  sched.Run();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace vde;
+
+  std::printf("Reproduction of HotStorage'22 SS3.3 in-text sector model:\n");
+  std::printf("sectors accessed per aligned random write (data path, journal "
+              "excluded)\n\n");
+  std::printf("%8s | %22s | %22s | %22s | %22s\n", "IO size",
+              "LUKS2 (theory/meas)", "Unaligned", "Object end", "OMAP");
+
+  struct Case {
+    const char* name;
+    core::EncryptionSpec spec;
+  };
+  const Case cases[] = {
+      {"LUKS2", {}},
+      {"Unaligned",
+       {core::CipherMode::kXtsRandom, core::IvLayout::kUnaligned}},
+      {"Object end",
+       {core::CipherMode::kXtsRandom, core::IvLayout::kObjectEnd}},
+      {"OMAP", {core::CipherMode::kXtsRandom, core::IvLayout::kOmap}},
+  };
+
+  for (uint64_t io = 4096; io <= (1ull << 20); io *= 2) {
+    std::printf("%8lluK", static_cast<unsigned long long>(io >> 10));
+    for (const auto& c : cases) {
+      const auto theory = Theoretical(c.spec.layout, io, /*first_block=*/1);
+      const auto meas = Measured(c.spec, io);
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%llu+%lluR / %llu+%lluR",
+                    static_cast<unsigned long long>(theory.written),
+                    static_cast<unsigned long long>(theory.rmw_read),
+                    static_cast<unsigned long long>(meas.written),
+                    static_cast<unsigned long long>(meas.rmw_read));
+      std::printf(" | %22s", buf);
+    }
+    std::printf("\n");
+  }
+  std::printf("\nPaper's examples: 4K write -> 2 sectors vs 1 baseline; "
+              "32K -> 9 vs 8. ('xR' = extra RMW sector reads)\n");
+  return 0;
+}

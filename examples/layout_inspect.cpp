@@ -1,0 +1,68 @@
+// Prints the on-object byte maps of the three IV layouts (the paper's
+// Fig. 2) from REAL transactions produced by the encryption formats.
+//
+//   $ ./examples/layout_inspect
+#include <cstdio>
+
+#include "core/format.h"
+#include "util/rng.h"
+
+using namespace vde;
+
+namespace {
+
+void Inspect(const char* title, core::IvLayout layout) {
+  Rng rng(1);
+  const Bytes key = rng.RandomBytes(64);
+  core::EncryptionSpec spec;
+  spec.mode = core::CipherMode::kXtsRandom;
+  spec.layout = layout;
+  spec.iv_seed = 99;
+  auto format = core::MakeFormat(spec, key, 4ull << 20);
+
+  core::ObjectExtent ext;
+  ext.oid = "rbd_data.demo.0000000000000000";
+  ext.first_block = 2;  // third 4K block of the object
+  ext.block_count = 2;
+  ext.image_block = 2;
+  const Bytes plain = rng.RandomBytes(2 * core::kBlockSize);
+
+  objstore::Transaction txn;
+  (void)format->MakeWrite(ext, plain, txn);
+
+  std::printf("\n%s  (writing blocks 2..3 of one object)\n", title);
+  for (const auto& op : txn.ops) {
+    if (op.type == objstore::OsdOp::Type::kWrite) {
+      std::printf("  WRITE  offset=%9llu  len=%7llu",
+                  static_cast<unsigned long long>(op.offset),
+                  static_cast<unsigned long long>(op.data.size()));
+      if (op.offset % 4096 != 0 || op.data.size() % 4096 != 0) {
+        std::printf("  <-- NOT sector aligned");
+      }
+      std::printf("\n");
+    } else if (op.type == objstore::OsdOp::Type::kOmapSet) {
+      std::printf("  OMAP_SET %zu keys:", op.omap_kvs.size());
+      for (const auto& [k, v] : op.omap_kvs) {
+        std::printf("  [block %llu]=%zuB",
+                    static_cast<unsigned long long>(LoadU64Be(k.data())),
+                    v.size());
+      }
+      std::printf("\n");
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Fig. 2 — storage options for IVs, as actual transactions:\n");
+  Inspect("(a) Unaligned: each IV stored right after its block",
+          core::IvLayout::kUnaligned);
+  Inspect("(b) Object end: IVs batched at the end of the object",
+          core::IvLayout::kObjectEnd);
+  Inspect("(c) OMAP: IVs in the per-object key-value DB",
+          core::IvLayout::kOmap);
+  std::printf("\nAll variants ride ONE atomic transaction per write "
+              "(data + IV consistency, paper SS3.1).\n");
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Quickstart: create a simulated Ceph-like cluster, make an encrypted
+// virtual disk with the paper's random-IV object-end layout, write and read
+// through the full stack, and show what the storage actually sees.
+//
+//   $ ./examples/quickstart
+#include <cstdio>
+
+#include "rados/cluster.h"
+#include "rbd/image.h"
+#include "sim/scheduler.h"
+#include "util/rng.h"
+
+using namespace vde;
+
+namespace {
+
+sim::Task<void> Main(bool* ok) {
+  // 1. A 3-node cluster with 9 OSDs per node, 3-way replication.
+  auto cluster = co_await rados::Cluster::Create(rados::ClusterConfig{});
+  if (!cluster.ok()) co_return;
+  std::printf("cluster up: %zu OSDs\n", (*cluster)->osd_count());
+
+  // 2. A 1 GiB image encrypted with AES-XTS + random per-sector IVs,
+  //    IVs stored at the object end (the paper's best layout).
+  rbd::ImageOptions options;
+  options.size = 1ull << 30;
+  options.enc.mode = core::CipherMode::kXtsRandom;
+  options.enc.layout = core::IvLayout::kObjectEnd;
+  auto image = co_await rbd::Image::Create(**cluster, "demo", "s3cret",
+                                           options);
+  if (!image.ok()) {
+    std::printf("create failed: %s\n", image.status().ToString().c_str());
+    co_return;
+  }
+  auto& img = **image;
+  std::printf("image '%s' created: %llu MiB, cipher %s\n", "demo",
+              static_cast<unsigned long long>(img.size() >> 20),
+              img.spec().Name().c_str());
+
+  // 3. Write a message (block-aligned, like a filesystem would).
+  Bytes block(core::kBlockSize, 0);
+  const std::string secret = "attack at dawn";
+  std::copy(secret.begin(), secret.end(), block.begin());
+  if (Status s = co_await img.Write(0, block); !s.ok()) {
+    std::printf("write failed: %s\n", s.ToString().c_str());
+    co_return;
+  }
+
+  // 4. Read it back, decrypted transparently.
+  auto back = co_await img.Read(0, core::kBlockSize);
+  if (!back.ok()) co_return;
+  std::printf("read back: \"%.14s\"\n", back->data());
+
+  // 5. What does an OSD see? Ciphertext only.
+  const auto acting = (*cluster)->placement().OsdsFor(img.ObjectName(0));
+  objstore::Transaction raw;
+  raw.oid = img.ObjectName(0);
+  objstore::OsdOp op;
+  op.type = objstore::OsdOp::Type::kRead;
+  op.offset = 0;
+  op.length = 32;
+  raw.ops.push_back(std::move(op));
+  auto osd_view = co_await (*cluster)->osd(acting[0]).store().ExecuteRead(
+      raw, objstore::kHeadSnap);
+  if (osd_view.ok()) {
+    std::printf("OSD %zu sees:  %s...\n", acting[0],
+                ToHex(ByteSpan(osd_view->data.data(), 16)).c_str());
+  }
+
+  // 6. Reopen with the passphrase (keys unwrap from the LUKS-like header).
+  auto reopened = co_await rbd::Image::Open(**cluster, "demo", "s3cret");
+  std::printf("reopen with passphrase: %s\n",
+              reopened.ok() ? "ok" : reopened.status().ToString().c_str());
+  auto denied = co_await rbd::Image::Open(**cluster, "demo", "wrong");
+  std::printf("reopen with wrong passphrase: %s\n",
+              denied.ok() ? "UNEXPECTEDLY OK" : denied.status().ToString().c_str());
+
+  std::printf("simulated time elapsed: %.2f ms\n",
+              static_cast<double>(sim::Scheduler::Current().now()) / 1e6);
+  *ok = reopened.ok() && !denied.ok() &&
+        std::equal(secret.begin(), secret.end(), back->begin());
+}
+
+}  // namespace
+
+int main() {
+  sim::Scheduler sched;
+  bool ok = false;
+  sched.Spawn(Main(&ok));
+  sched.Run();
+  std::printf("%s\n", ok ? "quickstart: OK" : "quickstart: FAILED");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,132 @@
+// The paper's motivating attack (§1, §2.1), demonstrated end to end.
+//
+// With snapshots, multiple versions of a sector persist side by side. Under
+// LUKS2's deterministic LBA-derived IV, an attacker who obtains the backing
+// objects (stolen disks, a malicious storage admin) can:
+//   1. see exactly WHICH 16-byte sub-blocks changed between versions, and
+//   2. splice sub-blocks of the two versions into a forged ciphertext that
+//      decrypts to a valid-looking mix — undetectably.
+// With the paper's random per-sector IVs, both capabilities disappear.
+//
+//   $ ./examples/snapshot_attack
+#include <cstdio>
+
+#include "rados/cluster.h"
+#include "rbd/image.h"
+#include "sim/scheduler.h"
+#include "util/rng.h"
+
+using namespace vde;
+
+namespace {
+
+// Reads the raw (encrypted) bytes of image block 0 from the primary OSD —
+// what an attacker inspecting the backing store sees.
+sim::Task<Bytes> OsdRawBlock(rados::Cluster& cluster, rbd::Image& img,
+                             objstore::SnapId snap) {
+  objstore::Transaction txn;
+  txn.oid = img.ObjectName(0);
+  objstore::OsdOp op;
+  op.type = objstore::OsdOp::Type::kRead;
+  op.offset = 0;
+  op.length = core::kBlockSize;
+  txn.ops.push_back(std::move(op));
+  const auto acting = cluster.placement().OsdsFor(img.ObjectName(0));
+  auto result =
+      co_await cluster.osd(acting[0]).store().ExecuteRead(txn, snap);
+  co_return result.ok() ? result->data : Bytes{};
+}
+
+sim::Task<void> Attack(const char* label, core::EncryptionSpec spec,
+                       int* leaked_out) {
+  auto cluster = co_await rados::Cluster::Create(rados::ClusterConfig{});
+  if (!cluster.ok()) co_return;
+  rbd::ImageOptions options;
+  options.size = 64ull << 20;
+  options.enc = spec;
+  auto image = co_await rbd::Image::Create(**cluster, "victim", "pw", options);
+  if (!image.ok()) co_return;
+  auto& img = **image;
+
+  // A "document": patient record v1.
+  Rng rng(7);
+  Bytes v1 = rng.RandomBytes(core::kBlockSize);
+  const std::string diagnosis_a = "DIAGNOSIS: BENIGN   ";
+  std::copy(diagnosis_a.begin(), diagnosis_a.end(), v1.begin() + 1024);
+  (void)co_await img.Write(0, v1);
+
+  // Snapshot, then the record is amended: only the diagnosis field changes.
+  auto snap = co_await img.SnapCreate("before-amend");
+  if (!snap.ok()) co_return;
+  Bytes v2 = v1;
+  const std::string diagnosis_b = "DIAGNOSIS: MALIGNANT";
+  std::copy(diagnosis_b.begin(), diagnosis_b.end(), v2.begin() + 1024);
+  (void)co_await img.Write(0, v2);
+
+  // --- The attacker's view: two ciphertext versions of the same sector ---
+  const Bytes ct_old = co_await OsdRawBlock(**cluster, img, *snap);
+  const Bytes ct_new =
+      co_await OsdRawBlock(**cluster, img, objstore::kHeadSnap);
+
+  int changed_subblocks = 0;
+  std::vector<size_t> changed_at;
+  for (size_t sb = 0; sb < core::kBlockSize / 16; ++sb) {
+    if (!std::equal(ct_old.begin() + static_cast<long>(sb * 16),
+                    ct_old.begin() + static_cast<long>(sb * 16 + 16),
+                    ct_new.begin() + static_cast<long>(sb * 16))) {
+      changed_subblocks++;
+      if (changed_at.size() < 4) changed_at.push_back(sb);
+    }
+  }
+
+  std::printf("\n[%s]\n", label);
+  std::printf("  sub-blocks changed between snapshot and head: %d / 256\n",
+              changed_subblocks);
+  if (changed_subblocks < 8) {
+    std::printf("  -> LEAK: the attacker learns the edit touched bytes");
+    for (size_t sb : changed_at) {
+      std::printf(" [%zu..%zu)", sb * 16, sb * 16 + 16);
+    }
+    std::printf("\n     (exactly where the diagnosis field lives: offset "
+                "1024..1044)\n");
+  } else {
+    std::printf("  -> HIDDEN: every sub-block re-randomized; the overwrite "
+                "reveals nothing about what changed.\n");
+  }
+  *leaked_out = changed_subblocks;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Snapshot overwrite-leakage attack "
+              "(HotStorage'22 SS1/SS2.1 motivation)\n");
+  std::printf("A 4 KiB record is amended after a snapshot; the attacker "
+              "compares the two persisted ciphertext versions.\n");
+
+  int luks_leak = 0, random_leak = 0;
+  {
+    sim::Scheduler sched;
+    core::EncryptionSpec luks;  // deterministic LBA tweak
+    sched.Spawn(Attack("LUKS2 baseline: AES-XTS, deterministic LBA IV", luks,
+                       &luks_leak));
+    sched.Run();
+  }
+  {
+    sim::Scheduler sched;
+    core::EncryptionSpec random_iv;
+    random_iv.mode = core::CipherMode::kXtsRandom;
+    random_iv.layout = core::IvLayout::kObjectEnd;
+    sched.Spawn(Attack("This paper: AES-XTS, random IV at object end",
+                       random_iv, &random_leak));
+    sched.Run();
+  }
+
+  std::printf("\nSummary: deterministic IV leaked %d changed sub-block(s); "
+              "random IV leaked %s.\n",
+              luks_leak, random_leak == 256 ? "nothing (all 256 differ)"
+                                            : "UNEXPECTED");
+  const bool ok = luks_leak > 0 && luks_leak < 8 && random_leak == 256;
+  std::printf("%s\n", ok ? "snapshot_attack: OK" : "snapshot_attack: FAILED");
+  return ok ? 0 : 1;
+}

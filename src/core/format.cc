@@ -1,0 +1,467 @@
+#include "core/format.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace vde::core {
+
+namespace {
+
+using objstore::OsdOp;
+using objstore::Transaction;
+
+constexpr size_t kIvSize = 16;
+constexpr size_t kHmacTagSize = 32;
+constexpr size_t kGcmMetaSize = crypto::kGcmIvSize + crypto::kGcmTagSize;
+
+Bytes DeriveSubkey(ByteSpan master, std::string_view label, size_t n) {
+  Bytes out(n);
+  crypto::HkdfSha256(master, /*salt=*/{}, BytesOf(label), out);
+  return out;
+}
+
+OsdOp DataWriteOp(uint64_t offset, Bytes data) {
+  OsdOp op;
+  op.type = OsdOp::Type::kWrite;
+  op.offset = offset;
+  op.length = data.size();
+  op.data = std::move(data);
+  return op;
+}
+
+OsdOp DataReadOp(uint64_t offset, uint64_t length) {
+  OsdOp op;
+  op.type = OsdOp::Type::kRead;
+  op.offset = offset;
+  op.length = length;
+  return op;
+}
+
+Bytes BlockKey(uint64_t block_in_object) {
+  Bytes key(8);
+  StoreU64Be(key.data(), block_in_object);
+  return key;
+}
+
+// --- Deterministic formats (no persisted metadata) ---
+
+class DeterministicFormat final : public EncryptionFormat {
+ public:
+  DeterministicFormat(EncryptionSpec spec, ByteSpan master_key)
+      : EncryptionFormat(spec) {
+    switch (spec_.mode) {
+      case CipherMode::kNone:
+        break;
+      case CipherMode::kXtsLba:
+        xts_.emplace(spec_.backend, master_key);
+        break;
+      case CipherMode::kXtsEssiv:
+        xts_.emplace(spec_.backend, master_key);
+        essiv_.emplace(spec_.backend, master_key);
+        break;
+      case CipherMode::kWideLba:
+        wide_.emplace(ByteSpan(DeriveSubkey(master_key, "wide-block", 64)));
+        break;
+      default:
+        assert(false && "random-IV modes use RandomIvFormat");
+    }
+  }
+
+  Status MakeWrite(const ObjectExtent& ext, ByteSpan plain,
+                   Transaction& txn) override {
+    assert(plain.size() == ext.block_count * kBlockSize);
+    Bytes cipher(plain.size());
+    for (size_t b = 0; b < ext.block_count; ++b) {
+      CryptBlock(ext.image_block + b, plain.subspan(b * kBlockSize, kBlockSize),
+                 MutByteSpan(cipher.data() + b * kBlockSize, kBlockSize),
+                 /*encrypt=*/true);
+    }
+    txn.ops.push_back(
+        DataWriteOp(ext.first_block * kBlockSize, std::move(cipher)));
+    return Status::Ok();
+  }
+
+  void MakeRead(const ObjectExtent& ext, Transaction& txn) const override {
+    txn.ops.push_back(DataReadOp(ext.first_block * kBlockSize,
+                                 ext.block_count * kBlockSize));
+  }
+
+  Status FinishRead(const ObjectExtent& ext,
+                    const objstore::ReadResult& result,
+                    MutByteSpan out) override {
+    if (result.data.size() != ext.block_count * kBlockSize) {
+      return Status::IoError("short read");
+    }
+    for (size_t b = 0; b < ext.block_count; ++b) {
+      CryptBlock(ext.image_block + b,
+                 ByteSpan(result.data.data() + b * kBlockSize, kBlockSize),
+                 out.subspan(b * kBlockSize, kBlockSize), /*encrypt=*/false);
+    }
+    return Status::Ok();
+  }
+
+ private:
+  void CryptBlock(uint64_t lba, ByteSpan in, MutByteSpan out, bool encrypt) {
+    uint8_t tweak[16] = {};
+    switch (spec_.mode) {
+      case CipherMode::kNone:
+        std::memcpy(out.data(), in.data(), in.size());
+        return;
+      case CipherMode::kXtsLba:
+        // LUKS2 convention: little-endian sector number as the XTS tweak.
+        StoreU64Le(tweak, lba);
+        break;
+      case CipherMode::kXtsEssiv:
+        essiv_->DeriveIv(lba, tweak);
+        break;
+      case CipherMode::kWideLba: {
+        StoreU64Le(tweak, lba);
+        if (encrypt) {
+          wide_->Encrypt(ByteSpan(tweak, 16), in, out);
+        } else {
+          wide_->Decrypt(ByteSpan(tweak, 16), in, out);
+        }
+        return;
+      }
+      default:
+        assert(false);
+    }
+    if (encrypt) {
+      xts_->Encrypt(ByteSpan(tweak, 16), in, out);
+    } else {
+      xts_->Decrypt(ByteSpan(tweak, 16), in, out);
+    }
+  }
+
+  std::optional<crypto::XtsCipher> xts_;
+  std::optional<crypto::Essiv> essiv_;
+  std::optional<crypto::WideBlockCipher> wide_;
+};
+
+// --- Random-IV formats: the paper's scheme ---
+
+class RandomIvFormat final : public EncryptionFormat {
+ public:
+  RandomIvFormat(EncryptionSpec spec, ByteSpan master_key,
+                 uint64_t object_size)
+      : EncryptionFormat(spec),
+        object_size_(object_size),
+        rng_(spec.iv_seed == 0 ? crypto::Drbg() : crypto::Drbg(spec.iv_seed)),
+        iv_mask_(crypto::MakeAes(spec.backend,
+                                 DeriveSubkey(master_key, "iv-mask", 32))) {
+    if (spec_.mode == CipherMode::kGcmRandom) {
+      gcm_.emplace(spec_.backend, DeriveSubkey(master_key, "gcm", 32));
+    } else {
+      xts_.emplace(spec_.backend, master_key);
+      if (spec_.integrity == Integrity::kHmac) {
+        hmac_key_ = DeriveSubkey(master_key, "integrity", 32);
+      }
+    }
+  }
+
+  Status MakeWrite(const ObjectExtent& ext, ByteSpan plain,
+                   Transaction& txn) override {
+    assert(plain.size() == ext.block_count * kBlockSize);
+    const size_t meta = spec_.MetaPerBlock();
+    // Per-block ciphertext and metadata.
+    Bytes cipher(plain.size());
+    Bytes metas(ext.block_count * meta);
+    for (size_t b = 0; b < ext.block_count; ++b) {
+      EncryptBlock(ext.image_block + b,
+                   plain.subspan(b * kBlockSize, kBlockSize),
+                   MutByteSpan(cipher.data() + b * kBlockSize, kBlockSize),
+                   MutByteSpan(metas.data() + b * meta, meta));
+    }
+
+    switch (spec_.layout) {
+      case IvLayout::kUnaligned: {
+        // Interleave: [ct0|m0|ct1|m1|...] at stride boundaries (Fig. 2a).
+        const size_t stride = kBlockSize + meta;
+        Bytes buf(ext.block_count * stride);
+        for (size_t b = 0; b < ext.block_count; ++b) {
+          std::memcpy(buf.data() + b * stride, cipher.data() + b * kBlockSize,
+                      kBlockSize);
+          std::memcpy(buf.data() + b * stride + kBlockSize,
+                      metas.data() + b * meta, meta);
+        }
+        txn.ops.push_back(
+            DataWriteOp(ext.first_block * stride, std::move(buf)));
+        break;
+      }
+      case IvLayout::kObjectEnd: {
+        // Data in place + batched IV region after the object (Fig. 2b);
+        // both ops ride one atomic transaction.
+        txn.ops.push_back(
+            DataWriteOp(ext.first_block * kBlockSize, std::move(cipher)));
+        txn.ops.push_back(DataWriteOp(object_size_ + ext.first_block * meta,
+                                      std::move(metas)));
+        break;
+      }
+      case IvLayout::kOmap: {
+        txn.ops.push_back(
+            DataWriteOp(ext.first_block * kBlockSize, std::move(cipher)));
+        OsdOp op;
+        op.type = OsdOp::Type::kOmapSet;
+        op.omap_kvs.reserve(ext.block_count);
+        for (size_t b = 0; b < ext.block_count; ++b) {
+          op.omap_kvs.emplace_back(
+              BlockKey(ext.first_block + b),
+              Bytes(metas.begin() + static_cast<long>(b * meta),
+                    metas.begin() + static_cast<long>((b + 1) * meta)));
+        }
+        txn.ops.push_back(std::move(op));
+        break;
+      }
+      case IvLayout::kNone:
+        return Status::InvalidArgument("random IV requires a layout");
+    }
+    return Status::Ok();
+  }
+
+  void MakeRead(const ObjectExtent& ext, Transaction& txn) const override {
+    const size_t meta = spec_.MetaPerBlock();
+    switch (spec_.layout) {
+      case IvLayout::kUnaligned: {
+        const size_t stride = kBlockSize + meta;
+        txn.ops.push_back(
+            DataReadOp(ext.first_block * stride, ext.block_count * stride));
+        break;
+      }
+      case IvLayout::kObjectEnd: {
+        txn.ops.push_back(DataReadOp(ext.first_block * kBlockSize,
+                                     ext.block_count * kBlockSize));
+        txn.ops.push_back(DataReadOp(object_size_ + ext.first_block * meta,
+                                     ext.block_count * meta));
+        break;
+      }
+      case IvLayout::kOmap: {
+        txn.ops.push_back(DataReadOp(ext.first_block * kBlockSize,
+                                     ext.block_count * kBlockSize));
+        OsdOp op;
+        op.type = OsdOp::Type::kOmapGetRange;
+        op.omap_start = BlockKey(ext.first_block);
+        op.omap_end = BlockKey(ext.first_block + ext.block_count);
+        txn.ops.push_back(std::move(op));
+        break;
+      }
+      case IvLayout::kNone:
+        assert(false && "random IV requires a layout");
+    }
+  }
+
+  Status FinishRead(const ObjectExtent& ext,
+                    const objstore::ReadResult& result,
+                    MutByteSpan out) override {
+    const size_t meta = spec_.MetaPerBlock();
+    const size_t n = ext.block_count;
+    // Gather (ciphertext, metadata) per block from the layout.
+    std::vector<ByteSpan> cts(n), ms(n);
+    Bytes omap_metas;
+    switch (spec_.layout) {
+      case IvLayout::kUnaligned: {
+        const size_t stride = kBlockSize + meta;
+        if (result.data.size() != n * stride) {
+          return Status::IoError("short unaligned read");
+        }
+        for (size_t b = 0; b < n; ++b) {
+          cts[b] = ByteSpan(result.data.data() + b * stride, kBlockSize);
+          ms[b] = ByteSpan(result.data.data() + b * stride + kBlockSize, meta);
+        }
+        break;
+      }
+      case IvLayout::kObjectEnd: {
+        // ExecuteRead concatenates op results: data then IV region.
+        if (result.data.size() != n * (kBlockSize + meta)) {
+          return Status::IoError("short object-end read");
+        }
+        const uint8_t* metas_base = result.data.data() + n * kBlockSize;
+        for (size_t b = 0; b < n; ++b) {
+          cts[b] = ByteSpan(result.data.data() + b * kBlockSize, kBlockSize);
+          ms[b] = ByteSpan(metas_base + b * meta, meta);
+        }
+        break;
+      }
+      case IvLayout::kOmap: {
+        if (result.data.size() != n * kBlockSize) {
+          return Status::IoError("short omap-layout read");
+        }
+        if (result.omap_values.size() != n) {
+          return Status::Corruption("missing IVs in omap");
+        }
+        omap_metas.reserve(n * meta);
+        for (size_t b = 0; b < n; ++b) {
+          const auto& [key, value] = result.omap_values[b];
+          if (key != BlockKey(ext.first_block + b) || value.size() != meta) {
+            return Status::Corruption("omap IV key/size mismatch");
+          }
+          AppendBytes(omap_metas, value);
+        }
+        for (size_t b = 0; b < n; ++b) {
+          cts[b] = ByteSpan(result.data.data() + b * kBlockSize, kBlockSize);
+          ms[b] = ByteSpan(omap_metas.data() + b * meta, meta);
+        }
+        break;
+      }
+      case IvLayout::kNone:
+        return Status::InvalidArgument("random IV requires a layout");
+    }
+
+    for (size_t b = 0; b < n; ++b) {
+      VDE_RETURN_IF_ERROR(DecryptBlock(ext.image_block + b, cts[b], ms[b],
+                                       out.subspan(b * kBlockSize,
+                                                   kBlockSize)));
+    }
+    return Status::Ok();
+  }
+
+  sim::SimTime CryptoCost(size_t bytes) const override {
+    // GCM pays GHASH on top of the block cipher.
+    const double gbps = spec_.mode == CipherMode::kGcmRandom ? 1.3 : 2.5;
+    return 2 * sim::kUs +
+           static_cast<sim::SimTime>(static_cast<double>(bytes) / gbps);
+  }
+
+ private:
+  // Replay-to-other-LBA defense: the effective XTS tweak binds the stored
+  // random IV to the absolute block address (paper §2.2: "include the
+  // sector number as part of the IV").
+  void LbaMask(uint64_t lba, uint8_t mask[16]) const {
+    uint8_t block[16] = {};
+    StoreU64Le(block, lba);
+    iv_mask_->EncryptBlock(block, mask);
+  }
+
+  void EncryptBlock(uint64_t lba, ByteSpan plain, MutByteSpan cipher,
+                    MutByteSpan meta_out) {
+    if (spec_.mode == CipherMode::kGcmRandom) {
+      // meta = nonce (12) || tag (16); AAD binds the LBA.
+      rng_.Generate(meta_out.subspan(0, crypto::kGcmIvSize));
+      uint8_t aad[8];
+      StoreU64Le(aad, lba);
+      gcm_->Seal(meta_out.subspan(0, crypto::kGcmIvSize), ByteSpan(aad, 8),
+                 plain, cipher, meta_out.subspan(crypto::kGcmIvSize));
+      return;
+    }
+    // meta = random IV (16) [|| HMAC tag (32)].
+    rng_.Generate(meta_out.subspan(0, kIvSize));
+    uint8_t tweak[16];
+    LbaMask(lba, tweak);
+    for (size_t i = 0; i < kIvSize; ++i) tweak[i] ^= meta_out[i];
+    xts_->Encrypt(ByteSpan(tweak, 16), plain, cipher);
+    if (spec_.integrity == Integrity::kHmac) {
+      crypto::HmacSha256Stream mac(hmac_key_);
+      mac.Update(cipher);
+      uint8_t lba_le[8];
+      StoreU64Le(lba_le, lba);
+      mac.Update(ByteSpan(lba_le, 8));
+      mac.Update(meta_out.subspan(0, kIvSize));
+      const auto tag = mac.Finish();
+      std::memcpy(meta_out.data() + kIvSize, tag.data(), kHmacTagSize);
+    }
+  }
+
+  Status DecryptBlock(uint64_t lba, ByteSpan cipher, ByteSpan meta,
+                      MutByteSpan plain) {
+    if (spec_.mode == CipherMode::kGcmRandom) {
+      uint8_t aad[8];
+      StoreU64Le(aad, lba);
+      if (!gcm_->Open(meta.subspan(0, crypto::kGcmIvSize), ByteSpan(aad, 8),
+                      cipher, plain, meta.subspan(crypto::kGcmIvSize))) {
+        return Status::Corruption("GCM authentication failed");
+      }
+      return Status::Ok();
+    }
+    if (spec_.integrity == Integrity::kHmac) {
+      crypto::HmacSha256Stream mac(hmac_key_);
+      mac.Update(cipher);
+      uint8_t lba_le[8];
+      StoreU64Le(lba_le, lba);
+      mac.Update(ByteSpan(lba_le, 8));
+      mac.Update(meta.subspan(0, kIvSize));
+      const auto tag = mac.Finish();
+      if (!ConstantTimeEqual(ByteSpan(tag.data(), kHmacTagSize),
+                             meta.subspan(kIvSize, kHmacTagSize))) {
+        return Status::Corruption("HMAC verification failed");
+      }
+    }
+    uint8_t tweak[16];
+    LbaMask(lba, tweak);
+    for (size_t i = 0; i < kIvSize; ++i) tweak[i] ^= meta[i];
+    xts_->Decrypt(ByteSpan(tweak, 16), cipher, plain);
+    return Status::Ok();
+  }
+
+  uint64_t object_size_;
+  crypto::Drbg rng_;
+  std::unique_ptr<crypto::BlockCipher> iv_mask_;
+  std::optional<crypto::XtsCipher> xts_;
+  std::optional<crypto::GcmCipher> gcm_;
+  Bytes hmac_key_;
+};
+
+}  // namespace
+
+sim::SimTime EncryptionFormat::CryptoCost(size_t bytes) const {
+  if (spec_.mode == CipherMode::kNone) return 0;
+  const double gbps = spec_.mode == CipherMode::kWideLba ? 0.9 : 2.5;
+  return 2 * sim::kUs +
+         static_cast<sim::SimTime>(static_cast<double>(bytes) / gbps);
+}
+
+std::string EncryptionSpec::Name() const {
+  std::string name;
+  switch (mode) {
+    case CipherMode::kNone: return "plain";
+    case CipherMode::kXtsLba: return "luks2-xts";
+    case CipherMode::kXtsEssiv: return "xts-essiv";
+    case CipherMode::kWideLba: return "wide-block";
+    case CipherMode::kXtsRandom: name = "xts-random"; break;
+    case CipherMode::kGcmRandom: name = "gcm-random"; break;
+  }
+  switch (layout) {
+    case IvLayout::kNone: name += "/none"; break;
+    case IvLayout::kUnaligned: name += "/unaligned"; break;
+    case IvLayout::kObjectEnd: name += "/object-end"; break;
+    case IvLayout::kOmap: name += "/omap"; break;
+  }
+  if (integrity == Integrity::kHmac) name += "+hmac";
+  return name;
+}
+
+size_t EncryptionSpec::MetaPerBlock() const {
+  switch (mode) {
+    case CipherMode::kNone:
+    case CipherMode::kXtsLba:
+    case CipherMode::kXtsEssiv:
+    case CipherMode::kWideLba:
+      return 0;
+    case CipherMode::kXtsRandom:
+      return integrity == Integrity::kHmac ? kIvSize + kHmacTagSize : kIvSize;
+    case CipherMode::kGcmRandom:
+      return kGcmMetaSize;
+  }
+  return 0;
+}
+
+std::unique_ptr<EncryptionFormat> MakeFormat(const EncryptionSpec& spec,
+                                             ByteSpan master_key,
+                                             uint64_t object_size) {
+  assert(master_key.size() == 64 || spec.mode == CipherMode::kNone);
+  switch (spec.mode) {
+    case CipherMode::kNone:
+    case CipherMode::kXtsLba:
+    case CipherMode::kXtsEssiv:
+    case CipherMode::kWideLba: {
+      static const Bytes kDummy(64, 0);
+      return std::make_unique<DeterministicFormat>(
+          spec, spec.mode == CipherMode::kNone ? ByteSpan(kDummy)
+                                               : master_key);
+    }
+    case CipherMode::kXtsRandom:
+    case CipherMode::kGcmRandom:
+      return std::make_unique<RandomIvFormat>(spec, master_key, object_size);
+  }
+  return nullptr;
+}
+
+}  // namespace vde::core

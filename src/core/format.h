@@ -1,0 +1,76 @@
+// EncryptionFormat: transforms block-aligned image IO into encrypted object
+// transactions — the paper's modified libRBD crypto layer (§3.1).
+//
+// A format owns the data cipher and the per-sector metadata geometry. The
+// RBD image hands it object extents; the format appends the needed ops:
+//
+//   LUKS2 baseline      write:  [data]                 read: [data]
+//   random-IV unaligned write:  [data+IVs interleaved] read: [same range]
+//   random-IV objectend write:  [data][IV region]      read: [data][IV region]
+//   random-IV OMAP      write:  [data][omap_set IVs]   read: [data][omap_get]
+//
+// All multi-op writes ride ONE transaction (atomic data+IV, §3.1); all
+// multi-op reads execute in parallel at the OSD (§3.3, read results).
+#pragma once
+
+#include <memory>
+
+#include "core/types.h"
+#include "crypto/essiv.h"
+#include "crypto/gcm.h"
+#include "crypto/hmac.h"
+#include "crypto/rand.h"
+#include "crypto/wideblock.h"
+#include "crypto/xts.h"
+#include "objstore/types.h"
+#include "sim/scheduler.h"
+#include "util/status.h"
+
+namespace vde::core {
+
+// A block-aligned slice of image IO that falls into one object.
+struct ObjectExtent {
+  std::string oid;
+  uint64_t object_no = 0;
+  uint64_t first_block = 0;  // block index within the object
+  size_t block_count = 0;
+  uint64_t image_block = 0;  // absolute index of first block in the image
+};
+
+class EncryptionFormat {
+ public:
+  virtual ~EncryptionFormat() = default;
+
+  // Encrypts `plain` (block_count * kBlockSize bytes) and appends the write
+  // ops (data + metadata) for `ext` to `txn`.
+  virtual Status MakeWrite(const ObjectExtent& ext, ByteSpan plain,
+                           objstore::Transaction& txn) = 0;
+
+  // Appends the read ops for `ext` to `txn`.
+  virtual void MakeRead(const ObjectExtent& ext,
+                        objstore::Transaction& txn) const = 0;
+
+  // Decrypts (and authenticates, if configured) the transaction results
+  // into `out` (block_count * kBlockSize bytes).
+  virtual Status FinishRead(const ObjectExtent& ext,
+                            const objstore::ReadResult& result,
+                            MutByteSpan out) = 0;
+
+  // Modeled client CPU time for encrypting/decrypting `bytes`.
+  virtual sim::SimTime CryptoCost(size_t bytes) const;
+
+  const EncryptionSpec& spec() const { return spec_; }
+
+ protected:
+  explicit EncryptionFormat(EncryptionSpec spec) : spec_(spec) {}
+  EncryptionSpec spec_;
+};
+
+// Builds the format for `spec`. `master_key` must be kMasterKeySize bytes;
+// subkeys (IV mask, HMAC, GCM, wide-block) are derived via HKDF.
+// `object_size` fixes the object-end metadata region base.
+std::unique_ptr<EncryptionFormat> MakeFormat(const EncryptionSpec& spec,
+                                             ByteSpan master_key,
+                                             uint64_t object_size);
+
+}  // namespace vde::core

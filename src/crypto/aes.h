@@ -1,0 +1,34 @@
+// From-scratch AES-128/192/256 block cipher (FIPS-197).
+//
+// Byte-oriented reference implementation: correctness and portability over
+// speed. The OpenSSL EVP backend (openssl_backend.h) provides an AES-NI
+// accelerated path behind the same BlockCipher interface; tests
+// cross-validate the two on random inputs.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "crypto/block_cipher.h"
+#include "util/bytes.h"
+
+namespace vde::crypto {
+
+class SoftAes final : public BlockCipher {
+ public:
+  // `key` must be 16, 24 or 32 bytes.
+  explicit SoftAes(ByteSpan key);
+
+  void EncryptBlock(const uint8_t in[16], uint8_t out[16]) const override;
+  void DecryptBlock(const uint8_t in[16], uint8_t out[16]) const override;
+  size_t key_size() const override { return key_size_; }
+
+ private:
+  static constexpr int kMaxRounds = 14;
+  int rounds_ = 0;
+  size_t key_size_ = 0;
+  // Round keys, 4 words per round + initial.
+  std::array<uint32_t, 4 * (kMaxRounds + 1)> rk_{};
+};
+
+}  // namespace vde::crypto

@@ -1,0 +1,65 @@
+#include "crypto/afsplit.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "crypto/sha256.h"
+
+namespace vde::crypto {
+
+namespace {
+
+// LUKS AF diffusion: hash the block in digest-size chunks, each prefixed by
+// a big-endian chunk counter.
+void Diffuse(MutByteSpan block) {
+  const size_t ds = kSha256DigestSize;
+  uint32_t counter = 0;
+  size_t off = 0;
+  while (off < block.size()) {
+    const size_t take = std::min(ds, block.size() - off);
+    Sha256 h;
+    uint8_t ctr_be[4];
+    StoreU32Be(ctr_be, counter++);
+    h.Update(ByteSpan(ctr_be, 4));
+    h.Update(block.subspan(off, take));
+    const auto digest = h.Finish();
+    std::memcpy(block.data() + off, digest.data(), take);
+    off += take;
+  }
+}
+
+}  // namespace
+
+Bytes AfSplit(ByteSpan key, size_t stripes, ByteSpan rng_bytes) {
+  assert(stripes >= 1);
+  assert(rng_bytes.size() == (stripes - 1) * key.size());
+  const size_t n = key.size();
+  Bytes out(n * stripes);
+  Bytes acc(n, 0);
+  for (size_t s = 0; s + 1 < stripes; ++s) {
+    auto stripe = MutByteSpan(out.data() + s * n, n);
+    std::memcpy(stripe.data(), rng_bytes.data() + s * n, n);
+    XorInto(MutByteSpan(acc), stripe);
+    Diffuse(MutByteSpan(acc));
+  }
+  // Final stripe makes the merge reproduce the key.
+  auto last = MutByteSpan(out.data() + (stripes - 1) * n, n);
+  for (size_t i = 0; i < n; ++i) last[i] = acc[i] ^ key[i];
+  return out;
+}
+
+Bytes AfMerge(ByteSpan split, size_t stripes) {
+  assert(stripes >= 1);
+  assert(split.size() % stripes == 0);
+  const size_t n = split.size() / stripes;
+  Bytes acc(n, 0);
+  for (size_t s = 0; s + 1 < stripes; ++s) {
+    XorInto(MutByteSpan(acc), split.subspan(s * n, n));
+    Diffuse(MutByteSpan(acc));
+  }
+  Bytes key(n);
+  for (size_t i = 0; i < n; ++i) key[i] = acc[i] ^ split[(stripes - 1) * n + i];
+  return key;
+}
+
+}  // namespace vde::crypto

@@ -1,0 +1,22 @@
+// LUKS anti-forensic (AF) splitter.
+//
+// LUKS key slots never store wrapped key material directly: the key is
+// "split" into N stripes whose XOR (after a SHA-256 diffusion pass) yields
+// the key. Deleting any stripe destroys the key, which makes key revocation
+// effective on media that cannot guarantee overwrite. Used by the LUKS-like
+// header in src/core.
+#pragma once
+
+#include "util/bytes.h"
+
+namespace vde::crypto {
+
+// Splits `key` into `stripes` stripes (output size = key.size() * stripes).
+// `rng_bytes` must supply (stripes - 1) * key.size() random bytes.
+Bytes AfSplit(ByteSpan key, size_t stripes, ByteSpan rng_bytes);
+
+// Recovers the key from AF-split material. `split.size()` must be a multiple
+// of `stripes`.
+Bytes AfMerge(ByteSpan split, size_t stripes);
+
+}  // namespace vde::crypto

@@ -1,0 +1,32 @@
+// 16-byte block-cipher interface implemented by SoftAes and OpensslAes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "util/bytes.h"
+
+namespace vde::crypto {
+
+inline constexpr size_t kAesBlockSize = 16;
+
+class BlockCipher {
+ public:
+  virtual ~BlockCipher() = default;
+
+  virtual void EncryptBlock(const uint8_t in[16], uint8_t out[16]) const = 0;
+  virtual void DecryptBlock(const uint8_t in[16], uint8_t out[16]) const = 0;
+  virtual size_t key_size() const = 0;
+};
+
+// Which low-level AES implementation backs a cipher object.
+enum class Backend {
+  kSoft,     // our from-scratch AES
+  kOpenssl,  // OpenSSL EVP (AES-NI when available)
+};
+
+// Factory: AES block cipher for `key` (16/24/32 bytes) on the given backend.
+std::unique_ptr<BlockCipher> MakeAes(Backend backend, ByteSpan key);
+
+}  // namespace vde::crypto

@@ -1,0 +1,41 @@
+#include "crypto/cbc.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace vde::crypto {
+
+CbcCipher::CbcCipher(Backend backend, ByteSpan key)
+    : cipher_(MakeAes(backend, key)) {}
+
+void CbcCipher::Encrypt(ByteSpan iv16, ByteSpan in, MutByteSpan out) const {
+  assert(iv16.size() == 16);
+  assert(in.size() % 16 == 0 && !in.empty());
+  assert(in.size() == out.size());
+  uint8_t chain[16];
+  std::memcpy(chain, iv16.data(), 16);
+  for (size_t off = 0; off < in.size(); off += 16) {
+    uint8_t blk[16];
+    for (int i = 0; i < 16; ++i) blk[i] = in[off + i] ^ chain[i];
+    cipher_->EncryptBlock(blk, out.data() + off);
+    std::memcpy(chain, out.data() + off, 16);
+  }
+}
+
+void CbcCipher::Decrypt(ByteSpan iv16, ByteSpan in, MutByteSpan out) const {
+  assert(iv16.size() == 16);
+  assert(in.size() % 16 == 0 && !in.empty());
+  assert(in.size() == out.size());
+  uint8_t chain[16];
+  std::memcpy(chain, iv16.data(), 16);
+  for (size_t off = 0; off < in.size(); off += 16) {
+    uint8_t ct[16];
+    std::memcpy(ct, in.data() + off, 16);  // save: out may alias in
+    uint8_t blk[16];
+    cipher_->DecryptBlock(ct, blk);
+    for (int i = 0; i < 16; ++i) out[off + i] = blk[i] ^ chain[i];
+    std::memcpy(chain, ct, 16);
+  }
+}
+
+}  // namespace vde::crypto

@@ -1,0 +1,25 @@
+// AES-CBC — the historical disk-encryption mode (paper §1 footnote, §2.1).
+// Included for the leakage-comparison tests and the crypto bench; no padding
+// (disk sectors are block-aligned).
+#pragma once
+
+#include <memory>
+
+#include "crypto/block_cipher.h"
+#include "util/bytes.h"
+
+namespace vde::crypto {
+
+class CbcCipher {
+ public:
+  CbcCipher(Backend backend, ByteSpan key);
+
+  // `in.size()` must be a non-zero multiple of 16. `out` may alias `in`.
+  void Encrypt(ByteSpan iv16, ByteSpan in, MutByteSpan out) const;
+  void Decrypt(ByteSpan iv16, ByteSpan in, MutByteSpan out) const;
+
+ private:
+  std::unique_ptr<BlockCipher> cipher_;
+};
+
+}  // namespace vde::crypto

@@ -1,0 +1,64 @@
+#include "crypto/chacha20.h"
+
+#include <bit>
+#include <cassert>
+#include <cstring>
+
+namespace vde::crypto {
+
+namespace {
+inline void QuarterRound(uint32_t& a, uint32_t& b, uint32_t& c, uint32_t& d) {
+  a += b; d ^= a; d = std::rotl(d, 16);
+  c += d; b ^= c; b = std::rotl(b, 12);
+  a += b; d ^= a; d = std::rotl(d, 8);
+  c += d; b ^= c; b = std::rotl(b, 7);
+}
+}  // namespace
+
+ChaCha20::ChaCha20(ByteSpan key, ByteSpan nonce, uint32_t counter) {
+  assert(key.size() == 32 && nonce.size() == 12);
+  state_[0] = 0x61707865;
+  state_[1] = 0x3320646e;
+  state_[2] = 0x79622d32;
+  state_[3] = 0x6b206574;
+  for (int i = 0; i < 8; ++i) state_[static_cast<size_t>(4 + i)] = LoadU32Le(key.data() + 4 * i);
+  state_[12] = counter;
+  for (int i = 0; i < 3; ++i) state_[static_cast<size_t>(13 + i)] = LoadU32Le(nonce.data() + 4 * i);
+}
+
+void ChaCha20::Block(uint8_t out[64]) {
+  std::array<uint32_t, 16> x = state_;
+  for (int round = 0; round < 10; ++round) {
+    QuarterRound(x[0], x[4], x[8], x[12]);
+    QuarterRound(x[1], x[5], x[9], x[13]);
+    QuarterRound(x[2], x[6], x[10], x[14]);
+    QuarterRound(x[3], x[7], x[11], x[15]);
+    QuarterRound(x[0], x[5], x[10], x[15]);
+    QuarterRound(x[1], x[6], x[11], x[12]);
+    QuarterRound(x[2], x[7], x[8], x[13]);
+    QuarterRound(x[3], x[4], x[9], x[14]);
+  }
+  for (int i = 0; i < 16; ++i) {
+    const uint32_t v = x[static_cast<size_t>(i)] + state_[static_cast<size_t>(i)];
+    StoreU32Le(out + 4 * i, v);
+  }
+  state_[12]++;  // block counter
+}
+
+void ChaCha20::XorStream(MutByteSpan data) {
+  uint8_t block[64];
+  size_t off = 0;
+  while (off < data.size()) {
+    Block(block);
+    const size_t take = std::min<size_t>(64, data.size() - off);
+    for (size_t i = 0; i < take; ++i) data[off + i] ^= block[i];
+    off += take;
+  }
+}
+
+void ChaCha20::Keystream(MutByteSpan out) {
+  std::memset(out.data(), 0, out.size());
+  XorStream(out);
+}
+
+}  // namespace vde::crypto

@@ -1,0 +1,29 @@
+// ChaCha20 stream cipher (RFC 8439 layout) — used by the DRBG and the
+// LION-style wide-block construction.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace vde::crypto {
+
+class ChaCha20 {
+ public:
+  // key: 32 bytes, nonce: 12 bytes, counter: initial 32-bit block counter.
+  ChaCha20(ByteSpan key, ByteSpan nonce, uint32_t counter = 0);
+
+  // XOR the keystream into `data` in place (encrypt == decrypt).
+  void XorStream(MutByteSpan data);
+
+  // Fill `out` with raw keystream bytes.
+  void Keystream(MutByteSpan out);
+
+ private:
+  void Block(uint8_t out[64]);
+
+  std::array<uint32_t, 16> state_;
+};
+
+}  // namespace vde::crypto

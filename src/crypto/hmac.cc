@@ -1,0 +1,98 @@
+#include "crypto/hmac.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace vde::crypto {
+
+namespace {
+std::array<uint8_t, 64> NormalizeKey(ByteSpan key) {
+  std::array<uint8_t, 64> k{};
+  if (key.size() > 64) {
+    const auto digest = Sha256::Digest(key);
+    std::memcpy(k.data(), digest.data(), digest.size());
+  } else {
+    std::memcpy(k.data(), key.data(), key.size());
+  }
+  return k;
+}
+}  // namespace
+
+HmacSha256Stream::HmacSha256Stream(ByteSpan key) {
+  const auto k = NormalizeKey(key);
+  std::array<uint8_t, 64> ipad;
+  for (size_t i = 0; i < 64; ++i) {
+    ipad[i] = k[i] ^ 0x36;
+    opad_key_[i] = k[i] ^ 0x5c;
+  }
+  inner_.Update(ipad);
+}
+
+void HmacSha256Stream::Update(ByteSpan data) { inner_.Update(data); }
+
+std::array<uint8_t, kSha256DigestSize> HmacSha256Stream::Finish() {
+  const auto inner_digest = inner_.Finish();
+  Sha256 outer;
+  outer.Update(opad_key_);
+  outer.Update(inner_digest);
+  return outer.Finish();
+}
+
+std::array<uint8_t, kSha256DigestSize> HmacSha256(ByteSpan key, ByteSpan data) {
+  HmacSha256Stream h(key);
+  h.Update(data);
+  return h.Finish();
+}
+
+void Pbkdf2HmacSha256(ByteSpan password, ByteSpan salt, uint32_t iterations,
+                      MutByteSpan out) {
+  assert(iterations >= 1);
+  uint32_t block_index = 1;
+  size_t produced = 0;
+  while (produced < out.size()) {
+    // U1 = HMAC(password, salt || INT_BE(block_index))
+    HmacSha256Stream h(password);
+    h.Update(salt);
+    uint8_t idx_be[4];
+    StoreU32Be(idx_be, block_index);
+    h.Update(ByteSpan(idx_be, 4));
+    auto u = h.Finish();
+    auto t = u;
+    for (uint32_t iter = 1; iter < iterations; ++iter) {
+      u = HmacSha256(password, u);
+      for (size_t i = 0; i < t.size(); ++i) t[i] ^= u[i];
+    }
+    const size_t take = std::min(t.size(), out.size() - produced);
+    std::memcpy(out.data() + produced, t.data(), take);
+    produced += take;
+    block_index++;
+  }
+}
+
+void HkdfSha256(ByteSpan ikm, ByteSpan salt, ByteSpan info, MutByteSpan out) {
+  assert(out.size() <= 255 * kSha256DigestSize);
+  // Extract.
+  const std::array<uint8_t, 64> zero_salt{};
+  const auto prk = HmacSha256(
+      salt.empty() ? ByteSpan(zero_salt.data(), kSha256DigestSize) : salt,
+      ikm);
+  // Expand.
+  std::array<uint8_t, kSha256DigestSize> t{};
+  size_t t_len = 0;
+  size_t produced = 0;
+  uint8_t counter = 1;
+  while (produced < out.size()) {
+    HmacSha256Stream h(prk);
+    h.Update(ByteSpan(t.data(), t_len));
+    h.Update(info);
+    h.Update(ByteSpan(&counter, 1));
+    t = h.Finish();
+    t_len = t.size();
+    const size_t take = std::min(t_len, out.size() - produced);
+    std::memcpy(out.data() + produced, t.data(), take);
+    produced += take;
+    counter++;
+  }
+}
+
+}  // namespace vde::crypto

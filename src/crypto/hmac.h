@@ -1,0 +1,33 @@
+// HMAC-SHA256 (RFC 2104) and key-derivation helpers (PBKDF2, HKDF).
+#pragma once
+
+#include <array>
+
+#include "crypto/sha256.h"
+#include "util/bytes.h"
+
+namespace vde::crypto {
+
+// One-shot HMAC-SHA256.
+std::array<uint8_t, kSha256DigestSize> HmacSha256(ByteSpan key, ByteSpan data);
+
+// Streaming HMAC for multi-part messages.
+class HmacSha256Stream {
+ public:
+  explicit HmacSha256Stream(ByteSpan key);
+  void Update(ByteSpan data);
+  std::array<uint8_t, kSha256DigestSize> Finish();
+
+ private:
+  Sha256 inner_;
+  std::array<uint8_t, 64> opad_key_;
+};
+
+// PBKDF2-HMAC-SHA256 (RFC 8018). Derives `out.size()` bytes.
+void Pbkdf2HmacSha256(ByteSpan password, ByteSpan salt, uint32_t iterations,
+                      MutByteSpan out);
+
+// HKDF-SHA256 (RFC 5869): extract-then-expand.
+void HkdfSha256(ByteSpan ikm, ByteSpan salt, ByteSpan info, MutByteSpan out);
+
+}  // namespace vde::crypto

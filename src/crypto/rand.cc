@@ -1,0 +1,69 @@
+#include "crypto/rand.h"
+
+#include <unistd.h>
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "crypto/sha256.h"
+
+namespace vde::crypto {
+
+void SystemRandom(MutByteSpan out) {
+  size_t off = 0;
+  while (off < out.size()) {
+    const size_t chunk = std::min<size_t>(256, out.size() - off);
+    if (getentropy(out.data() + off, chunk) != 0) {
+      std::perror("getentropy");
+      std::abort();
+    }
+    off += chunk;
+  }
+}
+
+Drbg::Drbg() : key_(32) {
+  SystemRandom(key_);
+}
+
+Drbg::Drbg(uint64_t seed) : key_(32) {
+  uint8_t seed_bytes[8];
+  StoreU64Le(seed_bytes, seed);
+  const auto digest = Sha256::Digest(ByteSpan(seed_bytes, 8));
+  std::memcpy(key_.data(), digest.data(), 32);
+}
+
+void Drbg::Rekey(ByteSpan seed32) {
+  assert(seed32.size() == 32);
+  // Ratchet: new_key = SHA256(old_key || seed).
+  Sha256 h;
+  h.Update(key_);
+  h.Update(seed32);
+  const auto digest = h.Finish();
+  std::memcpy(key_.data(), digest.data(), 32);
+  counter_ = 0;
+}
+
+void Drbg::Reseed() {
+  Bytes fresh(32);
+  SystemRandom(fresh);
+  Rekey(fresh);
+}
+
+void Drbg::Generate(MutByteSpan out) {
+  // Each Generate call uses a distinct nonce derived from the counter.
+  uint8_t nonce[12] = {};
+  StoreU64Le(nonce, counter_++);
+  ChaCha20 stream(key_, ByteSpan(nonce, 12));
+  stream.Keystream(out);
+  if (counter_ == ~uint64_t{0}) Reseed();
+}
+
+Bytes Drbg::Generate(size_t n) {
+  Bytes out(n);
+  Generate(out);
+  return out;
+}
+
+}  // namespace vde::crypto

@@ -1,0 +1,33 @@
+// From-scratch SHA-256 (FIPS 180-4), streaming interface.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace vde::crypto {
+
+inline constexpr size_t kSha256DigestSize = 32;
+
+class Sha256 {
+ public:
+  Sha256();
+
+  void Update(ByteSpan data);
+  // Finalizes and returns the digest; the object must not be reused after.
+  std::array<uint8_t, kSha256DigestSize> Finish();
+
+  // One-shot convenience.
+  static std::array<uint8_t, kSha256DigestSize> Digest(ByteSpan data);
+
+ private:
+  void ProcessBlock(const uint8_t block[64]);
+
+  std::array<uint32_t, 8> h_;
+  uint8_t buf_[64];
+  size_t buf_len_ = 0;
+  uint64_t total_len_ = 0;
+};
+
+}  // namespace vde::crypto

@@ -1,0 +1,78 @@
+#include "crypto/wideblock.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "crypto/chacha20.h"
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+
+namespace vde::crypto {
+
+WideBlockCipher::WideBlockCipher(ByteSpan key) {
+  assert(key.size() == 64);
+  std::memcpy(k1_.data(), key.data(), 32);
+  std::memcpy(k2_.data(), key.data() + 32, 32);
+}
+
+std::array<uint8_t, 32> WideBlockCipher::RoundKey(int which,
+                                                  ByteSpan tweak) const {
+  return HmacSha256(which == 1 ? k1_ : k2_, tweak);
+}
+
+void WideBlockCipher::StreamXor(const std::array<uint8_t, 32>& key,
+                                MutByteSpan data) const {
+  const uint8_t nonce[12] = {};
+  ChaCha20 stream(key, ByteSpan(nonce, 12));
+  stream.XorStream(data);
+}
+
+void WideBlockCipher::Encrypt(ByteSpan tweak, ByteSpan in,
+                              MutByteSpan out) const {
+  assert(in.size() > kLeftSize + 16);
+  assert(in.size() == out.size());
+  if (out.data() != in.data()) std::memcpy(out.data(), in.data(), in.size());
+
+  auto left = out.subspan(0, kLeftSize);
+  auto right = out.subspan(kLeftSize);
+
+  const auto rk1 = RoundKey(1, tweak);
+  const auto rk2 = RoundKey(2, tweak);
+
+  // Round 1: R ^= S(L ^ K1t)
+  std::array<uint8_t, 32> sk;
+  for (size_t i = 0; i < 32; ++i) sk[i] = left[i] ^ rk1[i];
+  StreamXor(sk, right);
+  // Round 2: L ^= H(R)
+  const auto digest = Sha256::Digest(right);
+  for (size_t i = 0; i < 32; ++i) left[i] ^= digest[i];
+  // Round 3: R ^= S(L ^ K2t)
+  for (size_t i = 0; i < 32; ++i) sk[i] = left[i] ^ rk2[i];
+  StreamXor(sk, right);
+}
+
+void WideBlockCipher::Decrypt(ByteSpan tweak, ByteSpan in,
+                              MutByteSpan out) const {
+  assert(in.size() > kLeftSize + 16);
+  assert(in.size() == out.size());
+  if (out.data() != in.data()) std::memcpy(out.data(), in.data(), in.size());
+
+  auto left = out.subspan(0, kLeftSize);
+  auto right = out.subspan(kLeftSize);
+
+  const auto rk1 = RoundKey(1, tweak);
+  const auto rk2 = RoundKey(2, tweak);
+
+  // Inverse of round 3.
+  std::array<uint8_t, 32> sk;
+  for (size_t i = 0; i < 32; ++i) sk[i] = left[i] ^ rk2[i];
+  StreamXor(sk, right);
+  // Inverse of round 2.
+  const auto digest = Sha256::Digest(right);
+  for (size_t i = 0; i < 32; ++i) left[i] ^= digest[i];
+  // Inverse of round 1.
+  for (size_t i = 0; i < 32; ++i) sk[i] = left[i] ^ rk1[i];
+  StreamXor(sk, right);
+}
+
+}  // namespace vde::crypto

@@ -1,0 +1,57 @@
+#include "device/extent_allocator.h"
+
+#include <cassert>
+
+namespace vde::dev {
+
+ExtentAllocator::ExtentAllocator(uint64_t size, uint32_t alignment)
+    : size_(size), alignment_(alignment), free_bytes_(size) {
+  assert(alignment > 0 && size % alignment == 0);
+  if (size > 0) free_[0] = size;
+}
+
+Result<uint64_t> ExtentAllocator::Allocate(uint64_t length) {
+  if (length == 0) return Status::InvalidArgument("zero-length allocation");
+  const uint64_t need = RoundUp(length);
+  // First fit.
+  for (auto it = free_.begin(); it != free_.end(); ++it) {
+    if (it->second >= need) {
+      const uint64_t offset = it->first;
+      const uint64_t remaining = it->second - need;
+      free_.erase(it);
+      if (remaining > 0) free_[offset + need] = remaining;
+      free_bytes_ -= need;
+      return offset;
+    }
+  }
+  return Status::OutOfSpace("no extent of " + std::to_string(need) + " bytes");
+}
+
+void ExtentAllocator::Free(uint64_t offset, uint64_t length) {
+  const uint64_t len = RoundUp(length);
+  assert(offset % alignment_ == 0);
+  assert(offset + len <= size_);
+  free_bytes_ += len;
+
+  auto next = free_.lower_bound(offset);
+  // Guard against double-free / overlap in debug builds.
+  assert(next == free_.end() || offset + len <= next->first);
+  uint64_t new_off = offset;
+  uint64_t new_len = len;
+  if (next != free_.begin()) {
+    auto prev = std::prev(next);
+    assert(prev->first + prev->second <= offset);
+    if (prev->first + prev->second == offset) {
+      new_off = prev->first;
+      new_len += prev->second;
+      free_.erase(prev);
+    }
+  }
+  if (next != free_.end() && offset + len == next->first) {
+    new_len += next->second;
+    free_.erase(next);
+  }
+  free_[new_off] = new_len;
+}
+
+}  // namespace vde::dev

@@ -1,0 +1,42 @@
+// Sector-granular extent allocator with free-list coalescing.
+//
+// Used by the object store for object data and by the KV store for
+// SSTables. First-fit over an ordered free map; adjacent free extents merge
+// on Free, so long-running workloads do not fragment unboundedly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "util/status.h"
+
+namespace vde::dev {
+
+class ExtentAllocator {
+ public:
+  // Manages [0, size) in units of `alignment` bytes (a sector).
+  ExtentAllocator(uint64_t size, uint32_t alignment);
+
+  // Allocates `length` bytes (rounded up to alignment). Returns the offset.
+  Result<uint64_t> Allocate(uint64_t length);
+
+  // Returns an extent previously obtained from Allocate. `length` must match
+  // the original request (it is re-rounded internally).
+  void Free(uint64_t offset, uint64_t length);
+
+  uint64_t free_bytes() const { return free_bytes_; }
+  uint64_t total_bytes() const { return size_; }
+  size_t fragments() const { return free_.size(); }
+
+ private:
+  uint64_t RoundUp(uint64_t v) const {
+    return (v + alignment_ - 1) / alignment_ * alignment_;
+  }
+
+  uint64_t size_;
+  uint32_t alignment_;
+  uint64_t free_bytes_;
+  std::map<uint64_t, uint64_t> free_;  // offset -> length
+};
+
+}  // namespace vde::dev

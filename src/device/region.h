@@ -1,0 +1,48 @@
+// RegionDevice: a sector-aligned window onto a parent device.
+//
+// Lets subsystems (WAL, KV store, object data) share one NVMe while owning
+// disjoint address ranges. Stats and timing remain the parent's — a region
+// is an address-translation view, not a separate device.
+#pragma once
+
+#include <cassert>
+
+#include "device/block_device.h"
+
+namespace vde::dev {
+
+class RegionDevice final : public BlockDevice {
+ public:
+  RegionDevice(BlockDevice& parent, uint64_t base, uint64_t length)
+      : parent_(parent), base_(base), length_(length) {
+    assert(base % parent.sector_size() == 0);
+    assert(length % parent.sector_size() == 0);
+    assert(base + length <= parent.capacity_bytes());
+  }
+
+  uint32_t sector_size() const override { return parent_.sector_size(); }
+  uint64_t capacity_bytes() const override { return length_; }
+
+  sim::Task<Status> Read(uint64_t offset, MutByteSpan out) override {
+    if (offset + out.size() > length_) {
+      co_return Status::InvalidArgument("region read out of range");
+    }
+    co_return co_await parent_.Read(base_ + offset, out);
+  }
+
+  sim::Task<Status> Write(uint64_t offset, ByteSpan data) override {
+    if (offset + data.size() > length_) {
+      co_return Status::InvalidArgument("region write out of range");
+    }
+    co_return co_await parent_.Write(base_ + offset, data);
+  }
+
+  const DeviceStats& stats() const override { return parent_.stats(); }
+
+ private:
+  BlockDevice& parent_;
+  uint64_t base_;
+  uint64_t length_;
+};
+
+}  // namespace vde::dev

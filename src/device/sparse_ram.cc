@@ -1,0 +1,44 @@
+#include "device/sparse_ram.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace vde::dev {
+
+void SparseRam::ReadAt(uint64_t offset, MutByteSpan out) const {
+  assert(offset + out.size() <= capacity_);
+  size_t done = 0;
+  while (done < out.size()) {
+    const uint64_t pos = offset + done;
+    const uint64_t page_no = pos / kPageSize;
+    const size_t in_page = pos % kPageSize;
+    const size_t take = std::min(out.size() - done, kPageSize - in_page);
+    const auto it = pages_.find(page_no);
+    if (it == pages_.end()) {
+      std::memset(out.data() + done, 0, take);
+    } else {
+      std::memcpy(out.data() + done, it->second->data + in_page, take);
+    }
+    done += take;
+  }
+}
+
+void SparseRam::WriteAt(uint64_t offset, ByteSpan data) {
+  assert(offset + data.size() <= capacity_);
+  size_t done = 0;
+  while (done < data.size()) {
+    const uint64_t pos = offset + done;
+    const uint64_t page_no = pos / kPageSize;
+    const size_t in_page = pos % kPageSize;
+    const size_t take = std::min(data.size() - done, kPageSize - in_page);
+    auto& page = pages_[page_no];
+    if (!page) {
+      page = std::make_unique<Page>();
+      std::memset(page->data, 0, kPageSize);
+    }
+    std::memcpy(page->data + in_page, data.data() + done, take);
+    done += take;
+  }
+}
+
+}  // namespace vde::dev

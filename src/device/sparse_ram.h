@@ -1,0 +1,38 @@
+// Sparse page store: the data plane behind the simulated NVMe device.
+//
+// Pages are allocated on first write, so a "1.8 TB" device costs memory only
+// for what benches actually touch. Reads of holes return zeros, as a trimmed
+// flash device would.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "util/bytes.h"
+
+namespace vde::dev {
+
+class SparseRam {
+ public:
+  static constexpr size_t kPageSize = 4096;
+
+  explicit SparseRam(uint64_t capacity_bytes) : capacity_(capacity_bytes) {}
+
+  uint64_t capacity() const { return capacity_; }
+  size_t allocated_pages() const { return pages_.size(); }
+
+  // Arbitrary byte-granularity access (alignment is the device's concern).
+  void ReadAt(uint64_t offset, MutByteSpan out) const;
+  void WriteAt(uint64_t offset, ByteSpan data);
+
+ private:
+  struct Page {
+    uint8_t data[kPageSize];
+  };
+
+  uint64_t capacity_;
+  std::unordered_map<uint64_t, std::unique_ptr<Page>> pages_;
+};
+
+}  // namespace vde::dev

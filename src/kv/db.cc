@@ -1,0 +1,346 @@
+#include "kv/db.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <map>
+
+#include "device/region.h"
+#include "util/crc32.h"
+
+namespace vde::kv {
+
+namespace {
+
+constexpr uint64_t kSuperMagic = 0x564445534B5653ULL;  // "VDESKVS"
+
+}  // namespace
+
+KvStore::KvStore(dev::BlockDevice& region, KvOptions options)
+    : region_(region), options_(options) {
+  const uint32_t sector = region.sector_size();
+  wal_offset_ = sector;  // superblock occupies sector 0
+  data_offset_ = wal_offset_ + options_.wal_size;
+  assert(data_offset_ < region.capacity_bytes() &&
+         "KV region too small for WAL");
+}
+
+sim::Task<Result<std::unique_ptr<KvStore>>> KvStore::Open(
+    dev::BlockDevice& region, KvOptions options) {
+  std::unique_ptr<KvStore> store(new KvStore(region, options));
+  Bytes super(region.sector_size());
+  {
+    Status s = co_await region.Read(0, super);
+    if (!s.ok()) co_return s;
+  }
+  if (LoadU64Le(super.data()) == kSuperMagic) {
+    Status s = co_await store->Recover(super);
+    if (!s.ok()) co_return s;
+  } else {
+    Status s = co_await store->Init();
+    if (!s.ok()) co_return s;
+  }
+  co_return store;
+}
+
+sim::Task<Status> KvStore::Init() {
+  wal_region_ = std::make_unique<dev::RegionDevice>(region_, wal_offset_,
+                                                    options_.wal_size);
+  wal_ = std::make_unique<Wal>(*wal_region_, /*generation=*/1);
+  alloc_ = std::make_unique<dev::ExtentAllocator>(
+      region_.capacity_bytes() - data_offset_, region_.sector_size());
+  mem_ = std::make_unique<MemTable>();
+  co_return co_await WriteSuperblock();
+}
+
+// Superblock: [magic u64][wal_gen u64][n_tables u32]
+//   per table (L0 newest first, then optionally L1): [level u8][off][len]
+// [crc u32 over the above]
+sim::Task<Status> KvStore::WriteSuperblock() {
+  Bytes blob;
+  AppendU64Le(blob, kSuperMagic);
+  AppendU64Le(blob, wal_->generation());
+  const uint32_t n =
+      static_cast<uint32_t>(l0_.size()) + (l1_ ? 1u : 0u);
+  AppendU32Le(blob, n);
+  for (const auto& slot : l0_) {
+    AppendU8(blob, 0);
+    AppendU64Le(blob, slot.offset);
+    AppendU64Le(blob, slot.length);
+  }
+  if (l1_) {
+    AppendU8(blob, 1);
+    AppendU64Le(blob, l1_offset_);
+    AppendU64Le(blob, l1_length_);
+  }
+  AppendU32Le(blob, Crc32c(blob));
+  assert(blob.size() <= region_.sector_size() &&
+         "manifest exceeds superblock sector");
+  blob.resize(region_.sector_size(), 0);
+  co_return co_await region_.Write(0, blob);
+}
+
+sim::Task<Status> KvStore::Recover(ByteSpan super) {
+  // Validate manifest CRC: find blob length from the table count.
+  const uint64_t wal_gen = LoadU64Le(super.data() + 8);
+  const uint32_t n = LoadU32Le(super.data() + 16);
+  const size_t blob_len = 20 + static_cast<size_t>(n) * 17;
+  if (blob_len + 4 > super.size()) co_return Status::Corruption("manifest size");
+  if (Crc32c(super.subspan(0, blob_len)) != LoadU32Le(super.data() + blob_len)) {
+    co_return Status::Corruption("superblock crc");
+  }
+
+  wal_region_ = std::make_unique<dev::RegionDevice>(region_, wal_offset_,
+                                                    options_.wal_size);
+  wal_ = std::make_unique<Wal>(*wal_region_, wal_gen);
+  mem_ = std::make_unique<MemTable>();
+
+  size_t off = 20;
+  for (uint32_t i = 0; i < n; ++i) {
+    const uint8_t level = super[off];
+    const uint64_t table_off = LoadU64Le(super.data() + off + 1);
+    const uint64_t table_len = LoadU64Le(super.data() + off + 9);
+    off += 17;
+    auto table =
+        co_await SSTable::Open(region_, data_offset_ + table_off, table_len);
+    if (!table.ok()) co_return table.status();
+    if (level == 0) {
+      l0_.push_back(
+          TableSlot{std::move(table).value(), table_off, table_len});
+    } else {
+      l1_ = std::move(table).value();
+      l1_offset_ = table_off;
+      l1_length_ = table_len;
+    }
+  }
+  // Rebuild the allocator: mark live table extents as used by consuming the
+  // whole space, then freeing the gaps between (sorted) live extents.
+  {
+    std::vector<std::pair<uint64_t, uint64_t>> live;
+    for (const auto& slot : l0_) live.emplace_back(slot.offset, slot.length);
+    if (l1_) live.emplace_back(l1_offset_, l1_length_);
+    std::sort(live.begin(), live.end());
+    const uint64_t total = region_.capacity_bytes() - data_offset_;
+    alloc_ = std::make_unique<dev::ExtentAllocator>(total,
+                                                    region_.sector_size());
+    uint64_t cursor = 0;
+    std::vector<std::pair<uint64_t, uint64_t>> gaps;
+    for (const auto& [o, l] : live) {
+      if (o > cursor) gaps.emplace_back(cursor, o - cursor);
+      cursor = o + ((l + region_.sector_size() - 1) / region_.sector_size()) *
+                       region_.sector_size();
+    }
+    if (cursor < total) gaps.emplace_back(cursor, total - cursor);
+    if (total > 0) (void)alloc_->Allocate(total);  // consume everything
+    for (const auto& [o, l] : gaps) alloc_->Free(o, l);
+  }
+
+  // Replay the WAL into the memtable.
+  auto frames = co_await wal_->Recover();
+  if (!frames.ok()) co_return frames.status();
+  for (const Bytes& frame : *frames) {
+    auto batch = WriteBatch::Deserialize(frame);
+    if (!batch.ok()) co_return batch.status();
+    ApplyToMemtable(*batch);
+  }
+  co_return Status::Ok();
+}
+
+void KvStore::ApplyToMemtable(const WriteBatch& batch) {
+  for (const auto& op : batch.ops()) {
+    if (op.type == WriteBatch::OpType::kPut) {
+      mem_->Put(op.key, op.value);
+    } else {
+      mem_->Delete(op.key);
+    }
+  }
+}
+
+sim::Task<Status> KvStore::Write(WriteBatch batch) {
+  if (batch.empty()) co_return Status::Ok();
+  const Bytes frame = batch.Serialize();
+  Status s = co_await wal_->Append(frame);
+  if (s.code() == StatusCode::kOutOfSpace) {
+    VDE_CO_RETURN_IF_ERROR(co_await Flush());
+    s = co_await wal_->Append(frame);
+  }
+  VDE_CO_RETURN_IF_ERROR(s);
+  stats_.wal_bytes += frame.size();
+  stats_.wal_commits++;
+  stats_.batches++;
+  for (const auto& op : batch.ops()) {
+    if (op.type == WriteBatch::OpType::kPut) {
+      stats_.puts++;
+    } else {
+      stats_.deletes++;
+    }
+  }
+  ApplyToMemtable(batch);
+  // Modeled per-key CPU cost (RocksDB insert path).
+  co_await sim::Sleep{options_.cpu_per_key * batch.size()};
+  co_return co_await MaybeFlush();
+}
+
+sim::Task<Status> KvStore::Put(Bytes key, Bytes value) {
+  WriteBatch b;
+  b.Put(std::move(key), std::move(value));
+  co_return co_await Write(std::move(b));
+}
+
+sim::Task<Status> KvStore::Delete(Bytes key) {
+  WriteBatch b;
+  b.Delete(std::move(key));
+  co_return co_await Write(std::move(b));
+}
+
+sim::Task<Status> KvStore::MaybeFlush() {
+  if (mem_->bytes() >= options_.memtable_limit ||
+      wal_->fill_fraction() > 0.9) {
+    co_return co_await Flush();
+  }
+  co_return Status::Ok();
+}
+
+sim::Task<Result<KvStore::TableSlot>> KvStore::WriteTable(
+    SSTableBuilder& builder) {
+  auto built = builder.Finish(region_.sector_size());
+  auto extent = alloc_->Allocate(built.image.size());
+  if (!extent.ok()) co_return extent.status();
+  const uint64_t offset = *extent;
+  {
+    Status s = co_await region_.Write(data_offset_ + offset, built.image);
+    if (!s.ok()) co_return s;
+  }
+  co_return TableSlot{
+      std::make_unique<SSTable>(region_, data_offset_ + offset,
+                                std::move(built.meta)),
+      offset, built.image.size()};
+}
+
+sim::Task<Status> KvStore::Flush() {
+  if (mem_->empty()) co_return Status::Ok();
+  SSTableBuilder builder(options_);
+  for (const auto& entry : mem_->ScanAll()) {
+    builder.Add(entry.key, entry.value->value, entry.value->tombstone);
+  }
+  auto slot = co_await WriteTable(builder);
+  if (!slot.ok()) co_return slot.status();
+  stats_.flushes++;
+  stats_.bytes_flushed += slot->length;
+  l0_.insert(l0_.begin(), std::move(slot).value());
+  mem_ = std::make_unique<MemTable>();
+  wal_->Reset(wal_->generation() + 1);
+  VDE_CO_RETURN_IF_ERROR(co_await WriteSuperblock());
+  if (l0_.size() >= options_.l0_compaction_trigger) {
+    co_return co_await Compact();
+  }
+  co_return Status::Ok();
+}
+
+sim::Task<Status> KvStore::Compact() {
+  // Full merge: newest source wins; tombstones drop out at the bottom.
+  std::map<Bytes, TableEntry> merged;
+  auto absorb = [&merged](std::vector<TableEntry> entries) {
+    for (auto& e : entries) {
+      merged.try_emplace(e.key, std::move(e));  // keep newest
+    }
+  };
+  for (auto& slot : l0_) {
+    auto entries = co_await slot.table->Scan({}, {});
+    if (!entries.ok()) co_return entries.status();
+    absorb(std::move(entries).value());
+  }
+  if (l1_) {
+    auto entries = co_await l1_->Scan({}, {});
+    if (!entries.ok()) co_return entries.status();
+    absorb(std::move(entries).value());
+  }
+
+  SSTableBuilder builder(options_);
+  uint64_t kept = 0;
+  for (const auto& [key, entry] : merged) {
+    if (entry.tombstone) continue;  // bottom level: drop tombstones
+    builder.Add(key, entry.value, false);
+    kept++;
+  }
+
+  // Free old extents first so the new table can reuse the space.
+  std::vector<std::pair<uint64_t, uint64_t>> old_extents;
+  for (const auto& slot : l0_) old_extents.emplace_back(slot.offset, slot.length);
+  if (l1_) old_extents.emplace_back(l1_offset_, l1_length_);
+  l0_.clear();
+  l1_.reset();
+  for (const auto& [o, l] : old_extents) alloc_->Free(o, l);
+
+  if (kept > 0) {
+    auto slot = co_await WriteTable(builder);
+    if (!slot.ok()) co_return slot.status();
+    stats_.bytes_compacted += slot->length;
+    l1_ = std::move(slot->table);
+    l1_offset_ = slot->offset;
+    l1_length_ = slot->length;
+  } else {
+    l1_offset_ = l1_length_ = 0;
+  }
+  stats_.compactions++;
+  co_return co_await WriteSuperblock();
+}
+
+sim::Task<Result<std::optional<Bytes>>> KvStore::Get(Bytes key) {
+  stats_.gets++;
+  co_await sim::Sleep{options_.cpu_per_key};
+  if (const MemValue* v = mem_->Get(key)) {
+    if (v->tombstone) co_return std::optional<Bytes>{};
+    co_return std::optional<Bytes>{v->value};
+  }
+  for (auto& slot : l0_) {
+    auto found = co_await slot.table->Get(key, &stats_);
+    if (!found.ok()) co_return found.status();
+    if (found->has_value()) {
+      if ((*found)->tombstone) co_return std::optional<Bytes>{};
+      co_return std::optional<Bytes>{std::move((*found)->value)};
+    }
+  }
+  if (l1_) {
+    auto found = co_await l1_->Get(key, &stats_);
+    if (!found.ok()) co_return found.status();
+    if (found->has_value() && !(*found)->tombstone) {
+      co_return std::optional<Bytes>{std::move((*found)->value)};
+    }
+  }
+  co_return std::optional<Bytes>{};
+}
+
+sim::Task<Result<std::vector<std::pair<Bytes, Bytes>>>> KvStore::Scan(
+    Bytes start, Bytes end, size_t limit) {
+  stats_.range_gets++;
+  // Merge all sources, newest first.
+  std::map<Bytes, TableEntry> merged;
+  for (const auto& entry : mem_->Scan(start, end)) {
+    TableEntry e;
+    e.key.assign(entry.key.begin(), entry.key.end());
+    e.value = entry.value->value;
+    e.tombstone = entry.value->tombstone;
+    merged.try_emplace(e.key, std::move(e));
+  }
+  for (auto& slot : l0_) {
+    auto entries = co_await slot.table->Scan(start, end);
+    if (!entries.ok()) co_return entries.status();
+    for (auto& e : *entries) merged.try_emplace(e.key, std::move(e));
+  }
+  if (l1_) {
+    auto entries = co_await l1_->Scan(start, end);
+    if (!entries.ok()) co_return entries.status();
+    for (auto& e : *entries) merged.try_emplace(e.key, std::move(e));
+  }
+  std::vector<std::pair<Bytes, Bytes>> out;
+  for (auto& [key, entry] : merged) {
+    if (entry.tombstone) continue;
+    out.emplace_back(key, std::move(entry.value));
+    if (limit != 0 && out.size() >= limit) break;
+  }
+  co_await sim::Sleep{options_.cpu_per_key * (out.size() + 1)};
+  co_return out;
+}
+
+}  // namespace vde::kv

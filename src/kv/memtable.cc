@@ -1,0 +1,104 @@
+#include "kv/memtable.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace vde::kv {
+
+namespace {
+int Compare(ByteSpan a, ByteSpan b) {
+  const size_t n = std::min(a.size(), b.size());
+  const int c = n == 0 ? 0 : std::memcmp(a.data(), b.data(), n);
+  if (c != 0) return c;
+  if (a.size() < b.size()) return -1;
+  if (a.size() > b.size()) return 1;
+  return 0;
+}
+}  // namespace
+
+bool MemTable::KeyLess(ByteSpan a, ByteSpan b) { return Compare(a, b) < 0; }
+
+MemTable::MemTable() : rng_(0x5EED5EED) {
+  head_ = std::make_unique<Node>();
+  head_->height = kMaxHeight;
+  head_->next.fill(nullptr);
+}
+
+int MemTable::RandomHeight() {
+  int h = 1;
+  while (h < kMaxHeight && rng_.NextBelow(4) == 0) h++;
+  return h;
+}
+
+MemTable::Node* MemTable::FindGreaterOrEqual(ByteSpan key, Node** prev) const {
+  Node* x = head_.get();
+  for (int level = kMaxHeight - 1; level >= 0; --level) {
+    while (x->next[static_cast<size_t>(level)] != nullptr &&
+           KeyLess(x->next[static_cast<size_t>(level)]->key, key)) {
+      x = x->next[static_cast<size_t>(level)];
+    }
+    if (prev) prev[level] = x;
+  }
+  return x->next[0];
+}
+
+void MemTable::Insert(ByteSpan key, MemValue value) {
+  Node* prev[kMaxHeight];
+  Node* found = FindGreaterOrEqual(key, prev);
+  if (found != nullptr && Compare(found->key, key) == 0) {
+    bytes_ -= found->value.value.size();
+    bytes_ += value.value.size();
+    found->value = std::move(value);
+    return;
+  }
+  const int height = RandomHeight();
+  auto node = std::make_unique<Node>();
+  node->key.assign(key.begin(), key.end());
+  node->value = std::move(value);
+  node->height = height;
+  node->next.fill(nullptr);
+  height_ = std::max(height_, height);
+  for (int level = 0; level < height; ++level) {
+    node->next[static_cast<size_t>(level)] =
+        prev[level]->next[static_cast<size_t>(level)];
+    prev[level]->next[static_cast<size_t>(level)] = node.get();
+  }
+  entries_++;
+  bytes_ += key.size() + node->value.value.size();
+  nodes_.push_back(std::move(node));
+}
+
+void MemTable::Put(ByteSpan key, ByteSpan value) {
+  Insert(key, MemValue{Bytes(value.begin(), value.end()), false});
+}
+
+void MemTable::Delete(ByteSpan key) {
+  Insert(key, MemValue{{}, true});
+}
+
+const MemValue* MemTable::Get(ByteSpan key) const {
+  Node* node = FindGreaterOrEqual(key, nullptr);
+  if (node != nullptr && Compare(node->key, key) == 0) return &node->value;
+  return nullptr;
+}
+
+std::vector<MemTable::Entry> MemTable::Scan(ByteSpan start, ByteSpan end) const {
+  std::vector<Entry> out;
+  Node* node = FindGreaterOrEqual(start, nullptr);
+  while (node != nullptr && (end.empty() || Compare(node->key, end) < 0)) {
+    out.push_back(Entry{node->key, &node->value});
+    node = node->next[0];
+  }
+  return out;
+}
+
+std::vector<MemTable::Entry> MemTable::ScanAll() const {
+  std::vector<Entry> out;
+  out.reserve(entries_);
+  for (Node* node = head_->next[0]; node != nullptr; node = node->next[0]) {
+    out.push_back(Entry{node->key, &node->value});
+  }
+  return out;
+}
+
+}  // namespace vde::kv

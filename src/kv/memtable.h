@@ -1,0 +1,71 @@
+// In-memory sorted write buffer: a classic skiplist (deterministic tower
+// heights from a seeded RNG, so simulations replay identically).
+//
+// Keys are unique; a re-insert replaces the value in place. Deletes insert
+// tombstones — they must mask older values living in SSTables below.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/rng.h"
+
+namespace vde::kv {
+
+// A value plus liveness marker; tombstones carry no bytes.
+struct MemValue {
+  Bytes value;
+  bool tombstone = false;
+};
+
+class MemTable {
+ public:
+  MemTable();
+
+  void Put(ByteSpan key, ByteSpan value);
+  void Delete(ByteSpan key);
+
+  // Returns nullptr if the key is absent (distinct from a tombstone hit).
+  const MemValue* Get(ByteSpan key) const;
+
+  size_t entries() const { return entries_; }
+  // Approximate payload footprint (keys + values).
+  size_t bytes() const { return bytes_; }
+  bool empty() const { return entries_ == 0; }
+
+  // Ordered visitation of every entry (including tombstones).
+  struct Entry {
+    ByteSpan key;
+    const MemValue* value;
+  };
+  std::vector<Entry> Scan(ByteSpan start, ByteSpan end) const;  // [start,end)
+  std::vector<Entry> ScanAll() const;
+
+ private:
+  static constexpr int kMaxHeight = 12;
+
+  struct Node {
+    Bytes key;
+    MemValue value;
+    int height;
+    std::array<Node*, kMaxHeight> next;  // only [0, height) used
+  };
+
+  int RandomHeight();
+  // Greatest node with key < target on each level; fills prev[0..kMaxHeight).
+  Node* FindGreaterOrEqual(ByteSpan key, Node** prev) const;
+  void Insert(ByteSpan key, MemValue value);
+
+  static bool KeyLess(ByteSpan a, ByteSpan b);
+
+  std::unique_ptr<Node> head_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  int height_ = 1;
+  size_t entries_ = 0;
+  size_t bytes_ = 0;
+  Rng rng_;
+};
+
+}  // namespace vde::kv

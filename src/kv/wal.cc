@@ -1,0 +1,101 @@
+#include "kv/wal.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "util/crc32.h"
+
+namespace vde::kv {
+
+Wal::Wal(dev::BlockDevice& device, uint64_t generation)
+    : device_(device), generation_(generation), tail_(device.sector_size(), 0) {}
+
+void Wal::Reset(uint64_t new_generation) {
+  assert(new_generation > generation_);
+  generation_ = new_generation;
+  append_off_ = 0;
+  std::fill(tail_.begin(), tail_.end(), 0);
+}
+
+sim::Task<Status> Wal::Append(ByteSpan payload) {
+  const uint32_t sector = device_.sector_size();
+  // Frame bytes.
+  Bytes frame;
+  frame.reserve(kHeaderSize + payload.size());
+  Bytes body;
+  AppendU64Le(body, generation_);
+  AppendBytes(body, payload);
+  const uint32_t crc = Crc32c(body);
+  AppendU32Le(frame, crc);
+  AppendU32Le(frame, static_cast<uint32_t>(payload.size()));
+  AppendBytes(frame, body);
+
+  if (append_off_ + frame.size() > capacity()) {
+    co_return Status::OutOfSpace("wal full");
+  }
+
+  const uint64_t start = append_off_;
+  const uint64_t end = start + frame.size();
+  const uint64_t first_sector = start / sector;
+  const uint64_t last_sector = (end + sector - 1) / sector;
+
+  // Compose the contiguous sector run [first_sector, last_sector).
+  Bytes io((last_sector - first_sector) * sector, 0);
+  // Preserve already-written bytes of the first (partial) sector.
+  std::memcpy(io.data(), tail_.data(), sector);
+  std::memcpy(io.data() + (start - first_sector * sector), frame.data(),
+              frame.size());
+
+  VDE_CO_RETURN_IF_ERROR(
+      co_await device_.Write(first_sector * sector, io));
+
+  // Remember the new tail sector content for the next append; a fresh
+  // sector starts from zeros.
+  if (end % sector == 0) {
+    std::fill(tail_.begin(), tail_.end(), 0);
+  } else {
+    std::memcpy(tail_.data(),
+                io.data() + (last_sector - first_sector - 1) * sector, sector);
+  }
+  append_off_ = end;
+  co_return Status::Ok();
+}
+
+sim::Task<Result<std::vector<Bytes>>> Wal::Recover() {
+  const uint32_t sector = device_.sector_size();
+  // Read the whole region once (sequential, cheap on flash).
+  Bytes raw(capacity());
+  {
+    Status s = co_await device_.Read(0, raw);
+    if (!s.ok()) co_return s;
+  }
+  std::vector<Bytes> frames;
+  uint64_t off = 0;
+  while (off + kHeaderSize <= raw.size()) {
+    const uint32_t crc = LoadU32Le(raw.data() + off);
+    const uint32_t len = LoadU32Le(raw.data() + off + 4);
+    if (len == 0 && crc == 0) break;  // hole: end of log
+    if (off + kHeaderSize + len > raw.size()) break;
+    const ByteSpan body(raw.data() + off + 8, 8 + len);
+    if (Crc32c(body) != crc) break;  // torn frame: end of log
+    const uint64_t gen = LoadU64Le(raw.data() + off + 8);
+    if (gen != generation_) break;  // stale frame from a previous life
+    frames.emplace_back(raw.begin() + static_cast<long>(off) + 16,
+                        raw.begin() + static_cast<long>(off) + 16 + len);
+    off += kHeaderSize + len;
+  }
+  // Restore append state so new frames continue after the recovered ones.
+  append_off_ = off;
+  const uint64_t tail_sector = off / sector;
+  std::fill(tail_.begin(), tail_.end(), 0);
+  if (tail_sector * sector < raw.size()) {
+    std::memcpy(tail_.data(), raw.data() + tail_sector * sector,
+                std::min<size_t>(sector, raw.size() - tail_sector * sector));
+    // Zero the part of the tail after the log end (may contain torn bytes).
+    const size_t in_sector = off % sector;
+    std::fill(tail_.begin() + static_cast<long>(in_sector), tail_.end(), 0);
+  }
+  co_return frames;
+}
+
+}  // namespace vde::kv

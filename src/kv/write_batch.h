@@ -1,0 +1,96 @@
+// Atomic multi-operation write unit (RocksDB-style WriteBatch).
+//
+// RADOS transactions map omap mutations onto one batch, so data + IV
+// consistency at the store level reduces to batch atomicity, which the WAL
+// guarantees (a batch is one log frame: either fully replayed or absent).
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "util/bytes.h"
+
+namespace vde::kv {
+
+class WriteBatch {
+ public:
+  enum class OpType : uint8_t { kPut = 1, kDelete = 2 };
+
+  struct Op {
+    OpType type;
+    Bytes key;
+    Bytes value;  // empty for deletes
+  };
+
+  void Put(Bytes key, Bytes value) {
+    ops_.push_back({OpType::kPut, std::move(key), std::move(value)});
+  }
+
+  void Delete(Bytes key) {
+    ops_.push_back({OpType::kDelete, std::move(key), {}});
+  }
+
+  bool empty() const { return ops_.empty(); }
+  size_t size() const { return ops_.size(); }
+  const std::vector<Op>& ops() const { return ops_; }
+  void Clear() { ops_.clear(); }
+
+  // Total payload bytes (keys + values), used for memtable accounting.
+  size_t ByteSize() const {
+    size_t n = 0;
+    for (const auto& op : ops_) n += op.key.size() + op.value.size();
+    return n;
+  }
+
+  // Wire format: [count u32] then per op: [type u8][klen u32][vlen u32][key][value].
+  Bytes Serialize() const;
+  static Result<WriteBatch> Deserialize(ByteSpan data);
+
+ private:
+  std::vector<Op> ops_;
+};
+
+inline Bytes WriteBatch::Serialize() const {
+  Bytes out;
+  AppendU32Le(out, static_cast<uint32_t>(ops_.size()));
+  for (const auto& op : ops_) {
+    AppendU8(out, static_cast<uint8_t>(op.type));
+    AppendU32Le(out, static_cast<uint32_t>(op.key.size()));
+    AppendU32Le(out, static_cast<uint32_t>(op.value.size()));
+    AppendBytes(out, op.key);
+    AppendBytes(out, op.value);
+  }
+  return out;
+}
+
+inline Result<WriteBatch> WriteBatch::Deserialize(ByteSpan data) {
+  WriteBatch batch;
+  if (data.size() < 4) return Status::Corruption("batch too short");
+  const uint32_t count = LoadU32Le(data.data());
+  size_t off = 4;
+  for (uint32_t i = 0; i < count; ++i) {
+    if (off + 9 > data.size()) return Status::Corruption("batch op header");
+    const auto type = static_cast<OpType>(data[off]);
+    if (type != OpType::kPut && type != OpType::kDelete) {
+      return Status::Corruption("batch op type");
+    }
+    const uint32_t klen = LoadU32Le(data.data() + off + 1);
+    const uint32_t vlen = LoadU32Le(data.data() + off + 5);
+    off += 9;
+    if (off + klen + vlen > data.size()) {
+      return Status::Corruption("batch op payload");
+    }
+    Bytes key(data.begin() + off, data.begin() + off + klen);
+    off += klen;
+    Bytes value(data.begin() + off, data.begin() + off + vlen);
+    off += vlen;
+    if (type == OpType::kPut) {
+      batch.Put(std::move(key), std::move(value));
+    } else {
+      batch.Delete(std::move(key));
+    }
+  }
+  return batch;
+}
+
+}  // namespace vde::kv

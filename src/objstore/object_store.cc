@@ -1,0 +1,443 @@
+#include "objstore/object_store.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace vde::objstore {
+
+namespace {
+
+// Journal record: full transaction serialization (metadata + payload). The
+// journal append is the commit point; its size drives the commit cost.
+Bytes SerializeTxn(const Transaction& txn, const SnapContext& snapc) {
+  Bytes out;
+  AppendU32Le(out, static_cast<uint32_t>(txn.oid.size()));
+  AppendBytes(out, BytesOf(txn.oid));
+  AppendU64Le(out, snapc.seq);
+  AppendU32Le(out, static_cast<uint32_t>(txn.ops.size()));
+  for (const auto& op : txn.ops) {
+    AppendU8(out, static_cast<uint8_t>(op.type));
+    AppendU64Le(out, op.offset);
+    AppendU64Le(out, op.length);
+    AppendU32Le(out, static_cast<uint32_t>(op.data.size()));
+    AppendBytes(out, op.data);
+    AppendU32Le(out, static_cast<uint32_t>(op.omap_kvs.size()));
+    for (const auto& [k, v] : op.omap_kvs) {
+      AppendU16Le(out, static_cast<uint16_t>(k.size()));
+      AppendBytes(out, k);
+      AppendU32Le(out, static_cast<uint32_t>(v.size()));
+      AppendBytes(out, v);
+    }
+  }
+  return out;
+}
+
+bool IsWriteClass(OsdOp::Type t) {
+  switch (t) {
+    case OsdOp::Type::kWrite:
+    case OsdOp::Type::kWriteFull:
+    case OsdOp::Type::kZero:
+    case OsdOp::Type::kOmapSet:
+    case OsdOp::Type::kCreate:
+    case OsdOp::Type::kRemove:
+      return true;
+    case OsdOp::Type::kRead:
+    case OsdOp::Type::kOmapGetRange:
+      return false;
+  }
+  return false;
+}
+
+}  // namespace
+
+ObjectStore::ObjectStore(std::shared_ptr<dev::NvmeDevice> device,
+                         StoreConfig config)
+    : device_(std::move(device)), config_(config) {}
+
+sim::Task<Result<std::shared_ptr<ObjectStore>>> ObjectStore::Open(
+    std::shared_ptr<dev::NvmeDevice> device, StoreConfig config) {
+  std::shared_ptr<ObjectStore> store(
+      new ObjectStore(std::move(device), config));
+  Status s = co_await store->Init();
+  if (!s.ok()) co_return s;
+  co_return store;
+}
+
+sim::Task<Status> ObjectStore::Init() {
+  const uint64_t cap = device_->capacity_bytes();
+  kv_base_ = config_.journal_size;
+  data_base_ = kv_base_ + config_.kv_region_size;
+  if (data_base_ >= cap) co_return Status::InvalidArgument("device too small");
+
+  journal_region_ =
+      std::make_unique<dev::RegionDevice>(*device_, 0, config_.journal_size);
+  journal_ = std::make_unique<kv::Wal>(*journal_region_, 1);
+
+  kv_region_ = std::make_unique<dev::RegionDevice>(*device_, kv_base_,
+                                                   config_.kv_region_size);
+  auto kv = co_await kv::KvStore::Open(*kv_region_, config_.kv);
+  if (!kv.ok()) co_return kv.status();
+  kv_ = std::move(kv).value();
+
+  alloc_ = std::make_unique<dev::ExtentAllocator>(cap - data_base_,
+                                                  device_->sector_size());
+  co_return Status::Ok();
+}
+
+bool ObjectStore::ObjectExists(const std::string& oid) const {
+  return objects_.contains(oid);
+}
+
+uint64_t ObjectStore::ObjectSize(const std::string& oid) const {
+  const auto it = objects_.find(oid);
+  return it == objects_.end() ? 0 : it->second.size;
+}
+
+size_t ObjectStore::CloneCount(const std::string& oid) const {
+  const auto it = objects_.find(oid);
+  return it == objects_.end() ? 0 : it->second.clones.size();
+}
+
+Result<ObjectStore::Onode*> ObjectStore::GetOrCreate(const std::string& oid) {
+  auto it = objects_.find(oid);
+  if (it != objects_.end()) return &it->second;
+  auto extent = alloc_->Allocate(config_.max_object_size);
+  if (!extent.ok()) return extent.status();
+  Onode node;
+  node.base = *extent;
+  stats_.objects_created++;
+  return &objects_.emplace(oid, node).first->second;
+}
+
+Bytes ObjectStore::OmapKey(const std::string& oid, SnapId snap,
+                           ByteSpan user_key) const {
+  Bytes key;
+  key.reserve(oid.size() + 10 + user_key.size());
+  AppendBytes(key, BytesOf(oid));
+  AppendU8(key, 0);
+  uint8_t snap_be[8];
+  StoreU64Be(snap_be, snap);
+  AppendBytes(key, ByteSpan(snap_be, 8));
+  AppendBytes(key, user_key);
+  return key;
+}
+
+sim::Task<void> ObjectStore::ChargeApply(std::shared_ptr<ObjectStore> self,
+                                         uint64_t abs_offset,
+                                         uint64_t length) {
+  // Final-location write of the sectors covering [abs_offset, +length).
+  // Partial head/tail sectors require a read-modify-write.
+  const uint32_t sector = self->device_->sector_size();
+  const uint64_t first = abs_offset / sector * sector;
+  const uint64_t last = (abs_offset + length + sector - 1) / sector * sector;
+  if (abs_offset % sector != 0) {
+    self->stats_.rmw_sectors++;
+    (void)co_await self->device_->ChargeRead(first, sector);
+  }
+  const uint64_t tail_sector = (abs_offset + length) / sector * sector;
+  if ((abs_offset + length) % sector != 0 && tail_sector != first) {
+    self->stats_.rmw_sectors++;
+    (void)co_await self->device_->ChargeRead(tail_sector, sector);
+  }
+  (void)co_await self->device_->ChargeWrite(first, last - first);
+  self->stats_.apply_sectors_written += (last - first) / sector;
+  self->appliers_.Done();
+}
+
+sim::Task<void> ObjectStore::ChargeExtent(std::shared_ptr<ObjectStore> self,
+                                          bool is_write, uint64_t abs_offset,
+                                          uint64_t length) {
+  const uint32_t sector = self->device_->sector_size();
+  const uint64_t aligned = (length + sector - 1) / sector * sector;
+  if (is_write) {
+    (void)co_await self->device_->ChargeWrite(abs_offset, aligned);
+  } else {
+    (void)co_await self->device_->ChargeRead(abs_offset, aligned);
+  }
+  self->appliers_.Done();
+}
+
+sim::Task<void> ObjectStore::Drain() {
+  co_await appliers_.Wait();
+}
+
+sim::Task<Status> ObjectStore::MaybeClone(const std::string& oid, Onode& node,
+                                          const SnapContext& snapc) {
+  if (snapc.seq == 0 || snapc.seq <= node.head_seq) co_return Status::Ok();
+  const uint64_t old_seq = node.head_seq;
+  node.head_seq = snapc.seq;
+  if (node.size == 0 && old_seq == 0) {
+    // Object born after the snapshot: nothing to preserve.
+    co_return Status::Ok();
+  }
+  // Preserve current head data for snapshots in (old_seq, snapc.seq].
+  auto extent = alloc_->Allocate(std::max<uint64_t>(node.size, 1));
+  if (!extent.ok()) co_return extent.status();
+  Clone clone{snapc.seq, *extent, node.size};
+  if (node.size > 0) {
+    Bytes data(node.size);
+    device_->PeekRead(data_base_ + node.base, data);
+    device_->PokeWrite(data_base_ + clone.base, data);
+    // Charge the copy in the background (Ceph clones lazily; we charge the
+    // full copy up front in background time).
+    appliers_.Add(2);
+    sim::Scheduler::Current().Spawn(
+        ChargeExtent(shared_from_this(), false, data_base_ + node.base,
+                     node.size));
+    sim::Scheduler::Current().Spawn(
+        ChargeExtent(shared_from_this(), true, data_base_ + clone.base,
+                     node.size));
+  }
+  // Clone the OMAP rows so per-snapshot IVs stay readable.
+  const Bytes head_lo = OmapKey(oid, kHeadSnap, {});
+  Bytes head_hi = OmapKey(oid, kHeadSnap, {});
+  head_hi.insert(head_hi.end(), 17, 0xFF);
+  auto rows = co_await kv_->Scan(head_lo, head_hi);
+  if (!rows.ok()) co_return rows.status();
+  if (!rows->empty()) {
+    kv::WriteBatch batch;
+    for (const auto& [k, v] : *rows) {
+      // Re-prefix: strip the head prefix, re-attach the clone's snap id.
+      const ByteSpan user_key(k.data() + head_lo.size(),
+                              k.size() - head_lo.size());
+      batch.Put(OmapKey(oid, clone.covers_up_to, user_key), v);
+    }
+    VDE_CO_RETURN_IF_ERROR(co_await kv_->Write(std::move(batch)));
+  }
+  node.clones.push_back(clone);
+  stats_.clones++;
+  co_return Status::Ok();
+}
+
+sim::Task<Status> ObjectStore::Apply(const Transaction& txn,
+                                     const SnapContext& snapc) {
+  for (const auto& op : txn.ops) {
+    if (!IsWriteClass(op.type)) {
+      co_return Status::InvalidArgument("read op in write transaction");
+    }
+  }
+  // 1. Commit point: journal the whole transaction.
+  const Bytes record = SerializeTxn(txn, snapc);
+  Status js = co_await journal_->Append(record);
+  if (js.code() == StatusCode::kOutOfSpace) {
+    // Checkpoint: applied state is durable by construction once the
+    // background charges drain, so the journal can restart.
+    co_await Drain();
+    journal_->Reset(journal_->generation() + 1);
+    js = co_await journal_->Append(record);
+  }
+  VDE_CO_RETURN_IF_ERROR(js);
+  stats_.transactions++;
+  stats_.journal_bytes += record.size();
+
+  // 2. Resolve the object and preserve snapshot state before mutating.
+  const bool is_remove = txn.ops.size() == 1 &&
+                         txn.ops[0].type == OsdOp::Type::kRemove;
+  if (is_remove) {
+    auto it = objects_.find(txn.oid);
+    if (it == objects_.end()) co_return Status::NotFound(txn.oid);
+    alloc_->Free(it->second.base, config_.max_object_size);
+    // Drop head OMAP rows (clone namespaces survive for snapshot reads).
+    const Bytes lo = OmapKey(txn.oid, kHeadSnap, {});
+    Bytes hi = lo;
+    hi.insert(hi.end(), 17, 0xFF);
+    auto rows = co_await kv_->Scan(lo, hi);
+    if (!rows.ok()) co_return rows.status();
+    if (!rows->empty()) {
+      kv::WriteBatch batch;
+      for (const auto& [k, v] : *rows) batch.Delete(k);
+      VDE_CO_RETURN_IF_ERROR(co_await kv_->Write(std::move(batch)));
+    }
+    objects_.erase(it);
+    co_return Status::Ok();
+  }
+
+  auto node_or = GetOrCreate(txn.oid);
+  if (!node_or.ok()) co_return node_or.status();
+  Onode& node = **node_or;
+  VDE_CO_RETURN_IF_ERROR(co_await MaybeClone(txn.oid, node, snapc));
+
+  // 3. Apply ops: instant visibility, background device-cost charges.
+  const uint32_t sector = device_->sector_size();
+  for (const auto& op : txn.ops) {
+    // Software cost of the data-op apply path (sync, per DESIGN.md §5).
+    if (op.type == OsdOp::Type::kWrite || op.type == OsdOp::Type::kWriteFull ||
+        op.type == OsdOp::Type::kZero) {
+      const uint64_t len =
+          op.type == OsdOp::Type::kWriteFull ? op.data.size() : op.length;
+      const uint64_t off = op.type == OsdOp::Type::kWriteFull ? 0 : op.offset;
+      sim::SimTime cost = config_.write_op_apply_cost;
+      if (len < sector) {
+        // Sub-sector op: deferred-write bookkeeping only.
+        cost += config_.small_write_penalty;
+      } else if (off % sector != 0 || len % sector != 0) {
+        // Large unaligned payload: synchronous boundary RMW + realignment.
+        cost += config_.unaligned_penalty;
+      }
+      co_await sim::Sleep{cost};
+    }
+    switch (op.type) {
+      case OsdOp::Type::kCreate:
+        break;  // GetOrCreate already materialized the object
+      case OsdOp::Type::kWrite: {
+        if (op.offset + op.data.size() > config_.max_object_size) {
+          co_return Status::InvalidArgument("write beyond max object size");
+        }
+        device_->PokeWrite(data_base_ + node.base + op.offset, op.data);
+        node.size = std::max(node.size, op.offset + op.data.size());
+        appliers_.Add(1);
+        sim::Scheduler::Current().Spawn(ChargeApply(
+            shared_from_this(), data_base_ + node.base + op.offset,
+            op.data.size()));
+        break;
+      }
+      case OsdOp::Type::kWriteFull: {
+        if (op.data.size() > config_.max_object_size) {
+          co_return Status::InvalidArgument("writefull beyond max size");
+        }
+        device_->PokeWrite(data_base_ + node.base, op.data);
+        node.size = op.data.size();
+        appliers_.Add(1);
+        sim::Scheduler::Current().Spawn(
+            ChargeApply(shared_from_this(), data_base_ + node.base,
+                        op.data.size()));
+        break;
+      }
+      case OsdOp::Type::kZero: {
+        const Bytes zeros(op.length, 0);
+        device_->PokeWrite(data_base_ + node.base + op.offset, zeros);
+        appliers_.Add(1);
+        sim::Scheduler::Current().Spawn(ChargeApply(
+            shared_from_this(), data_base_ + node.base + op.offset,
+            op.length));
+        break;
+      }
+      case OsdOp::Type::kOmapSet: {
+        kv::WriteBatch batch;
+        for (const auto& [k, v] : op.omap_kvs) {
+          batch.Put(OmapKey(txn.oid, kHeadSnap, k), v);
+        }
+        // OMAP mutations funnel through the store's single kv commit lane
+        // (kv_sync_thread); per-key software cost is what makes the OMAP
+        // layout collapse at large IO sizes (Fig. 3b/4).
+        co_await kv_lane_.Acquire();
+        sim::SemGuard lane(kv_lane_);
+        co_await sim::Sleep{config_.omap_key_write_cost * op.omap_kvs.size()};
+        VDE_CO_RETURN_IF_ERROR(co_await kv_->Write(std::move(batch)));
+        break;
+      }
+      case OsdOp::Type::kRemove:
+        co_return Status::InvalidArgument("remove must be a lone op");
+      case OsdOp::Type::kRead:
+      case OsdOp::Type::kOmapGetRange:
+        co_return Status::InvalidArgument("read op in write txn");
+    }
+  }
+  co_return Status::Ok();
+}
+
+sim::Task<Result<ReadResult>> ObjectStore::ExecuteRead(const Transaction& txn,
+                                                       SnapId snap) {
+  ReadResult result;
+  const auto it = objects_.find(txn.oid);
+
+  // Resolve which data extent / omap namespace serves `snap`.
+  uint64_t base = 0, size = 0;
+  SnapId omap_ns = kHeadSnap;
+  bool exists = false;
+  if (it != objects_.end()) {
+    const Onode& node = it->second;
+    if (snap == kHeadSnap) {
+      base = node.base;
+      size = node.size;
+      exists = true;
+    } else {
+      // Oldest clone that still covers `snap`; else the head.
+      const Clone* chosen = nullptr;
+      for (const auto& clone : node.clones) {
+        if (clone.covers_up_to >= snap) {
+          chosen = &clone;
+          break;
+        }
+      }
+      if (chosen != nullptr) {
+        base = chosen->base;
+        size = chosen->size;
+        omap_ns = chosen->covers_up_to;
+      } else {
+        base = node.base;
+        size = node.size;
+      }
+      exists = true;
+    }
+  }
+
+  // Execute all read ops concurrently ("IV reads in parallel to data IO").
+  struct OpOut {
+    Bytes data;
+    std::vector<std::pair<Bytes, Bytes>> omap;
+    Status status;
+  };
+  std::vector<OpOut> outs(txn.ops.size());
+  std::vector<sim::Task<void>> tasks;
+  for (size_t i = 0; i < txn.ops.size(); ++i) {
+    const OsdOp& op = txn.ops[i];
+    if (op.type == OsdOp::Type::kRead) {
+      if (!exists) {
+        co_return Status::NotFound(txn.oid);
+      }
+      tasks.push_back([](ObjectStore* self, const OsdOp* op, uint64_t base,
+                         OpOut* out) -> sim::Task<void> {
+        const uint32_t sector = self->device_->sector_size();
+        const uint64_t abs = self->data_base_ + base + op->offset;
+        const uint64_t first = abs / sector * sector;
+        const uint64_t last =
+            (abs + op->length + sector - 1) / sector * sector;
+        Bytes covered(last - first);
+        out->status = co_await self->device_->Read(first, covered);
+        if (out->status.ok()) {
+          out->data.assign(
+              covered.begin() + static_cast<long>(abs - first),
+              covered.begin() + static_cast<long>(abs - first + op->length));
+        }
+      }(this, &op, base, &outs[i]));
+    } else if (op.type == OsdOp::Type::kOmapGetRange) {
+      tasks.push_back([](ObjectStore* self, const std::string oid,
+                         const OsdOp* op, SnapId ns,
+                         OpOut* out) -> sim::Task<void> {
+        const Bytes lo = self->OmapKey(oid, ns, op->omap_start);
+        Bytes hi;
+        if (op->omap_end.empty()) {
+          hi = self->OmapKey(oid, ns, {});
+          hi.insert(hi.end(), 17, 0xFF);
+        } else {
+          hi = self->OmapKey(oid, ns, op->omap_end);
+        }
+        auto rows = co_await self->kv_->Scan(lo, hi, op->omap_max);
+        if (!rows.ok()) {
+          out->status = rows.status();
+          co_return;
+        }
+        const size_t prefix = self->OmapKey(oid, ns, {}).size();
+        for (auto& [k, v] : *rows) {
+          out->omap.emplace_back(Bytes(k.begin() + static_cast<long>(prefix),
+                                       k.end()),
+                                 std::move(v));
+        }
+      }(this, txn.oid, &op, omap_ns, &outs[i]));
+    } else {
+      co_return Status::InvalidArgument("write op in read txn");
+    }
+  }
+  co_await sim::WhenAll(std::move(tasks));
+
+  for (auto& out : outs) {
+    if (!out.status.ok()) co_return out.status;
+    AppendBytes(result.data, out.data);
+    for (auto& kv : out.omap) result.omap_values.push_back(std::move(kv));
+  }
+  (void)size;
+  co_return result;
+}
+
+}  // namespace vde::objstore

@@ -1,0 +1,139 @@
+// Per-OSD storage engine (a deliberately small BlueStore analogue).
+//
+// Device layout: [txn journal | OMAP KV store | object data extents].
+//
+// Commit protocol (models Ceph's WAL-then-apply):
+//   1. The whole transaction (metadata + payload) is appended to the journal
+//      — ONE contiguous device write; this is the commit point.
+//   2. State becomes visible immediately (data plane is RAM); OMAP mutations
+//      go through the LSM store synchronously (they ARE the OMAP cost).
+//   3. A background applier charges the final-location device IO, including
+//      read-modify-write of partial head/tail sectors — the cost the paper's
+//      "unaligned" layout keeps paying.
+//
+// Snapshots: clone-on-first-write-after-snap. A clone captures object data
+// AND its OMAP rows (random IVs stored via OMAP must remain readable for
+// old snapshots; object-end IVs travel with the data for free — see
+// DESIGN.md for why that asymmetry matters).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "device/extent_allocator.h"
+#include "device/nvme.h"
+#include "device/region.h"
+#include "kv/db.h"
+#include "kv/wal.h"
+#include "objstore/types.h"
+#include "sim/sync.h"
+
+namespace vde::objstore {
+
+struct StoreConfig {
+  uint64_t journal_size = 64ull << 20;
+  uint64_t kv_region_size = 512ull << 20;
+  // Per-object allocation: object payload + slack for end-of-object
+  // metadata regions (IVs/tags) written past the nominal object size.
+  uint64_t max_object_size = (4ull << 20) + (1ull << 20);
+  kv::KvOptions kv;
+
+  // Store-side software cost model (calibration constants, DESIGN.md §5).
+  // Per write-class data op: extent/onode bookkeeping + dispatch.
+  sim::SimTime write_op_apply_cost = 35 * sim::kUs;
+  // Sub-sector op: BlueStore-style deferred-write bookkeeping (the
+  // object-end IV write pays this on every small IO).
+  sim::SimTime small_write_penalty = 70 * sim::kUs;
+  // Non-sector-aligned op: synchronous boundary read-modify-write and
+  // payload re-alignment (the unaligned layout pays this on every write).
+  sim::SimTime unaligned_penalty = 550 * sim::kUs;
+  // Per OMAP key on the store's single kv commit lane (Ceph's
+  // kv_sync_thread / OMAP encode path; this is what melts the OMAP layout
+  // at large IOs where one write carries 1024 keys).
+  sim::SimTime omap_key_write_cost = 32 * sim::kUs;
+};
+
+struct StoreStats {
+  uint64_t transactions = 0;
+  uint64_t journal_bytes = 0;
+  uint64_t rmw_sectors = 0;   // partial-sector read-modify-writes
+  uint64_t apply_sectors_written = 0;  // final-location data-path sectors
+  uint64_t clones = 0;
+  uint64_t objects_created = 0;
+};
+
+class ObjectStore : public std::enable_shared_from_this<ObjectStore> {
+ public:
+  // The store partitions `device` and shares its ownership: background
+  // appliers keep both alive until their device charges finish, so callers
+  // may drop the store at any time without use-after-free.
+  static sim::Task<Result<std::shared_ptr<ObjectStore>>> Open(
+      std::shared_ptr<dev::NvmeDevice> device, StoreConfig config);
+
+  // Atomically applies `txn` under `snapc` (write-class ops only).
+  sim::Task<Status> Apply(const Transaction& txn, const SnapContext& snapc);
+
+  // Executes read-class ops (kRead / kOmapGetRange) against `snap`.
+  sim::Task<Result<ReadResult>> ExecuteRead(const Transaction& txn,
+                                            SnapId snap);
+
+  // Object metadata queries (tests/examples).
+  bool ObjectExists(const std::string& oid) const;
+  uint64_t ObjectSize(const std::string& oid) const;
+  size_t CloneCount(const std::string& oid) const;
+
+  // Waits until all background appliers finished (test determinism).
+  sim::Task<void> Drain();
+
+  const StoreStats& stats() const { return stats_; }
+  dev::NvmeDevice& device() { return *device_; }
+  kv::KvStore& kv_store() { return *kv_; }
+
+ private:
+  struct Clone {
+    SnapId covers_up_to;  // newest snap id this clone serves
+    uint64_t base;        // data extent base (data-region relative)
+    uint64_t size;        // logical bytes captured
+  };
+
+  struct Onode {
+    uint64_t base = 0;       // data-region-relative extent base
+    uint64_t size = 0;       // logical object size (highest written byte)
+    uint64_t head_seq = 0;   // snapc.seq at last write
+    std::vector<Clone> clones;  // sorted by covers_up_to ascending
+  };
+
+  ObjectStore(std::shared_ptr<dev::NvmeDevice> device, StoreConfig config);
+
+  sim::Task<Status> Init();
+  Result<Onode*> GetOrCreate(const std::string& oid);
+  sim::Task<Status> MaybeClone(const std::string& oid, Onode& node,
+                               const SnapContext& snapc);
+  // Static + shared self: the spawned frame owns a reference to the store
+  // (and transitively the device), decoupling background charges from the
+  // caller's lifetime.
+  static sim::Task<void> ChargeApply(std::shared_ptr<ObjectStore> self,
+                                     uint64_t abs_offset, uint64_t length);
+  static sim::Task<void> ChargeExtent(std::shared_ptr<ObjectStore> self,
+                                      bool is_write, uint64_t abs_offset,
+                                      uint64_t length);
+  Bytes OmapKey(const std::string& oid, SnapId snap, ByteSpan user_key) const;
+
+  std::shared_ptr<dev::NvmeDevice> device_;
+  StoreConfig config_;
+  uint64_t kv_base_ = 0;
+  uint64_t data_base_ = 0;
+  std::unique_ptr<dev::RegionDevice> journal_region_;
+  std::unique_ptr<dev::RegionDevice> kv_region_;
+  std::unique_ptr<kv::Wal> journal_;
+  std::unique_ptr<kv::KvStore> kv_;
+  std::unique_ptr<dev::ExtentAllocator> alloc_;
+  std::map<std::string, Onode> objects_;
+  sim::WaitGroup appliers_{0};
+  sim::Semaphore kv_lane_{1};  // single kv commit thread, like BlueStore
+  StoreStats stats_;
+};
+
+}  // namespace vde::objstore

@@ -1,0 +1,74 @@
+// Object-store operation types (the RADOS transaction vocabulary this
+// reproduction needs).
+//
+// The paper's data+IV consistency rests on "the support in the Ceph RADOS
+// protocol for atomically writing multiple IOs" (§3.1): one Transaction may
+// carry a data write plus an IV write (object-end / unaligned) or an OMAP
+// batch (OMAP layout), and the store applies it all-or-nothing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/bytes.h"
+
+namespace vde::objstore {
+
+// Snapshot id; kHeadSnap reads/writes the live object.
+using SnapId = uint64_t;
+inline constexpr SnapId kHeadSnap = ~uint64_t{0};
+
+// Client-provided snapshot context: `seq` is the most recent snapshot id
+// that writes must preserve; `snaps` lists existing snapshot ids (newest
+// first), mirroring RADOS self-managed snapshots.
+struct SnapContext {
+  uint64_t seq = 0;
+  std::vector<SnapId> snaps;
+};
+
+struct OsdOp {
+  enum class Type : uint8_t {
+    kWrite,         // offset/length + data
+    kWriteFull,     // replace object content with data
+    kZero,          // offset/length
+    kRead,          // offset/length -> data (usable inside read ops)
+    kOmapSet,       // omap_kvs
+    kOmapGetRange,  // omap_start/omap_end (end empty = prefix-unbounded)
+    kCreate,
+    kRemove,
+  };
+
+  Type type = Type::kWrite;
+  uint64_t offset = 0;
+  uint64_t length = 0;
+  Bytes data;
+  std::vector<std::pair<Bytes, Bytes>> omap_kvs;
+  Bytes omap_start;
+  Bytes omap_end;
+  size_t omap_max = 0;  // 0 = unlimited
+};
+
+// A single-object atomic mutation (RADOS transactions are per-object).
+struct Transaction {
+  std::string oid;
+  std::vector<OsdOp> ops;
+
+  size_t PayloadBytes() const {
+    size_t n = 0;
+    for (const auto& op : ops) {
+      n += op.data.size();
+      for (const auto& [k, v] : op.omap_kvs) n += k.size() + v.size();
+    }
+    return n;
+  }
+};
+
+// Result of a read-class op batch.
+struct ReadResult {
+  Bytes data;                                        // from kRead
+  std::vector<std::pair<Bytes, Bytes>> omap_values;  // from kOmapGetRange
+};
+
+}  // namespace vde::objstore

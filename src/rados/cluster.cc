@@ -1,0 +1,212 @@
+#include "rados/cluster.h"
+
+#include <cassert>
+
+namespace vde::rados {
+
+// --- Osd ---
+
+Osd::Osd(size_t id, size_t node, const ClusterConfig& config)
+    : id_(id),
+      node_(node),
+      config_(config),
+      device_(std::make_shared<dev::NvmeDevice>(config.nvme)),
+      shards_(config.costs.op_shards) {}
+
+sim::Task<Status> Osd::Start() {
+  auto store = co_await objstore::ObjectStore::Open(device_, config_.store);
+  if (!store.ok()) co_return store.status();
+  store_ = std::move(store).value();
+  co_return Status::Ok();
+}
+
+sim::Task<Status> Osd::HandleReplicaWrite(const objstore::Transaction& txn,
+                                          const objstore::SnapContext& snapc) {
+  // Replication requests run on a dedicated queue (no primary-shard
+  // contention; also removes any chance of cross-OSD shard deadlock).
+  co_await sim::Sleep{config_.costs.replica_op +
+                      config_.costs.per_extra_op *
+                          (txn.ops.empty() ? 0 : txn.ops.size() - 1)};
+  co_return co_await store_->Apply(txn, snapc);
+}
+
+sim::Task<Status> Osd::HandlePrimaryWrite(Cluster& cluster,
+                                          const objstore::Transaction& txn,
+                                          const objstore::SnapContext& snapc,
+                                          const std::vector<size_t>& acting) {
+  // Primary software cost under an op shard.
+  {
+    co_await shards_.Acquire();
+    sim::SemGuard guard(shards_);
+    co_await sim::Sleep{config_.costs.write_op +
+                        config_.costs.per_extra_op *
+                            (txn.ops.empty() ? 0 : txn.ops.size() - 1)};
+  }
+
+  // Local apply and replica fan-out proceed concurrently; the op commits
+  // when the slowest participant commits (primary-copy replication).
+  std::vector<Status> results(acting.size(), Status::Ok());
+  std::vector<sim::Task<void>> waves;
+  // acting[0] is this OSD.
+  waves.push_back([](Osd* self, const objstore::Transaction* txn,
+                     const objstore::SnapContext* snapc,
+                     Status* out) -> sim::Task<void> {
+    *out = co_await self->store_->Apply(*txn, *snapc);
+  }(this, &txn, &snapc, &results[0]));
+
+  const size_t payload = txn.PayloadBytes();
+  for (size_t r = 1; r < acting.size(); ++r) {
+    waves.push_back([](Cluster* cluster, Osd* primary, size_t replica_id,
+                       size_t payload, const objstore::Transaction* txn,
+                       const objstore::SnapContext* snapc,
+                       Status* out) -> sim::Task<void> {
+      Osd& replica = cluster->osd(replica_id);
+      // Ship the sub-op over the cluster network.
+      co_await net::Send(cluster->node_nic(primary->node()),
+                         cluster->node_nic(replica.node()),
+                         cluster->config().request_header_bytes + payload);
+      *out = co_await replica.HandleReplicaWrite(*txn, *snapc);
+      // Commit ack back to the primary.
+      co_await net::Send(cluster->node_nic(replica.node()),
+                         cluster->node_nic(primary->node()),
+                         cluster->config().response_header_bytes);
+    }(&cluster, this, acting[r], payload, &txn, &snapc, &results[r]));
+  }
+  co_await sim::WhenAll(std::move(waves));
+
+  for (const Status& s : results) {
+    if (!s.ok()) co_return s;
+  }
+  co_return Status::Ok();
+}
+
+sim::Task<Result<objstore::ReadResult>> Osd::HandleRead(
+    const objstore::Transaction& txn, objstore::SnapId snap) {
+  {
+    co_await shards_.Acquire();
+    sim::SemGuard guard(shards_);
+    co_await sim::Sleep{config_.costs.read_op +
+                        config_.costs.per_extra_op_read *
+                            (txn.ops.empty() ? 0 : txn.ops.size() - 1)};
+  }
+  co_return co_await store_->ExecuteRead(txn, snap);
+}
+
+// --- IoCtx ---
+
+sim::Task<Status> IoCtx::Operate(const std::string& oid,
+                                 objstore::Transaction txn,
+                                 const objstore::SnapContext& snapc) {
+  txn.oid = oid;
+  const auto& config = cluster_->config();
+  co_await sim::Sleep{config.client_op_cost};
+  const auto acting = cluster_->placement().OsdsFor(oid);
+  Osd& primary = cluster_->osd(acting[0]);
+
+  // Client -> primary: headers + payload.
+  co_await net::Send(cluster_->client_nic(),
+                     cluster_->node_nic(primary.node()),
+                     config.request_header_bytes + txn.PayloadBytes());
+  Status result =
+      co_await primary.HandlePrimaryWrite(*cluster_, txn, snapc, acting);
+  // Primary -> client: ack.
+  co_await net::Send(cluster_->node_nic(primary.node()),
+                     cluster_->client_nic(), config.response_header_bytes);
+  co_return result;
+}
+
+sim::Task<Result<objstore::ReadResult>> IoCtx::OperateRead(
+    const std::string& oid, objstore::Transaction txn, objstore::SnapId snap) {
+  txn.oid = oid;
+  const auto& config = cluster_->config();
+  co_await sim::Sleep{config.client_op_cost};
+  const auto acting = cluster_->placement().OsdsFor(oid);
+  Osd& primary = cluster_->osd(acting[0]);
+
+  co_await net::Send(cluster_->client_nic(),
+                     cluster_->node_nic(primary.node()),
+                     config.request_header_bytes);
+  auto result = co_await primary.HandleRead(txn, snap);
+  size_t payload = config.response_header_bytes;
+  if (result.ok()) {
+    payload += result->data.size();
+    for (const auto& [k, v] : result->omap_values) {
+      payload += k.size() + v.size();
+    }
+  }
+  co_await net::Send(cluster_->node_nic(primary.node()),
+                     cluster_->client_nic(), payload);
+  co_return result;
+}
+
+sim::Task<Status> IoCtx::WriteFull(const std::string& oid, Bytes data) {
+  objstore::Transaction txn;
+  objstore::OsdOp op;
+  op.type = objstore::OsdOp::Type::kWriteFull;
+  op.data = std::move(data);
+  txn.ops.push_back(std::move(op));
+  co_return co_await Operate(oid, std::move(txn), {});
+}
+
+sim::Task<Result<Bytes>> IoCtx::Read(const std::string& oid, uint64_t off,
+                                     uint64_t len, objstore::SnapId snap) {
+  objstore::Transaction txn;
+  objstore::OsdOp op;
+  op.type = objstore::OsdOp::Type::kRead;
+  op.offset = off;
+  op.length = len;
+  txn.ops.push_back(std::move(op));
+  auto result = co_await OperateRead(oid, std::move(txn), snap);
+  if (!result.ok()) co_return result.status();
+  co_return std::move(result->data);
+}
+
+// --- Cluster ---
+
+Cluster::Cluster(ClusterConfig config)
+    : config_(config),
+      placement_(PlacementConfig{config.pg_count, config.nodes,
+                                 config.osds_per_node, config.replication}) {
+  client_nic_ = std::make_unique<net::Nic>(config_.client_nic);
+  for (size_t n = 0; n < config_.nodes; ++n) {
+    node_nics_.push_back(std::make_unique<net::Nic>(config_.node_nic));
+  }
+  for (size_t n = 0; n < config_.nodes; ++n) {
+    for (size_t i = 0; i < config_.osds_per_node; ++i) {
+      osds_.push_back(
+          std::make_unique<Osd>(n * config_.osds_per_node + i, n, config_));
+    }
+  }
+}
+
+sim::Task<Result<std::unique_ptr<Cluster>>> Cluster::Create(
+    ClusterConfig config) {
+  std::unique_ptr<Cluster> cluster(new Cluster(std::move(config)));
+  for (auto& osd : cluster->osds_) {
+    Status s = co_await osd->Start();
+    if (!s.ok()) co_return s;
+  }
+  co_return cluster;
+}
+
+sim::Task<void> Cluster::Drain() {
+  for (auto& osd : osds_) {
+    co_await osd->store().Drain();
+  }
+}
+
+dev::DeviceStats Cluster::TotalDeviceStats() const {
+  dev::DeviceStats total;
+  for (const auto& osd : osds_) {
+    const auto& s = osd->device().stats();
+    total.read_ops += s.read_ops;
+    total.write_ops += s.write_ops;
+    total.sectors_read += s.sectors_read;
+    total.sectors_written += s.sectors_written;
+    total.bytes_read += s.bytes_read;
+    total.bytes_written += s.bytes_written;
+  }
+  return total;
+}
+
+}  // namespace vde::rados

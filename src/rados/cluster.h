@@ -1,0 +1,145 @@
+// RADOS-like cluster: nodes with NICs and OSDs, a monitor (placement +
+// snapshot-id allocation), and a client IoCtx issuing replicated,
+// transactional object operations over the simulated network.
+//
+// Topology and defaults mirror the paper's testbed (§3.2): 3 nodes x 9 NVMe
+// OSDs, 3-way replication, 4 MiB objects; bandwidths calibrated in
+// bench/cluster_fixture.h.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "device/nvme.h"
+#include "net/link.h"
+#include "objstore/object_store.h"
+#include "rados/placement.h"
+#include "sim/sync.h"
+
+namespace vde::rados {
+
+// Software costs of the OSD op pipeline (queue, decode, PG lock, commit
+// bookkeeping). Values are calibration constants — see DESIGN.md §5.
+struct OsdCostModel {
+  sim::SimTime read_op = 420 * sim::kUs;
+  sim::SimTime write_op = 340 * sim::kUs;
+  sim::SimTime replica_op = 220 * sim::kUs;
+  sim::SimTime per_extra_op = 35 * sim::kUs;       // write txns, per extra op
+  sim::SimTime per_extra_op_read = 15 * sim::kUs;  // read txns, per extra op
+  size_t op_shards = 8;                       // concurrent primary ops
+};
+
+struct ClusterConfig {
+  size_t nodes = 3;
+  size_t osds_per_node = 9;
+  size_t replication = 3;
+  uint32_t pg_count = 128;
+  net::NicConfig client_nic{/*gbytes_per_sec=*/2.8,
+                            /*propagation=*/20 * sim::kUs, /*streams=*/12};
+  net::NicConfig node_nic{/*gbytes_per_sec=*/1.6,
+                          /*propagation=*/20 * sim::kUs, /*streams=*/12};
+  dev::NvmeConfig nvme{};
+  objstore::StoreConfig store{};
+  OsdCostModel costs{};
+  sim::SimTime client_op_cost = 10 * sim::kUs;
+  size_t request_header_bytes = 256;
+  size_t response_header_bytes = 128;
+};
+
+class Cluster;
+
+// One OSD daemon: device + object store + op scheduling.
+class Osd {
+ public:
+  Osd(size_t id, size_t node, const ClusterConfig& config);
+
+  sim::Task<Status> Start();
+
+  size_t id() const { return id_; }
+  size_t node() const { return node_; }
+  dev::NvmeDevice& device() { return *device_; }
+  objstore::ObjectStore& store() { return *store_; }
+
+  // Primary write: local apply + fan-out replication, ack when all commit.
+  sim::Task<Status> HandlePrimaryWrite(Cluster& cluster,
+                                       const objstore::Transaction& txn,
+                                       const objstore::SnapContext& snapc,
+                                       const std::vector<size_t>& acting);
+
+  // Replica-side apply (already on the replica's node).
+  sim::Task<Status> HandleReplicaWrite(const objstore::Transaction& txn,
+                                       const objstore::SnapContext& snapc);
+
+  sim::Task<Result<objstore::ReadResult>> HandleRead(
+      const objstore::Transaction& txn, objstore::SnapId snap);
+
+ private:
+  size_t id_;
+  size_t node_;
+  const ClusterConfig& config_;
+  std::shared_ptr<dev::NvmeDevice> device_;
+  std::shared_ptr<objstore::ObjectStore> store_;
+  sim::Semaphore shards_;
+};
+
+// Client handle: placement-aware replicated object IO (libRADOS IoCtx).
+class IoCtx {
+ public:
+  explicit IoCtx(Cluster& cluster) : cluster_(&cluster) {}
+
+  // Replicated write transaction; completes when every replica committed.
+  sim::Task<Status> Operate(const std::string& oid,
+                            objstore::Transaction txn,
+                            const objstore::SnapContext& snapc);
+
+  // Read-class transaction against the primary.
+  sim::Task<Result<objstore::ReadResult>> OperateRead(
+      const std::string& oid, objstore::Transaction txn,
+      objstore::SnapId snap = objstore::kHeadSnap);
+
+  // Convenience wrappers.
+  sim::Task<Status> WriteFull(const std::string& oid, Bytes data);
+  sim::Task<Result<Bytes>> Read(const std::string& oid, uint64_t off,
+                                uint64_t len,
+                                objstore::SnapId snap = objstore::kHeadSnap);
+
+ private:
+  Cluster* cluster_;
+};
+
+class Cluster {
+ public:
+  static sim::Task<Result<std::unique_ptr<Cluster>>> Create(
+      ClusterConfig config);
+
+  const ClusterConfig& config() const { return config_; }
+  net::Nic& client_nic() { return *client_nic_; }
+  net::Nic& node_nic(size_t node) { return *node_nics_[node]; }
+  Osd& osd(size_t id) { return *osds_[id]; }
+  size_t osd_count() const { return osds_.size(); }
+  const Placement& placement() const { return placement_; }
+
+  IoCtx ioctx() { return IoCtx(*this); }
+
+  // Monitor role: snapshot-id allocation (self-managed snaps).
+  uint64_t AllocateSnapId() { return next_snap_id_++; }
+
+  // Waits for all background work on every OSD (test determinism).
+  sim::Task<void> Drain();
+
+  // Aggregate device stats across all OSDs (Manager role).
+  dev::DeviceStats TotalDeviceStats() const;
+
+ private:
+  explicit Cluster(ClusterConfig config);
+
+  ClusterConfig config_;
+  Placement placement_;
+  std::unique_ptr<net::Nic> client_nic_;
+  std::vector<std::unique_ptr<net::Nic>> node_nics_;
+  std::vector<std::unique_ptr<Osd>> osds_;
+  uint64_t next_snap_id_ = 1;
+};
+
+}  // namespace vde::rados

@@ -1,0 +1,61 @@
+#include "rados/placement.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace vde::rados {
+
+uint64_t HashMix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t HashName(const std::string& name) {
+  uint64_t h = 0xcbf29ce484222325ULL;  // FNV offset basis
+  for (char c : name) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x100000001b3ULL;  // FNV prime
+  }
+  return HashMix(h);
+}
+
+uint32_t Placement::PgOf(const std::string& oid) const {
+  return static_cast<uint32_t>(HashName(oid) % config_.pg_count);
+}
+
+std::vector<size_t> Placement::OsdsForPg(uint32_t pg) const {
+  assert(config_.replication <= config_.nodes &&
+         "node-level failure domain requires replication <= nodes");
+  // Rendezvous hashing over nodes: highest score wins.
+  std::vector<std::pair<uint64_t, size_t>> scored;
+  scored.reserve(config_.nodes);
+  for (size_t node = 0; node < config_.nodes; ++node) {
+    scored.emplace_back(HashMix(pg * 0x9E3779B1ULL + node * 0xDEADBEEFULL),
+                        node);
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+
+  std::vector<size_t> osds;
+  osds.reserve(config_.replication);
+  for (size_t r = 0; r < config_.replication; ++r) {
+    const size_t node = scored[r].second;
+    // Pick one OSD within the node, again by rendezvous.
+    uint64_t best_score = 0;
+    size_t best = 0;
+    for (size_t local = 0; local < config_.osds_per_node; ++local) {
+      const uint64_t score =
+          HashMix((uint64_t{pg} << 32) ^ (node << 16) ^ local);
+      if (score >= best_score) {
+        best_score = score;
+        best = local;
+      }
+    }
+    osds.push_back(node * config_.osds_per_node + best);
+  }
+  return osds;
+}
+
+}  // namespace vde::rados

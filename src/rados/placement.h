@@ -1,0 +1,51 @@
+// Object placement: PG mapping + rendezvous (HRW) hashing.
+//
+// Mirrors Ceph's structure: object name -> placement group -> ordered set of
+// OSDs, with node-level failure domains (replicas land on distinct nodes,
+// like the default CRUSH host rule). Deterministic: the same cluster shape
+// and object name always map to the same OSDs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vde::rados {
+
+// 64-bit mix (splitmix64 finalizer) — placement quality, not cryptography.
+uint64_t HashMix(uint64_t x);
+
+// Stable hash of an object name.
+uint64_t HashName(const std::string& name);
+
+struct PlacementConfig {
+  uint32_t pg_count = 128;
+  size_t nodes = 3;
+  size_t osds_per_node = 9;
+  size_t replication = 3;
+};
+
+// Global OSD ids are node * osds_per_node + local index.
+struct PgMapping {
+  uint32_t pg;
+  std::vector<size_t> osds;  // [primary, replica1, ...]
+};
+
+class Placement {
+ public:
+  explicit Placement(const PlacementConfig& config) : config_(config) {}
+
+  uint32_t PgOf(const std::string& oid) const;
+
+  // Up-set for a PG: `replication` OSDs on distinct nodes, primary first.
+  std::vector<size_t> OsdsForPg(uint32_t pg) const;
+
+  std::vector<size_t> OsdsFor(const std::string& oid) const {
+    return OsdsForPg(PgOf(oid));
+  }
+
+ private:
+  PlacementConfig config_;
+};
+
+}  // namespace vde::rados

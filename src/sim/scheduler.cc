@@ -1,0 +1,63 @@
+#include "sim/scheduler.h"
+
+#include <cassert>
+
+namespace vde::sim {
+
+namespace {
+thread_local Scheduler* g_current = nullptr;
+}  // namespace
+
+Scheduler::Scheduler() {
+  assert(g_current == nullptr && "one Scheduler per thread at a time");
+  g_current = this;
+}
+
+Scheduler::~Scheduler() {
+  // Drain un-run events: destroying their coroutine frames here would
+  // double-free frames owned by Task objects; detached frames leak only if
+  // the simulation was abandoned mid-run, which tests treat as a bug.
+  g_current = nullptr;
+}
+
+Scheduler& Scheduler::Current() {
+  assert(g_current != nullptr && "no Scheduler is active");
+  return *g_current;
+}
+
+void Scheduler::ScheduleAt(SimTime at, std::coroutine_handle<> h) {
+  assert(at >= now_ && "cannot schedule into the past");
+  queue_.push(Event{at, next_seq_++, h});
+}
+
+void Scheduler::Spawn(Task<void> task) {
+  auto handle = task.Release();
+  assert(handle && "spawning an empty task");
+  handle.promise().detached = true;
+  ScheduleNow(handle);
+}
+
+SimTime Scheduler::Run() {
+  while (!queue_.empty()) {
+    const Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.at;
+    events_processed_++;
+    ev.handle.resume();
+  }
+  return now_;
+}
+
+SimTime Scheduler::RunUntil(SimTime deadline) {
+  while (!queue_.empty() && queue_.top().at <= deadline) {
+    const Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.at;
+    events_processed_++;
+    ev.handle.resume();
+  }
+  if (now_ < deadline) now_ = deadline;
+  return now_;
+}
+
+}  // namespace vde::sim

@@ -1,0 +1,80 @@
+// Deterministic discrete-event scheduler.
+//
+// Time is simulated nanoseconds. Events with equal timestamps run in FIFO
+// order (sequence-number tie-break), so a given seed always produces the
+// same interleaving — bench results are exactly reproducible.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "sim/task.h"
+
+namespace vde::sim {
+
+// Simulated time in nanoseconds since simulation start.
+using SimTime = uint64_t;
+
+inline constexpr SimTime kNs = 1;
+inline constexpr SimTime kUs = 1000;
+inline constexpr SimTime kMs = 1000 * 1000;
+inline constexpr SimTime kSec = 1000ull * 1000 * 1000;
+
+class Scheduler {
+ public:
+  Scheduler();
+  ~Scheduler();
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  // The scheduler of the currently running simulation (exactly one may be
+  // alive per thread; enforced).
+  static Scheduler& Current();
+
+  SimTime now() const { return now_; }
+
+  // Resume `h` at simulated time `at` (>= now).
+  void ScheduleAt(SimTime at, std::coroutine_handle<> h);
+  void ScheduleNow(std::coroutine_handle<> h) { ScheduleAt(now_, h); }
+
+  // Start a detached task at the current time. The task frame self-destroys
+  // on completion.
+  void Spawn(Task<void> task);
+
+  // Process events until the queue is empty. Returns final simulated time.
+  SimTime Run();
+
+  // Process events with timestamp <= deadline.
+  SimTime RunUntil(SimTime deadline);
+
+  uint64_t events_processed() const { return events_processed_; }
+
+ private:
+  struct Event {
+    SimTime at;
+    uint64_t seq;
+    std::coroutine_handle<> handle;
+    bool operator>(const Event& other) const {
+      return at != other.at ? at > other.at : seq > other.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t events_processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+};
+
+// Awaitable: suspend the current task for `delay` simulated nanoseconds.
+struct Sleep {
+  SimTime delay;
+  bool await_ready() const noexcept { return delay == 0; }
+  void await_suspend(std::coroutine_handle<> h) const {
+    Scheduler::Current().ScheduleAt(Scheduler::Current().now() + delay, h);
+  }
+  void await_resume() const noexcept {}
+};
+
+}  // namespace vde::sim

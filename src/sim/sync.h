@@ -1,0 +1,157 @@
+// Synchronization primitives for simulated tasks: FIFO semaphore (models
+// devices/links with finite parallelism), WaitGroup (join N spawned tasks),
+// Gate (single-fire broadcast event).
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "sim/scheduler.h"
+#include "sim/task.h"
+
+namespace vde::sim {
+
+// Counting semaphore with strict FIFO wakeup — a queue-depth-limited
+// resource. Deterministic: waiters resume in arrival order.
+class Semaphore {
+ public:
+  explicit Semaphore(size_t permits) : available_(permits) {}
+  Semaphore(const Semaphore&) = delete;
+  Semaphore& operator=(const Semaphore&) = delete;
+
+  struct [[nodiscard]] Awaiter {
+    Semaphore& sem;
+    bool await_ready() {
+      if (sem.available_ > 0) {
+        sem.available_--;
+        return true;
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> h) { sem.waiters_.push_back(h); }
+    void await_resume() {}
+  };
+
+  // co_await Acquire() takes one permit, waiting FIFO if none is free.
+  Awaiter Acquire() { return Awaiter{*this}; }
+
+  void Release() {
+    if (!waiters_.empty()) {
+      auto h = waiters_.front();
+      waiters_.pop_front();
+      // Hand the permit directly to the waiter (count unchanged).
+      Scheduler::Current().ScheduleNow(h);
+    } else {
+      available_++;
+    }
+  }
+
+  size_t available() const { return available_; }
+  size_t waiting() const { return waiters_.size(); }
+
+ private:
+  size_t available_;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+// RAII permit holder.
+class SemGuard {
+ public:
+  explicit SemGuard(Semaphore& sem) : sem_(&sem) {}
+  SemGuard(SemGuard&& o) noexcept : sem_(std::exchange(o.sem_, nullptr)) {}
+  SemGuard(const SemGuard&) = delete;
+  SemGuard& operator=(const SemGuard&) = delete;
+  SemGuard& operator=(SemGuard&&) = delete;
+  ~SemGuard() {
+    if (sem_) sem_->Release();
+  }
+
+ private:
+  Semaphore* sem_;
+};
+
+// Join-counter for spawned tasks: Add() before spawn, Done() on completion,
+// co_await Wait() resumes when the count reaches zero.
+class WaitGroup {
+ public:
+  explicit WaitGroup(size_t count = 0) : count_(count) {}
+
+  void Add(size_t n = 1) { count_ += n; }
+
+  void Done() {
+    assert(count_ > 0);
+    if (--count_ == 0) {
+      for (auto h : waiters_) Scheduler::Current().ScheduleNow(h);
+      waiters_.clear();
+    }
+  }
+
+  struct [[nodiscard]] Awaiter {
+    WaitGroup& wg;
+    bool await_ready() { return wg.count_ == 0; }
+    void await_suspend(std::coroutine_handle<> h) {
+      wg.waiters_.push_back(h);
+    }
+    void await_resume() {}
+  };
+
+  Awaiter Wait() { return Awaiter{*this}; }
+
+  size_t count() const { return count_; }
+
+ private:
+  size_t count_;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+// Single-fire broadcast: all waiters resume once Fire() is called; waiting
+// on a fired gate completes immediately.
+class Gate {
+ public:
+  void Fire() {
+    if (fired_) return;
+    fired_ = true;
+    for (auto h : waiters_) Scheduler::Current().ScheduleNow(h);
+    waiters_.clear();
+  }
+
+  bool fired() const { return fired_; }
+
+  struct [[nodiscard]] Awaiter {
+    Gate& gate;
+    bool await_ready() { return gate.fired_; }
+    void await_suspend(std::coroutine_handle<> h) {
+      gate.waiters_.push_back(h);
+    }
+    void await_resume() {}
+  };
+
+  Awaiter Wait() { return Awaiter{*this}; }
+
+ private:
+  bool fired_ = false;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+// Runs `inner` then signals `wg`. Building block for fork/join:
+//   WaitGroup wg(tasks.size());
+//   for (auto& t : tasks) Scheduler::Current().Spawn(RunAndSignal(std::move(t), wg));
+//   co_await wg.Wait();
+inline Task<void> RunAndSignal(Task<void> inner, WaitGroup& wg) {
+  co_await std::move(inner);
+  wg.Done();
+}
+
+// Spawns all tasks concurrently and waits for every one to finish.
+inline Task<void> WhenAll(std::vector<Task<void>> tasks) {
+  WaitGroup wg(tasks.size());
+  for (auto& t : tasks) {
+    Scheduler::Current().Spawn(RunAndSignal(std::move(t), wg));
+  }
+  co_await wg.Wait();
+}
+
+}  // namespace vde::sim

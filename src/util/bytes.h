@@ -1,0 +1,53 @@
+// Byte-buffer helpers shared across the library.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vde {
+
+using Bytes = std::vector<uint8_t>;
+using ByteSpan = std::span<const uint8_t>;
+using MutByteSpan = std::span<uint8_t>;
+
+// Hex-encode `data` as lowercase text, e.g. {0xde, 0xad} -> "dead".
+std::string ToHex(ByteSpan data);
+
+// Decode lowercase/uppercase hex into bytes. Asserts on malformed input;
+// intended for test vectors and tooling, not untrusted parsing.
+Bytes FromHex(std::string_view hex);
+
+// Bytes of an ASCII string (no terminator).
+Bytes BytesOf(std::string_view s);
+
+// XOR `src` into `dst` (dst ^= src). Sizes must match.
+void XorInto(MutByteSpan dst, ByteSpan src);
+
+// Constant-time equality for secrets (MACs, digests).
+bool ConstantTimeEqual(ByteSpan a, ByteSpan b);
+
+// Append helpers used by serializers.
+void AppendBytes(Bytes& out, ByteSpan data);
+void AppendU8(Bytes& out, uint8_t v);
+void AppendU16Le(Bytes& out, uint16_t v);
+void AppendU32Le(Bytes& out, uint32_t v);
+void AppendU64Le(Bytes& out, uint64_t v);
+
+// Little-endian loads (caller guarantees bounds).
+uint16_t LoadU16Le(const uint8_t* p);
+uint32_t LoadU32Le(const uint8_t* p);
+uint64_t LoadU64Le(const uint8_t* p);
+void StoreU32Le(uint8_t* p, uint32_t v);
+void StoreU64Le(uint8_t* p, uint64_t v);
+
+// Big-endian loads/stores (crypto formats are big-endian).
+uint32_t LoadU32Be(const uint8_t* p);
+uint64_t LoadU64Be(const uint8_t* p);
+void StoreU32Be(uint8_t* p, uint32_t v);
+void StoreU64Be(uint8_t* p, uint64_t v);
+
+}  // namespace vde

@@ -1,0 +1,31 @@
+#include "util/crc32.h"
+
+#include <array>
+
+namespace vde {
+
+namespace {
+// Table-driven CRC32-C, polynomial 0x1EDC6F41 (reflected: 0x82F63B78).
+constexpr std::array<uint32_t, 256> MakeTable() {
+  std::array<uint32_t, 256> t{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? (0x82F63B78u ^ (c >> 1)) : (c >> 1);
+    }
+    t[i] = c;
+  }
+  return t;
+}
+constexpr auto kTable = MakeTable();
+}  // namespace
+
+uint32_t Crc32c(ByteSpan data, uint32_t init) {
+  uint32_t c = init ^ 0xFFFFFFFFu;
+  for (uint8_t b : data) {
+    c = kTable[(c ^ b) & 0xFF] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace vde

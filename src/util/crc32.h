@@ -1,0 +1,13 @@
+// CRC32-C (Castagnoli) — integrity check for WAL frames and SSTable blocks.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace vde {
+
+// CRC32-C of `data`, optionally continuing from a previous value.
+uint32_t Crc32c(ByteSpan data, uint32_t init = 0);
+
+}  // namespace vde

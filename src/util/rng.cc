@@ -1,0 +1,78 @@
+#include "util/rng.h"
+
+#include <cassert>
+
+namespace vde {
+
+namespace {
+constexpr uint64_t Rotl(uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+// splitmix64: expands a single seed into the xoshiro state.
+uint64_t SplitMix64(uint64_t& x) {
+  uint64_t z = (x += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  for (auto& s : s_) s = SplitMix64(seed);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBelow(uint64_t bound) {
+  assert(bound > 0);
+  // Rejection sampling over the largest multiple of bound.
+  const uint64_t limit = ~uint64_t{0} - (~uint64_t{0} % bound);
+  uint64_t v;
+  do {
+    v = Next();
+  } while (v >= limit);
+  return v % bound;
+}
+
+uint64_t Rng::NextInRange(uint64_t lo, uint64_t hi) {
+  assert(lo <= hi);
+  return lo + NextBelow(hi - lo + 1);
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::NextBool(double p) { return NextDouble() < p; }
+
+void Rng::Fill(MutByteSpan out) {
+  size_t i = 0;
+  while (i + 8 <= out.size()) {
+    uint64_t v = Next();
+    std::memcpy(out.data() + i, &v, 8);
+    i += 8;
+  }
+  if (i < out.size()) {
+    uint64_t v = Next();
+    std::memcpy(out.data() + i, &v, out.size() - i);
+  }
+}
+
+Bytes Rng::RandomBytes(size_t n) {
+  Bytes out(n);
+  Fill(out);
+  return out;
+}
+
+}  // namespace vde

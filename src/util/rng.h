@@ -1,0 +1,43 @@
+// Deterministic pseudo-random generator for workloads and tests.
+//
+// xoshiro256** — fast, high-quality, and fully reproducible from a seed.
+// NOT for cryptographic use: crypto randomness comes from
+// crypto::SystemRandom / crypto::Drbg.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace vde {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Uniform 64-bit value.
+  uint64_t Next();
+
+  // Uniform in [0, bound) (bound > 0). Uses rejection to avoid modulo bias.
+  uint64_t NextBelow(uint64_t bound);
+
+  // Uniform in [lo, hi] inclusive.
+  uint64_t NextInRange(uint64_t lo, uint64_t hi);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // true with probability p.
+  bool NextBool(double p = 0.5);
+
+  // Fill `out` with pseudo-random bytes.
+  void Fill(MutByteSpan out);
+
+  // Convenience: n pseudo-random bytes.
+  Bytes RandomBytes(size_t n);
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace vde

@@ -1,0 +1,104 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace vde {
+
+Histogram::Histogram() : buckets_(64 * kSub, 0) {}
+
+size_t Histogram::BucketFor(uint64_t v) {
+  if (v < kSub) return static_cast<size_t>(v);
+  const int msb = 63 - std::countl_zero(v);
+  // Sub-bucket index from the bits just below the MSB.
+  const int shift = msb - 4;  // log2(kSub)
+  const uint64_t sub = (v >> shift) & (kSub - 1);
+  return static_cast<size_t>(msb - 3) * kSub + sub;
+}
+
+uint64_t Histogram::BucketLow(size_t b) {
+  if (b < kSub) return b;
+  const uint64_t order = b / kSub + 3;
+  const uint64_t sub = b % kSub;
+  return (uint64_t{1} << order) | (sub << (order - 4));
+}
+
+void Histogram::Add(uint64_t value) {
+  buckets_[BucketFor(value)]++;
+  count_++;
+  sum_ += value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  assert(buckets_.size() == other.buckets_.size());
+  for (size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = ~uint64_t{0};
+  max_ = 0;
+}
+
+double Histogram::Mean() const {
+  return count_ ? static_cast<double>(sum_) / static_cast<double>(count_) : 0;
+}
+
+double Histogram::Percentile(double p) const {
+  if (count_ == 0) return 0;
+  p = std::clamp(p, 0.0, 100.0);
+  const double target = p / 100.0 * static_cast<double>(count_);
+  uint64_t seen = 0;
+  for (size_t b = 0; b < buckets_.size(); ++b) {
+    if (buckets_[b] == 0) continue;
+    if (static_cast<double>(seen + buckets_[b]) >= target) {
+      // Interpolate inside the bucket.
+      const uint64_t low = BucketLow(b);
+      const uint64_t high =
+          b + 1 < buckets_.size() ? BucketLow(b + 1) : max_ + 1;
+      const double frac =
+          buckets_[b] ? (target - static_cast<double>(seen)) /
+                            static_cast<double>(buckets_[b])
+                      : 0;
+      double v = static_cast<double>(low) +
+                 frac * static_cast<double>(high - low);
+      return std::min(v, static_cast<double>(max_));
+    }
+    seen += buckets_[b];
+  }
+  return static_cast<double>(max_);
+}
+
+std::string Histogram::Summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "n=%llu mean=%.1f p50=%.0f p99=%.0f max=%llu",
+                static_cast<unsigned long long>(count_), Mean(),
+                Percentile(50), Percentile(99),
+                static_cast<unsigned long long>(max()));
+  return buf;
+}
+
+void Accumulator::Add(double v) {
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  sum_ += v;
+  count_++;
+}
+
+}  // namespace vde

@@ -1,0 +1,58 @@
+// Latency / throughput statistics used by the workload driver and benches.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vde {
+
+// Fixed-resolution log-bucketed histogram of non-negative samples
+// (typically nanoseconds). Percentile queries interpolate within buckets.
+class Histogram {
+ public:
+  Histogram();
+
+  void Add(uint64_t value);
+  void Merge(const Histogram& other);
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  uint64_t min() const { return count_ ? min_ : 0; }
+  uint64_t max() const { return max_; }
+  double Mean() const;
+  // p in [0, 100].
+  double Percentile(double p) const;
+
+  std::string Summary() const;
+
+ private:
+  // Buckets: 64 orders of magnitude (bit width), 16 sub-buckets each.
+  static constexpr int kSub = 16;
+  static size_t BucketFor(uint64_t v);
+  static uint64_t BucketLow(size_t b);
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t min_ = ~uint64_t{0};
+  uint64_t max_ = 0;
+};
+
+// Simple running mean/min/max accumulator.
+class Accumulator {
+ public:
+  void Add(double v);
+  uint64_t count() const { return count_; }
+  double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0; }
+  double min() const { return count_ ? min_ : 0; }
+  double max() const { return count_ ? max_ : 0; }
+
+ private:
+  uint64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+}  // namespace vde

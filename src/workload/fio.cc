@@ -1,0 +1,134 @@
+#include "workload/fio.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace vde::workload {
+
+FioRunner::FioRunner(rbd::Image& image, FioConfig config)
+    : image_(image), config_(config), rng_(config.seed) {
+  assert(config_.io_size % core::kBlockSize == 0 && config_.io_size > 0);
+  working_set_ = config_.working_set == 0
+                     ? config_.total_ops * config_.io_size
+                     : config_.working_set;
+  working_set_ = std::min(working_set_, image_.size());
+  // Round down to a whole number of IO slots.
+  slots_ = std::max<uint64_t>(1, working_set_ / config_.io_size);
+  working_set_ = slots_ * config_.io_size;
+}
+
+void FioRunner::FillBlock(uint64_t offset, MutByteSpan out) const {
+  // Content = xoshiro stream seeded by (workload seed, block number):
+  // reproducible without storing a model of the whole image.
+  Rng content(config_.seed * 0x9E3779B97F4A7C15ULL + offset / core::kBlockSize);
+  content.Fill(out);
+}
+
+sim::Task<Status> FioRunner::Prefill() {
+  const uint64_t chunk = std::max<uint64_t>(config_.io_size, 1 << 20);
+  Bytes buf;
+  for (uint64_t off = 0; off < working_set_; off += chunk) {
+    const uint64_t len = std::min(chunk, working_set_ - off);
+    buf.resize(len);
+    for (uint64_t b = 0; b < len; b += core::kBlockSize) {
+      FillBlock(off + b, MutByteSpan(buf.data() + b, core::kBlockSize));
+    }
+    VDE_CO_RETURN_IF_ERROR(co_await image_.Write(off, buf));
+  }
+  co_return Status::Ok();
+}
+
+uint64_t FioRunner::NextOffset() {
+  if (config_.pattern == FioConfig::Pattern::kSequential) {
+    const uint64_t off = (seq_cursor_ % slots_) * config_.io_size;
+    seq_cursor_++;
+    return off;
+  }
+  return rng_.NextBelow(slots_) * config_.io_size;
+}
+
+sim::Task<void> FioRunner::Worker(size_t worker_id, FioResult* result,
+                                  Status* status) {
+  (void)worker_id;
+  Bytes write_buf;
+  if (config_.is_write) {
+    write_buf.resize(config_.io_size);
+    rng_.Fill(write_buf);
+  }
+  const uint64_t warmup =
+      config_.warmup_ops == 0 ? config_.queue_depth : config_.warmup_ops;
+  // Keep issuing while the measured-op quota is unfilled so the queue depth
+  // stays constant through the whole timing window (no ramp-down bias);
+  // completions beyond the quota are simply not counted.
+  while (measured_done_ < config_.total_ops && status->ok()) {
+    issued_++;
+    const bool measured = issued_ > warmup;
+    if (measured && !measuring_) {
+      // First measured op: open the timing window at steady state.
+      measuring_ = true;
+      measure_start_ = sim::Scheduler::Current().now();
+    }
+    const uint64_t offset = NextOffset();
+    const sim::SimTime start = sim::Scheduler::Current().now();
+    if (config_.is_write) {
+      // Vary the payload cheaply per op (keeps real encryption honest
+      // without regenerating the whole buffer).
+      StoreU64Le(write_buf.data(), issued_);
+      StoreU64Le(write_buf.data() + config_.io_size - 8, offset);
+      const Status s = co_await image_.Write(offset, write_buf);
+      if (!s.ok()) {
+        *status = s;
+        co_return;
+      }
+    } else {
+      auto got = co_await image_.Read(offset, config_.io_size);
+      if (!got.ok()) {
+        *status = got.status();
+        co_return;
+      }
+      if (config_.verify) {
+        Bytes expect(core::kBlockSize);
+        for (uint64_t b = 0; b < config_.io_size; b += core::kBlockSize) {
+          FillBlock(offset + b, expect);
+          if (!std::equal(expect.begin(), expect.end(), got->begin() + b)) {
+            *status = Status::Corruption("read verification failed at " +
+                                         std::to_string(offset + b));
+            co_return;
+          }
+        }
+      }
+    }
+    const sim::SimTime end = sim::Scheduler::Current().now();
+    if (measured && measured_done_ < config_.total_ops) {
+      measured_done_++;
+      result->ops++;
+      result->bytes += config_.io_size;
+      result->latency_ns.Add(end - start);
+      if (measured_done_ == config_.total_ops) {
+        measure_end_ = end;
+      }
+    }
+  }
+}
+
+sim::Task<Result<FioResult>> FioRunner::Run() {
+  FioResult result;
+  Status status;
+  issued_ = 0;
+  measured_done_ = 0;
+  measuring_ = false;
+  measure_start_ = sim::Scheduler::Current().now();
+  measure_end_ = measure_start_;
+
+  std::vector<sim::Task<void>> workers;
+  for (size_t w = 0; w < config_.queue_depth; ++w) {
+    workers.push_back(Worker(w, &result, &status));
+  }
+  co_await sim::WhenAll(std::move(workers));
+
+  result.duration = measure_end_ - measure_start_;
+  if (!status.ok()) co_return status;
+  co_return result;
+}
+
+}  // namespace vde::workload

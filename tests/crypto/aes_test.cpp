@@ -1,0 +1,129 @@
+#include "crypto/aes.h"
+
+#include <gtest/gtest.h>
+
+#include "crypto/block_cipher.h"
+#include "util/rng.h"
+
+namespace vde::crypto {
+namespace {
+
+// FIPS-197 Appendix C known-answer tests.
+struct Fips197Case {
+  const char* key;
+  const char* plain;
+  const char* cipher;
+};
+
+class AesKat : public ::testing::TestWithParam<Fips197Case> {};
+
+TEST_P(AesKat, EncryptMatchesFips197) {
+  const auto& p = GetParam();
+  SoftAes aes(FromHex(p.key));
+  const Bytes pt = FromHex(p.plain);
+  uint8_t out[16];
+  aes.EncryptBlock(pt.data(), out);
+  EXPECT_EQ(ToHex(ByteSpan(out, 16)), p.cipher);
+}
+
+TEST_P(AesKat, DecryptInverts) {
+  const auto& p = GetParam();
+  SoftAes aes(FromHex(p.key));
+  const Bytes ct = FromHex(p.cipher);
+  uint8_t out[16];
+  aes.DecryptBlock(ct.data(), out);
+  EXPECT_EQ(ToHex(ByteSpan(out, 16)), p.plain);
+}
+
+TEST_P(AesKat, OpensslBackendAgrees) {
+  const auto& p = GetParam();
+  auto aes = MakeAes(Backend::kOpenssl, FromHex(p.key));
+  const Bytes pt = FromHex(p.plain);
+  uint8_t out[16];
+  aes->EncryptBlock(pt.data(), out);
+  EXPECT_EQ(ToHex(ByteSpan(out, 16)), p.cipher);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fips197, AesKat,
+    ::testing::Values(
+        Fips197Case{"000102030405060708090a0b0c0d0e0f",
+                    "00112233445566778899aabbccddeeff",
+                    "69c4e0d86a7b0430d8cdb78070b4c55a"},
+        Fips197Case{"000102030405060708090a0b0c0d0e0f1011121314151617",
+                    "00112233445566778899aabbccddeeff",
+                    "dda97ca4864cdfe06eaf70a0ec0d7191"},
+        Fips197Case{
+            "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f",
+            "00112233445566778899aabbccddeeff",
+            "8ea2b7ca516745bfeafc49904b496089"}));
+
+class AesCross : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(AesCross, SoftMatchesOpensslOnRandomInputs) {
+  const size_t key_size = GetParam();
+  Rng rng(0xA55E5 + key_size);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Bytes key = rng.RandomBytes(key_size);
+    SoftAes soft(key);
+    auto evp = MakeAes(Backend::kOpenssl, key);
+    const Bytes pt = rng.RandomBytes(16);
+    uint8_t a[16], b[16];
+    soft.EncryptBlock(pt.data(), a);
+    evp->EncryptBlock(pt.data(), b);
+    ASSERT_EQ(ToHex(ByteSpan(a, 16)), ToHex(ByteSpan(b, 16)))
+        << "key=" << ToHex(key) << " pt=" << ToHex(pt);
+    uint8_t da[16], db[16];
+    soft.DecryptBlock(a, da);
+    evp->DecryptBlock(b, db);
+    ASSERT_EQ(ToHex(ByteSpan(da, 16)), ToHex(pt));
+    ASSERT_EQ(ToHex(ByteSpan(db, 16)), ToHex(pt));
+  }
+}
+
+TEST_P(AesCross, RoundtripRandomKeys) {
+  const size_t key_size = GetParam();
+  Rng rng(0xBEEF + key_size);
+  for (int trial = 0; trial < 100; ++trial) {
+    SoftAes aes(rng.RandomBytes(key_size));
+    const Bytes pt = rng.RandomBytes(16);
+    uint8_t ct[16], back[16];
+    aes.EncryptBlock(pt.data(), ct);
+    aes.DecryptBlock(ct, back);
+    ASSERT_EQ(ToHex(ByteSpan(back, 16)), ToHex(pt));
+    ASSERT_NE(ToHex(ByteSpan(ct, 16)), ToHex(pt));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(KeySizes, AesCross,
+                         ::testing::Values(size_t{16}, size_t{24}, size_t{32}),
+                         [](const auto& info) {
+                           return "Key" + std::to_string(info.param * 8);
+                         });
+
+TEST(Aes, KeySizeReported) {
+  Rng rng(3);
+  EXPECT_EQ(SoftAes(rng.RandomBytes(16)).key_size(), 16u);
+  EXPECT_EQ(SoftAes(rng.RandomBytes(32)).key_size(), 32u);
+}
+
+TEST(Aes, AvalancheOnPlaintextBit) {
+  // Flipping one plaintext bit must flip ~half the ciphertext bits.
+  Rng rng(5);
+  const Bytes key = rng.RandomBytes(32);
+  SoftAes aes(key);
+  Bytes pt = rng.RandomBytes(16);
+  uint8_t c0[16], c1[16];
+  aes.EncryptBlock(pt.data(), c0);
+  pt[7] ^= 0x10;
+  aes.EncryptBlock(pt.data(), c1);
+  int flipped = 0;
+  for (int i = 0; i < 16; ++i) {
+    flipped += std::popcount(static_cast<unsigned>(c0[i] ^ c1[i]));
+  }
+  EXPECT_GT(flipped, 40);
+  EXPECT_LT(flipped, 88);
+}
+
+}  // namespace
+}  // namespace vde::crypto

@@ -1,0 +1,64 @@
+#include "crypto/afsplit.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace vde::crypto {
+namespace {
+
+TEST(AfSplit, SplitMergeRoundtrip) {
+  Rng rng(300);
+  const Bytes key = rng.RandomBytes(64);
+  const size_t stripes = 4000;  // LUKS default
+  const Bytes noise = rng.RandomBytes((stripes - 1) * key.size());
+  const Bytes split = AfSplit(key, stripes, noise);
+  EXPECT_EQ(split.size(), key.size() * stripes);
+  EXPECT_EQ(AfMerge(split, stripes), key);
+}
+
+TEST(AfSplit, SingleStripeIsIdentityLike) {
+  Rng rng(301);
+  const Bytes key = rng.RandomBytes(32);
+  const Bytes split = AfSplit(key, 1, {});
+  EXPECT_EQ(AfMerge(split, 1), key);
+}
+
+TEST(AfSplit, AnyDamagedStripeDestroysKey) {
+  Rng rng(302);
+  const Bytes key = rng.RandomBytes(32);
+  const size_t stripes = 16;
+  const Bytes noise = rng.RandomBytes((stripes - 1) * key.size());
+  Bytes split = AfSplit(key, stripes, noise);
+  // Damage one byte in each stripe in turn; merge must never return the key.
+  for (size_t s = 0; s < stripes; ++s) {
+    Bytes damaged = split;
+    damaged[s * key.size() + 7] ^= 0x01;
+    EXPECT_NE(AfMerge(damaged, stripes), key) << "stripe " << s;
+  }
+}
+
+TEST(AfSplit, SplitMaterialLooksRandom) {
+  // The split must not expose the key in any single stripe.
+  Rng rng(303);
+  const Bytes key(32, 0xAA);  // highly structured key
+  const size_t stripes = 8;
+  const Bytes noise = rng.RandomBytes((stripes - 1) * key.size());
+  const Bytes split = AfSplit(key, stripes, noise);
+  for (size_t s = 0; s < stripes; ++s) {
+    EXPECT_FALSE(std::equal(split.begin() + s * 32,
+                            split.begin() + s * 32 + 32, key.begin()))
+        << "stripe " << s << " leaked the key";
+  }
+}
+
+TEST(AfSplit, DifferentNoiseDifferentSplit) {
+  Rng rng(304);
+  const Bytes key = rng.RandomBytes(32);
+  const Bytes n1 = rng.RandomBytes(3 * 32);
+  const Bytes n2 = rng.RandomBytes(3 * 32);
+  EXPECT_NE(AfSplit(key, 4, n1), AfSplit(key, 4, n2));
+}
+
+}  // namespace
+}  // namespace vde::crypto

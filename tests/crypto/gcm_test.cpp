@@ -1,0 +1,149 @@
+#include "crypto/gcm.h"
+
+#include <gtest/gtest.h>
+#include <openssl/evp.h>
+
+#include "util/rng.h"
+
+namespace vde::crypto {
+namespace {
+
+// NIST GCM spec test case 1: empty plaintext, zero key/IV.
+TEST(Gcm, NistCase1EmptyPlaintext) {
+  const Bytes key(16, 0x00);
+  const Bytes iv(12, 0x00);
+  GcmCipher gcm(Backend::kSoft, key);
+  Bytes tag(16);
+  gcm.Seal(iv, {}, {}, {}, tag);
+  EXPECT_EQ(ToHex(tag), "58e2fccefa7e3061367f1d57a4e7455a");
+}
+
+// NIST GCM spec test case 2: 16 zero bytes.
+TEST(Gcm, NistCase2SingleBlock) {
+  const Bytes key(16, 0x00);
+  const Bytes iv(12, 0x00);
+  const Bytes pt(16, 0x00);
+  GcmCipher gcm(Backend::kSoft, key);
+  Bytes ct(16), tag(16);
+  gcm.Seal(iv, {}, pt, ct, tag);
+  EXPECT_EQ(ToHex(ct), "0388dace60b6a392f328c2b971b2fe78");
+  EXPECT_EQ(ToHex(tag), "ab6e47d42cec13bdf53a67b21257bddf");
+}
+
+TEST(Gcm, RoundtripWithAad) {
+  Rng rng(60);
+  const Bytes key = rng.RandomBytes(32);
+  const Bytes iv = rng.RandomBytes(12);
+  const Bytes aad = rng.RandomBytes(20);
+  const Bytes pt = rng.RandomBytes(4096);
+  GcmCipher gcm(Backend::kOpenssl, key);
+  Bytes ct(pt.size()), tag(16);
+  gcm.Seal(iv, aad, pt, ct, tag);
+  Bytes back(pt.size());
+  ASSERT_TRUE(gcm.Open(iv, aad, ct, back, tag));
+  EXPECT_EQ(back, pt);
+}
+
+TEST(Gcm, TamperedCiphertextRejected) {
+  Rng rng(61);
+  const Bytes key = rng.RandomBytes(32);
+  const Bytes iv = rng.RandomBytes(12);
+  const Bytes pt = rng.RandomBytes(128);
+  GcmCipher gcm(Backend::kSoft, key);
+  Bytes ct(pt.size()), tag(16);
+  gcm.Seal(iv, {}, pt, ct, tag);
+  ct[50] ^= 0x01;
+  Bytes back(pt.size(), 0xAA);
+  EXPECT_FALSE(gcm.Open(iv, {}, ct, back, tag));
+  // Output must be zeroed on failure, never partial plaintext.
+  EXPECT_TRUE(std::all_of(back.begin(), back.end(),
+                          [](uint8_t b) { return b == 0; }));
+}
+
+TEST(Gcm, TamperedTagRejected) {
+  Rng rng(62);
+  const Bytes key = rng.RandomBytes(16);
+  const Bytes iv = rng.RandomBytes(12);
+  const Bytes pt = rng.RandomBytes(64);
+  GcmCipher gcm(Backend::kSoft, key);
+  Bytes ct(pt.size()), tag(16);
+  gcm.Seal(iv, {}, pt, ct, tag);
+  tag[0] ^= 0x80;
+  Bytes back(pt.size());
+  EXPECT_FALSE(gcm.Open(iv, {}, ct, back, tag));
+}
+
+TEST(Gcm, TamperedAadRejected) {
+  Rng rng(63);
+  const Bytes key = rng.RandomBytes(16);
+  const Bytes iv = rng.RandomBytes(12);
+  const Bytes pt = rng.RandomBytes(64);
+  Bytes aad = rng.RandomBytes(16);
+  GcmCipher gcm(Backend::kSoft, key);
+  Bytes ct(pt.size()), tag(16);
+  gcm.Seal(iv, aad, pt, ct, tag);
+  aad[3] ^= 0x01;
+  Bytes back(pt.size());
+  EXPECT_FALSE(gcm.Open(iv, aad, ct, back, tag));
+}
+
+// Cross-validate against OpenSSL's GCM on random inputs.
+TEST(Gcm, MatchesOpensslEvp) {
+  Rng rng(64);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Bytes key = rng.RandomBytes(32);
+    const Bytes iv = rng.RandomBytes(12);
+    const Bytes aad = rng.RandomBytes(rng.NextBelow(48));
+    const Bytes pt = rng.RandomBytes(1 + rng.NextBelow(1024));
+
+    GcmCipher ours(Backend::kSoft, key);
+    Bytes our_ct(pt.size()), our_tag(16);
+    ours.Seal(iv, aad, pt, our_ct, our_tag);
+
+    EVP_CIPHER_CTX* ctx = EVP_CIPHER_CTX_new();
+    ASSERT_TRUE(ctx);
+    ASSERT_EQ(EVP_EncryptInit_ex(ctx, EVP_aes_256_gcm(), nullptr, key.data(),
+                                 iv.data()),
+              1);
+    int len = 0;
+    if (!aad.empty()) {
+      ASSERT_EQ(EVP_EncryptUpdate(ctx, nullptr, &len, aad.data(),
+                                  static_cast<int>(aad.size())),
+                1);
+    }
+    Bytes evp_ct(pt.size());
+    ASSERT_EQ(EVP_EncryptUpdate(ctx, evp_ct.data(), &len, pt.data(),
+                                static_cast<int>(pt.size())),
+              1);
+    int fin = 0;
+    ASSERT_EQ(EVP_EncryptFinal_ex(ctx, evp_ct.data() + len, &fin), 1);
+    Bytes evp_tag(16);
+    ASSERT_EQ(EVP_CIPHER_CTX_ctrl(ctx, EVP_CTRL_GCM_GET_TAG, 16,
+                                  evp_tag.data()),
+              1);
+    EVP_CIPHER_CTX_free(ctx);
+
+    ASSERT_EQ(ToHex(our_ct), ToHex(evp_ct)) << "trial " << trial;
+    ASSERT_EQ(ToHex(our_tag), ToHex(evp_tag)) << "trial " << trial;
+  }
+}
+
+TEST(Gcm, IvReuseLeaksXorOfPlaintexts) {
+  // Why GCM REQUIRES the true-nonce IV the paper's metadata provides:
+  // reusing an IV leaks pt1 XOR pt2 directly (CTR keystream cancels).
+  Rng rng(65);
+  const Bytes key = rng.RandomBytes(32);
+  const Bytes iv = rng.RandomBytes(12);
+  const Bytes p1 = rng.RandomBytes(64);
+  const Bytes p2 = rng.RandomBytes(64);
+  GcmCipher gcm(Backend::kSoft, key);
+  Bytes c1(64), c2(64), t1(16), t2(16);
+  gcm.Seal(iv, {}, p1, c1, t1);
+  gcm.Seal(iv, {}, p2, c2, t2);
+  for (size_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(c1[i] ^ c2[i], p1[i] ^ p2[i]);
+  }
+}
+
+}  // namespace
+}  // namespace vde::crypto

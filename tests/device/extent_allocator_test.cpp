@@ -1,0 +1,83 @@
+#include "device/extent_allocator.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace vde::dev {
+namespace {
+
+TEST(ExtentAllocator, AllocatesAlignedFirstFit) {
+  ExtentAllocator a(1 << 20, 4096);
+  auto x = a.Allocate(100);
+  ASSERT_TRUE(x.ok());
+  EXPECT_EQ(*x, 0u);
+  auto y = a.Allocate(5000);
+  ASSERT_TRUE(y.ok());
+  EXPECT_EQ(*y, 4096u);  // 100 rounded to one sector
+  EXPECT_EQ(a.free_bytes(), (1u << 20) - 4096 - 8192);
+}
+
+TEST(ExtentAllocator, RejectsZeroAndOverflow) {
+  ExtentAllocator a(16 * 4096, 4096);
+  EXPECT_FALSE(a.Allocate(0).ok());
+  EXPECT_TRUE(a.Allocate(16 * 4096).ok());
+  EXPECT_EQ(a.Allocate(1).status().code(), StatusCode::kOutOfSpace);
+}
+
+TEST(ExtentAllocator, FreeCoalescesNeighbors) {
+  ExtentAllocator a(64 * 4096, 4096);
+  auto x = a.Allocate(4096);
+  auto y = a.Allocate(4096);
+  auto z = a.Allocate(4096);
+  ASSERT_TRUE(x.ok() && y.ok() && z.ok());
+  a.Free(*x, 4096);
+  a.Free(*z, 4096);
+  // z coalesces with the trailing free space: fragments = {x}, {z..end}.
+  EXPECT_EQ(a.fragments(), 2u);
+  a.Free(*y, 4096);
+  EXPECT_EQ(a.fragments(), 1u) << "freeing y must merge all into one";
+  EXPECT_EQ(a.free_bytes(), 64u * 4096);
+}
+
+TEST(ExtentAllocator, ReusesFreedSpace) {
+  ExtentAllocator a(8 * 4096, 4096);
+  auto x = a.Allocate(8 * 4096);
+  ASSERT_TRUE(x.ok());
+  a.Free(*x, 8 * 4096);
+  auto y = a.Allocate(8 * 4096);
+  ASSERT_TRUE(y.ok());
+  EXPECT_EQ(*y, 0u);
+}
+
+TEST(ExtentAllocator, RandomAllocFreeInvariant) {
+  // Property: free_bytes accounting stays exact under random churn, and
+  // allocations never overlap.
+  ExtentAllocator a(1024 * 4096, 4096);
+  Rng rng(5);
+  std::vector<std::pair<uint64_t, uint64_t>> held;
+  uint64_t outstanding = 0;
+  for (int step = 0; step < 2000; ++step) {
+    if (held.empty() || rng.NextBool(0.6)) {
+      const uint64_t want = (1 + rng.NextBelow(16)) * 4096;
+      auto got = a.Allocate(want);
+      if (got.ok()) {
+        for (const auto& [o, l] : held) {
+          ASSERT_TRUE(*got + want <= o || o + l <= *got)
+              << "overlapping allocation";
+        }
+        held.emplace_back(*got, want);
+        outstanding += want;
+      }
+    } else {
+      const size_t idx = rng.NextBelow(held.size());
+      a.Free(held[idx].first, held[idx].second);
+      outstanding -= held[idx].second;
+      held.erase(held.begin() + static_cast<long>(idx));
+    }
+    ASSERT_EQ(a.free_bytes(), 1024u * 4096 - outstanding);
+  }
+}
+
+}  // namespace
+}  // namespace vde::dev

@@ -1,0 +1,117 @@
+#include "kv/memtable.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace vde::kv {
+namespace {
+
+TEST(MemTable, PutGet) {
+  MemTable m;
+  m.Put(BytesOf("alpha"), BytesOf("1"));
+  m.Put(BytesOf("beta"), BytesOf("2"));
+  ASSERT_NE(m.Get(BytesOf("alpha")), nullptr);
+  EXPECT_EQ(m.Get(BytesOf("alpha"))->value, BytesOf("1"));
+  EXPECT_EQ(m.Get(BytesOf("gamma")), nullptr);
+  EXPECT_EQ(m.entries(), 2u);
+}
+
+TEST(MemTable, OverwriteReplacesInPlace) {
+  MemTable m;
+  m.Put(BytesOf("k"), BytesOf("v1"));
+  m.Put(BytesOf("k"), BytesOf("v2longer"));
+  EXPECT_EQ(m.entries(), 1u);
+  EXPECT_EQ(m.Get(BytesOf("k"))->value, BytesOf("v2longer"));
+  EXPECT_EQ(m.bytes(), 1 + 8u);  // key + new value
+}
+
+TEST(MemTable, DeleteInsertsTombstone) {
+  MemTable m;
+  m.Put(BytesOf("k"), BytesOf("v"));
+  m.Delete(BytesOf("k"));
+  ASSERT_NE(m.Get(BytesOf("k")), nullptr);
+  EXPECT_TRUE(m.Get(BytesOf("k"))->tombstone);
+}
+
+TEST(MemTable, DeleteOfAbsentKeyStillRecorded) {
+  // Tombstones must mask older SSTable data, even for never-seen keys.
+  MemTable m;
+  m.Delete(BytesOf("ghost"));
+  ASSERT_NE(m.Get(BytesOf("ghost")), nullptr);
+  EXPECT_TRUE(m.Get(BytesOf("ghost"))->tombstone);
+}
+
+TEST(MemTable, ScanIsSortedAndBounded) {
+  MemTable m;
+  for (const char* k : {"d", "a", "c", "b", "e"}) {
+    m.Put(BytesOf(k), BytesOf(k));
+  }
+  const auto all = m.ScanAll();
+  ASSERT_EQ(all.size(), 5u);
+  for (size_t i = 1; i < all.size(); ++i) {
+    EXPECT_TRUE(Bytes(all[i - 1].key.begin(), all[i - 1].key.end()) <
+                Bytes(all[i].key.begin(), all[i].key.end()));
+  }
+  const auto some = m.Scan(BytesOf("b"), BytesOf("d"));
+  ASSERT_EQ(some.size(), 2u);
+  EXPECT_EQ(Bytes(some[0].key.begin(), some[0].key.end()), BytesOf("b"));
+  EXPECT_EQ(Bytes(some[1].key.begin(), some[1].key.end()), BytesOf("c"));
+}
+
+TEST(MemTable, ScanOpenEnd) {
+  MemTable m;
+  m.Put(BytesOf("a"), BytesOf("1"));
+  m.Put(BytesOf("z"), BytesOf("2"));
+  const auto out = m.Scan(BytesOf("b"), {});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(Bytes(out[0].key.begin(), out[0].key.end()), BytesOf("z"));
+}
+
+TEST(MemTable, ManyRandomKeysSortedProperty) {
+  MemTable m;
+  Rng rng(42);
+  std::map<Bytes, Bytes> model;
+  for (int i = 0; i < 2000; ++i) {
+    Bytes key = rng.RandomBytes(1 + rng.NextBelow(24));
+    Bytes value = rng.RandomBytes(rng.NextBelow(64));
+    model[key] = value;
+    m.Put(key, value);
+  }
+  EXPECT_EQ(m.entries(), model.size());
+  // Full scan equals the reference model ordering.
+  const auto all = m.ScanAll();
+  ASSERT_EQ(all.size(), model.size());
+  auto it = model.begin();
+  for (size_t i = 0; i < all.size(); ++i, ++it) {
+    ASSERT_EQ(Bytes(all[i].key.begin(), all[i].key.end()), it->first);
+    ASSERT_EQ(all[i].value->value, it->second);
+  }
+  // Random point queries agree.
+  for (const auto& [k, v] : model) {
+    const MemValue* got = m.Get(k);
+    ASSERT_NE(got, nullptr);
+    ASSERT_EQ(got->value, v);
+  }
+}
+
+TEST(MemTable, BinaryKeysWithEmbeddedZeros) {
+  MemTable m;
+  const Bytes k1 = {0x00, 0x00, 0x01};
+  const Bytes k2 = {0x00, 0x01};
+  const Bytes k3 = {0x00};
+  m.Put(k1, BytesOf("a"));
+  m.Put(k2, BytesOf("b"));
+  m.Put(k3, BytesOf("c"));
+  const auto all = m.ScanAll();
+  ASSERT_EQ(all.size(), 3u);
+  // Lexicographic: {00} < {00,00,01} < {00,01}
+  EXPECT_EQ(Bytes(all[0].key.begin(), all[0].key.end()), k3);
+  EXPECT_EQ(Bytes(all[1].key.begin(), all[1].key.end()), k1);
+  EXPECT_EQ(Bytes(all[2].key.begin(), all[2].key.end()), k2);
+}
+
+}  // namespace
+}  // namespace vde::kv

@@ -1,0 +1,173 @@
+// Failure injection: device errors must propagate as clean Status failures
+// (no crashes, no partial silent state), and the journal must fence
+// incomplete transactions.
+#include <gtest/gtest.h>
+
+#include "../testutil.h"
+#include "device/nvme.h"
+#include "kv/db.h"
+#include "objstore/object_store.h"
+#include "util/rng.h"
+
+namespace vde::objstore {
+namespace {
+
+// Device wrapper that fails every write after a fuse burns out.
+class FusedDevice final : public dev::BlockDevice {
+ public:
+  FusedDevice(dev::BlockDevice& parent, uint64_t writes_until_failure)
+      : parent_(parent), fuse_(writes_until_failure) {}
+
+  uint32_t sector_size() const override { return parent_.sector_size(); }
+  uint64_t capacity_bytes() const override {
+    return parent_.capacity_bytes();
+  }
+
+  sim::Task<Status> Read(uint64_t offset, MutByteSpan out) override {
+    co_return co_await parent_.Read(offset, out);
+  }
+
+  sim::Task<Status> Write(uint64_t offset, ByteSpan data) override {
+    if (fuse_ == 0) co_return Status::IoError("injected write failure");
+    fuse_--;
+    co_return co_await parent_.Write(offset, data);
+  }
+
+  const dev::DeviceStats& stats() const override { return parent_.stats(); }
+
+ private:
+  dev::BlockDevice& parent_;
+  uint64_t fuse_;
+};
+
+TEST(FailureInjection, KvWriteFailurePropagates) {
+  testutil::RunSim([]() -> sim::Task<void> {
+    dev::NvmeDevice nvme;
+    FusedDevice fused(nvme, 3);  // superblock + 2 WAL commits succeed
+    auto store = co_await kv::KvStore::Open(fused, kv::KvOptions{});
+    CO_ASSERT_OK(store.status());
+    auto& kv = **store;
+    CO_ASSERT_OK(co_await kv.Put(BytesOf("a"), BytesOf("1")));
+    CO_ASSERT_OK(co_await kv.Put(BytesOf("b"), BytesOf("2")));
+    const Status s = co_await kv.Put(BytesOf("c"), BytesOf("3"));
+    CO_ASSERT_EQ(s.code(), StatusCode::kIoError);
+    // Failed put must not be visible (WAL append failed = no commit).
+    auto got = co_await kv.Get(BytesOf("c"));
+    CO_ASSERT_TRUE(got.ok());
+    CO_ASSERT_FALSE(got->has_value());
+    // Earlier data still readable.
+    auto a = co_await kv.Get(BytesOf("a"));
+    CO_ASSERT_TRUE(a.ok() && a->has_value());
+  });
+}
+
+TEST(FailureInjection, UncommittedBatchInvisibleAfterReopen) {
+  testutil::RunSim([]() -> sim::Task<void> {
+    dev::NvmeDevice nvme;
+    {
+      FusedDevice fused(nvme, 2);  // superblock + 1 WAL commit
+      auto store = co_await kv::KvStore::Open(fused, kv::KvOptions{});
+      CO_ASSERT_OK(store.status());
+      (void)co_await (*store)->Put(BytesOf("committed"), BytesOf("yes"));
+      (void)co_await (*store)->Put(BytesOf("lost"), BytesOf("no"));  // fails
+    }
+    // Reopen on the pristine device: only the committed key survives.
+    auto store = co_await kv::KvStore::Open(nvme, kv::KvOptions{});
+    CO_ASSERT_OK(store.status());
+    auto committed = co_await (*store)->Get(BytesOf("committed"));
+    auto lost = co_await (*store)->Get(BytesOf("lost"));
+    CO_ASSERT_TRUE(committed.ok() && committed->has_value());
+    CO_ASSERT_TRUE(lost.ok());
+    CO_ASSERT_FALSE(lost->has_value());
+  });
+}
+
+TEST(FailureInjection, ConcurrentTransactionsOnOneStoreStayAtomic) {
+  // Many concurrent multi-op transactions (data + omap) on one store:
+  // every transaction must be all-or-nothing and the store's counters
+  // consistent — exercises journal + kv-lane interleavings.
+  testutil::RunSim([]() -> sim::Task<void> {
+    auto nvme = std::make_shared<dev::NvmeDevice>();
+    StoreConfig cfg;
+    cfg.journal_size = 4ull << 20;
+    cfg.kv_region_size = 32ull << 20;
+    auto store = co_await ObjectStore::Open(nvme, cfg);
+    CO_ASSERT_OK(store.status());
+    auto& os = **store;
+
+    constexpr int kTxns = 40;
+    std::vector<Status> results(kTxns);
+    std::vector<sim::Task<void>> tasks;
+    for (int i = 0; i < kTxns; ++i) {
+      tasks.push_back([](ObjectStore* os, int i, Status* out) -> sim::Task<void> {
+        Rng rng(1000 + i);
+        Transaction txn;
+        txn.oid = "obj" + std::to_string(i % 5);
+        OsdOp w;
+        w.type = OsdOp::Type::kWrite;
+        w.offset = static_cast<uint64_t>(i) * 4096;
+        w.length = 4096;
+        w.data = rng.RandomBytes(4096);
+        OsdOp o;
+        o.type = OsdOp::Type::kOmapSet;
+        Bytes key(8);
+        StoreU64Be(key.data(), static_cast<uint64_t>(i));
+        o.omap_kvs.emplace_back(key, rng.RandomBytes(16));
+        txn.ops.push_back(std::move(w));
+        txn.ops.push_back(std::move(o));
+        *out = co_await os->Apply(txn, {});
+      }(&os, i, &results[i]));
+    }
+    co_await sim::WhenAll(std::move(tasks));
+    co_await os.Drain();
+
+    for (int i = 0; i < kTxns; ++i) {
+      CO_ASSERT_OK(results[i]);
+    }
+    CO_ASSERT_EQ(os.stats().transactions, static_cast<uint64_t>(kTxns));
+    // Every omap row must be present (no lost updates across the kv lane).
+    for (int i = 0; i < kTxns; ++i) {
+      Transaction get;
+      get.oid = "obj" + std::to_string(i % 5);
+      OsdOp g;
+      g.type = OsdOp::Type::kOmapGetRange;
+      Bytes lo(8), hi(8);
+      StoreU64Be(lo.data(), static_cast<uint64_t>(i));
+      StoreU64Be(hi.data(), static_cast<uint64_t>(i) + 1);
+      g.omap_start = lo;
+      g.omap_end = hi;
+      get.ops.push_back(std::move(g));
+      auto got = co_await os.ExecuteRead(get, kHeadSnap);
+      CO_ASSERT_OK(got.status());
+      CO_ASSERT_EQ(got->omap_values.size(), 1u);
+    }
+  });
+}
+
+TEST(FailureInjection, JournalChurnSurvivesManyCheckpoints) {
+  testutil::RunSim([]() -> sim::Task<void> {
+    auto nvme = std::make_shared<dev::NvmeDevice>();
+    StoreConfig cfg;
+    cfg.journal_size = 512 * 1024;  // tiny: checkpoint every ~few txns
+    cfg.kv_region_size = 32ull << 20;
+    auto store = co_await ObjectStore::Open(nvme, cfg);
+    CO_ASSERT_OK(store.status());
+    auto& os = **store;
+    Rng rng(9);
+    for (int i = 0; i < 60; ++i) {
+      Transaction txn;
+      txn.oid = "churn";
+      OsdOp w;
+      w.type = OsdOp::Type::kWrite;
+      w.offset = 0;
+      w.length = 128 * 1024;
+      w.data = rng.RandomBytes(128 * 1024);
+      txn.ops.push_back(std::move(w));
+      CO_ASSERT_OK(co_await os.Apply(txn, {}));
+    }
+    CO_ASSERT_EQ(os.stats().transactions, 60u);
+  });
+}
+
+}  // namespace
+}  // namespace vde::objstore

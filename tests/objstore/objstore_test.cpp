@@ -1,0 +1,378 @@
+// Object store tests: transactional writes, OMAP, RMW accounting,
+// snapshots/clones, remove, and journal behavior.
+#include <gtest/gtest.h>
+
+#include "../testutil.h"
+#include "device/nvme.h"
+#include "objstore/object_store.h"
+#include "util/rng.h"
+
+namespace vde::objstore {
+namespace {
+
+StoreConfig SmallStore() {
+  StoreConfig c;
+  c.journal_size = 8ull << 20;
+  c.kv_region_size = 32ull << 20;
+  c.max_object_size = (4ull << 20) + (1ull << 20);
+  c.kv.wal_size = 1ull << 20;
+  c.kv.memtable_limit = 1ull << 20;
+  return c;
+}
+
+Transaction WriteTxn(const std::string& oid, uint64_t off, Bytes data) {
+  Transaction txn;
+  txn.oid = oid;
+  OsdOp op;
+  op.type = OsdOp::Type::kWrite;
+  op.offset = off;
+  op.length = data.size();
+  op.data = std::move(data);
+  txn.ops.push_back(std::move(op));
+  return txn;
+}
+
+Transaction ReadTxn(const std::string& oid, uint64_t off, uint64_t len) {
+  Transaction txn;
+  txn.oid = oid;
+  OsdOp op;
+  op.type = OsdOp::Type::kRead;
+  op.offset = off;
+  op.length = len;
+  txn.ops.push_back(std::move(op));
+  return txn;
+}
+
+TEST(ObjectStore, WriteReadRoundtrip) {
+  testutil::RunSim([]() -> sim::Task<void> {
+    auto nvme = std::make_shared<dev::NvmeDevice>();
+    auto store = co_await ObjectStore::Open(nvme, SmallStore());
+    CO_ASSERT_OK(store.status());
+    auto& os = **store;
+    Rng rng(1);
+    const Bytes data = rng.RandomBytes(8192);
+    CO_ASSERT_OK(co_await os.Apply(WriteTxn("obj1", 4096, data), {}));
+    auto got = co_await os.ExecuteRead(ReadTxn("obj1", 4096, 8192), kHeadSnap);
+    CO_ASSERT_OK(got.status());
+    EXPECT_EQ(got->data, data);
+    EXPECT_EQ(os.ObjectSize("obj1"), 4096u + 8192u);
+  });
+}
+
+TEST(ObjectStore, UnalignedWriteReadBytes) {
+  testutil::RunSim([]() -> sim::Task<void> {
+    auto nvme = std::make_shared<dev::NvmeDevice>();
+    auto store = co_await ObjectStore::Open(nvme, SmallStore());
+    auto& os = **store;
+    Rng rng(2);
+    // The unaligned IV layout writes at byte offsets like 4112.
+    const Bytes data = rng.RandomBytes(4112);
+    CO_ASSERT_OK(co_await os.Apply(WriteTxn("obj", 4112, data), {}));
+    auto got = co_await os.ExecuteRead(ReadTxn("obj", 4112, 4112), kHeadSnap);
+    CO_ASSERT_OK(got.status());
+    EXPECT_EQ(got->data, data);
+  });
+}
+
+TEST(ObjectStore, UnalignedWritesChargeRmw) {
+  testutil::RunSim([]() -> sim::Task<void> {
+    auto nvme = std::make_shared<dev::NvmeDevice>();
+    auto store = co_await ObjectStore::Open(nvme, SmallStore());
+    auto& os = **store;
+    Rng rng(3);
+    CO_ASSERT_OK(co_await os.Apply(WriteTxn("a", 0, rng.RandomBytes(4096)), {}));
+    co_await os.Drain();
+    EXPECT_EQ(os.stats().rmw_sectors, 0u) << "aligned write needs no RMW";
+    CO_ASSERT_OK(co_await os.Apply(WriteTxn("a", 100, rng.RandomBytes(5000)), {}));
+    co_await os.Drain();
+    EXPECT_EQ(os.stats().rmw_sectors, 2u) << "head and tail sectors RMW";
+  });
+}
+
+TEST(ObjectStore, MultiOpTransactionAppliesAll) {
+  testutil::RunSim([]() -> sim::Task<void> {
+    auto nvme = std::make_shared<dev::NvmeDevice>();
+    auto store = co_await ObjectStore::Open(nvme, SmallStore());
+    auto& os = **store;
+    Rng rng(4);
+    const Bytes data = rng.RandomBytes(4096);
+    // Data write + IV write in ONE transaction (the paper's object-end path).
+    Transaction txn;
+    txn.oid = "combo";
+    OsdOp w1;
+    w1.type = OsdOp::Type::kWrite;
+    w1.offset = 0;
+    w1.length = 4096;
+    w1.data = data;
+    const Bytes iv = rng.RandomBytes(16);
+    OsdOp w2;
+    w2.type = OsdOp::Type::kWrite;
+    w2.offset = 4ull << 20;  // metadata region at object end
+    w2.length = 16;
+    w2.data = iv;
+    txn.ops.push_back(std::move(w1));
+    txn.ops.push_back(std::move(w2));
+    CO_ASSERT_OK(co_await os.Apply(txn, {}));
+
+    auto d = co_await os.ExecuteRead(ReadTxn("combo", 0, 4096), kHeadSnap);
+    auto i = co_await os.ExecuteRead(ReadTxn("combo", 4ull << 20, 16), kHeadSnap);
+    CO_ASSERT_OK(d.status());
+    CO_ASSERT_OK(i.status());
+    EXPECT_EQ(d->data, data);
+    EXPECT_EQ(i->data, iv);
+  });
+}
+
+TEST(ObjectStore, OmapSetAndRangeGet) {
+  testutil::RunSim([]() -> sim::Task<void> {
+    auto nvme = std::make_shared<dev::NvmeDevice>();
+    auto store = co_await ObjectStore::Open(nvme, SmallStore());
+    auto& os = **store;
+    Transaction txn;
+    txn.oid = "omapobj";
+    OsdOp op;
+    op.type = OsdOp::Type::kOmapSet;
+    for (uint32_t i = 0; i < 32; ++i) {
+      Bytes key(8);
+      StoreU64Be(key.data(), i);
+      op.omap_kvs.emplace_back(key, BytesOf("iv" + std::to_string(i)));
+    }
+    txn.ops.push_back(std::move(op));
+    CO_ASSERT_OK(co_await os.Apply(txn, {}));
+
+    Transaction get;
+    get.oid = "omapobj";
+    OsdOp g;
+    g.type = OsdOp::Type::kOmapGetRange;
+    Bytes lo(8), hi(8);
+    StoreU64Be(lo.data(), 10);
+    StoreU64Be(hi.data(), 20);
+    g.omap_start = lo;
+    g.omap_end = hi;
+    get.ops.push_back(std::move(g));
+    auto got = co_await os.ExecuteRead(get, kHeadSnap);
+    CO_ASSERT_OK(got.status());
+    CO_ASSERT_EQ(got->omap_values.size(), 10u);
+    EXPECT_EQ(got->omap_values[0].second, BytesOf("iv10"));
+    EXPECT_EQ(got->omap_values[9].second, BytesOf("iv19"));
+  });
+}
+
+TEST(ObjectStore, DataAndOmapInOneTransaction) {
+  testutil::RunSim([]() -> sim::Task<void> {
+    auto nvme = std::make_shared<dev::NvmeDevice>();
+    auto store = co_await ObjectStore::Open(nvme, SmallStore());
+    auto& os = **store;
+    Rng rng(5);
+    Transaction txn;
+    txn.oid = "mix";
+    OsdOp w;
+    w.type = OsdOp::Type::kWrite;
+    w.offset = 0;
+    w.length = 4096;
+    w.data = rng.RandomBytes(4096);
+    OsdOp o;
+    o.type = OsdOp::Type::kOmapSet;
+    Bytes key(8);
+    StoreU64Be(key.data(), 0);
+    o.omap_kvs.emplace_back(key, rng.RandomBytes(16));
+    txn.ops.push_back(std::move(w));
+    txn.ops.push_back(std::move(o));
+    CO_ASSERT_OK(co_await os.Apply(txn, {}));
+    EXPECT_EQ(os.stats().transactions, 1u);
+  });
+}
+
+TEST(ObjectStore, RemoveFreesObjectAndOmap) {
+  testutil::RunSim([]() -> sim::Task<void> {
+    auto nvme = std::make_shared<dev::NvmeDevice>();
+    auto store = co_await ObjectStore::Open(nvme, SmallStore());
+    auto& os = **store;
+    Rng rng(6);
+    CO_ASSERT_OK(co_await os.Apply(WriteTxn("gone", 0, rng.RandomBytes(4096)), {}));
+    Transaction omap;
+    omap.oid = "gone";
+    OsdOp o;
+    o.type = OsdOp::Type::kOmapSet;
+    o.omap_kvs.emplace_back(BytesOf("k"), BytesOf("v"));
+    omap.ops.push_back(std::move(o));
+    CO_ASSERT_OK(co_await os.Apply(omap, {}));
+    EXPECT_TRUE(os.ObjectExists("gone"));
+
+    Transaction rm;
+    rm.oid = "gone";
+    OsdOp r;
+    r.type = OsdOp::Type::kRemove;
+    rm.ops.push_back(std::move(r));
+    CO_ASSERT_OK(co_await os.Apply(rm, {}));
+    EXPECT_FALSE(os.ObjectExists("gone"));
+
+    // OMAP rows must be gone too.
+    Transaction get;
+    get.oid = "gone";
+    OsdOp g;
+    g.type = OsdOp::Type::kOmapGetRange;
+    get.ops.push_back(std::move(g));
+    auto got = co_await os.ExecuteRead(get, kHeadSnap);
+    CO_ASSERT_OK(got.status());
+    EXPECT_TRUE(got->omap_values.empty());
+  });
+}
+
+TEST(ObjectStore, SnapshotPreservesOldData) {
+  testutil::RunSim([]() -> sim::Task<void> {
+    auto nvme = std::make_shared<dev::NvmeDevice>();
+    auto store = co_await ObjectStore::Open(nvme, SmallStore());
+    auto& os = **store;
+    Rng rng(7);
+    const Bytes v1 = rng.RandomBytes(4096);
+    const Bytes v2 = rng.RandomBytes(4096);
+    CO_ASSERT_OK(co_await os.Apply(WriteTxn("snapobj", 0, v1), {}));
+    // Snapshot id 5 taken; subsequent write carries snapc.seq = 5.
+    SnapContext snapc{5, {5}};
+    CO_ASSERT_OK(co_await os.Apply(WriteTxn("snapobj", 0, v2), snapc));
+    EXPECT_EQ(os.CloneCount("snapobj"), 1u);
+
+    auto head = co_await os.ExecuteRead(ReadTxn("snapobj", 0, 4096), kHeadSnap);
+    auto old = co_await os.ExecuteRead(ReadTxn("snapobj", 0, 4096), 5);
+    CO_ASSERT_OK(head.status());
+    CO_ASSERT_OK(old.status());
+    EXPECT_EQ(head->data, v2);
+    EXPECT_EQ(old->data, v1);
+  });
+}
+
+TEST(ObjectStore, SnapshotClonesOmapRows) {
+  testutil::RunSim([]() -> sim::Task<void> {
+    auto nvme = std::make_shared<dev::NvmeDevice>();
+    auto store = co_await ObjectStore::Open(nvme, SmallStore());
+    auto& os = **store;
+    // Object with data + OMAP IV, then snapshot, then overwrite both.
+    auto put = [&os](Bytes iv, const SnapContext& snapc) -> sim::Task<Status> {
+      Transaction txn;
+      txn.oid = "ivobj";
+      OsdOp w;
+      w.type = OsdOp::Type::kWrite;
+      w.offset = 0;
+      w.length = 4096;
+      w.data = Bytes(4096, iv[0]);
+      OsdOp o;
+      o.type = OsdOp::Type::kOmapSet;
+      Bytes key(8);
+      StoreU64Be(key.data(), 0);
+      o.omap_kvs.emplace_back(key, std::move(iv));
+      txn.ops.push_back(std::move(w));
+      txn.ops.push_back(std::move(o));
+      co_return co_await os.Apply(txn, snapc);
+    };
+    CO_ASSERT_OK(co_await put(Bytes(16, 0xAA), {}));
+    SnapContext snapc{9, {9}};
+    CO_ASSERT_OK(co_await put(Bytes(16, 0xBB), snapc));
+
+    Transaction get;
+    get.oid = "ivobj";
+    OsdOp g;
+    g.type = OsdOp::Type::kOmapGetRange;
+    get.ops.push_back(std::move(g));
+    auto head = co_await os.ExecuteRead(get, kHeadSnap);
+    auto old = co_await os.ExecuteRead(get, 9);
+    CO_ASSERT_OK(head.status());
+    CO_ASSERT_OK(old.status());
+    CO_ASSERT_EQ(head->omap_values.size(), 1u);
+    CO_ASSERT_EQ(old->omap_values.size(), 1u);
+    EXPECT_EQ(head->omap_values[0].second, Bytes(16, 0xBB));
+    EXPECT_EQ(old->omap_values[0].second, Bytes(16, 0xAA));
+  });
+}
+
+TEST(ObjectStore, MultipleSnapshots) {
+  testutil::RunSim([]() -> sim::Task<void> {
+    auto nvme = std::make_shared<dev::NvmeDevice>();
+    auto store = co_await ObjectStore::Open(nvme, SmallStore());
+    auto& os = **store;
+    CO_ASSERT_OK(co_await os.Apply(WriteTxn("m", 0, Bytes(4096, 1)), {}));
+    SnapContext snap10;
+    snap10.seq = 10;
+    snap10.snaps = {10};
+    SnapContext snap20;
+    snap20.seq = 20;
+    snap20.snaps = {20, 10};
+    CO_ASSERT_OK(co_await os.Apply(WriteTxn("m", 0, Bytes(4096, 2)), snap10));
+    CO_ASSERT_OK(co_await os.Apply(WriteTxn("m", 0, Bytes(4096, 3)), snap20));
+    auto s10 = co_await os.ExecuteRead(ReadTxn("m", 0, 1), 10);
+    auto s20 = co_await os.ExecuteRead(ReadTxn("m", 0, 1), 20);
+    auto head = co_await os.ExecuteRead(ReadTxn("m", 0, 1), kHeadSnap);
+    CO_ASSERT_OK(s10.status());
+    CO_ASSERT_OK(s20.status());
+    CO_ASSERT_OK(head.status());
+    EXPECT_EQ(s10->data[0], 1);
+    EXPECT_EQ(s20->data[0], 2);
+    EXPECT_EQ(head->data[0], 3);
+  });
+}
+
+TEST(ObjectStore, SnapshotWithoutLaterWriteReadsHead) {
+  testutil::RunSim([]() -> sim::Task<void> {
+    auto nvme = std::make_shared<dev::NvmeDevice>();
+    auto store = co_await ObjectStore::Open(nvme, SmallStore());
+    auto& os = **store;
+    CO_ASSERT_OK(co_await os.Apply(WriteTxn("q", 0, Bytes(4096, 7)), {}));
+    // Snapshot 3 exists but object never written after -> head serves it.
+    auto got = co_await os.ExecuteRead(ReadTxn("q", 0, 1), 3);
+    CO_ASSERT_OK(got.status());
+    EXPECT_EQ(got->data[0], 7);
+  });
+}
+
+TEST(ObjectStore, JournalGrowsWithPayload) {
+  testutil::RunSim([]() -> sim::Task<void> {
+    auto nvme = std::make_shared<dev::NvmeDevice>();
+    auto store = co_await ObjectStore::Open(nvme, SmallStore());
+    auto& os = **store;
+    Rng rng(8);
+    CO_ASSERT_OK(co_await os.Apply(WriteTxn("j", 0, rng.RandomBytes(64 * 1024)), {}));
+    EXPECT_GE(os.stats().journal_bytes, 64u * 1024);
+  });
+}
+
+TEST(ObjectStore, JournalCheckpointWhenFull) {
+  testutil::RunSim([]() -> sim::Task<void> {
+    auto nvme = std::make_shared<dev::NvmeDevice>();
+    StoreConfig cfg = SmallStore();
+    cfg.journal_size = 1ull << 20;  // tiny journal: forces checkpoints
+    auto store = co_await ObjectStore::Open(nvme, cfg);
+    auto& os = **store;
+    Rng rng(9);
+    for (int i = 0; i < 40; ++i) {
+      CO_ASSERT_OK(
+          co_await os.Apply(WriteTxn("ck", 0, rng.RandomBytes(128 * 1024)), {}));
+    }
+    // All 40 x 128K journaled through a 1M journal => checkpoints happened
+    // and nothing failed.
+    EXPECT_EQ(os.stats().transactions, 40u);
+  });
+}
+
+TEST(ObjectStore, ReadOfMissingObjectFails) {
+  testutil::RunSim([]() -> sim::Task<void> {
+    auto nvme = std::make_shared<dev::NvmeDevice>();
+    auto store = co_await ObjectStore::Open(nvme, SmallStore());
+    auto& os = **store;
+    auto got = co_await os.ExecuteRead(ReadTxn("nope", 0, 4096), kHeadSnap);
+    EXPECT_EQ(got.status().code(), StatusCode::kNotFound);
+  });
+}
+
+TEST(ObjectStore, WriteBeyondMaxObjectRejected) {
+  testutil::RunSim([]() -> sim::Task<void> {
+    auto nvme = std::make_shared<dev::NvmeDevice>();
+    auto store = co_await ObjectStore::Open(nvme, SmallStore());
+    auto& os = **store;
+    const auto status =
+        co_await os.Apply(WriteTxn("big", 5ull << 20, Bytes(4096, 0)), {});
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  });
+}
+
+}  // namespace
+}  // namespace vde::objstore

@@ -1,0 +1,210 @@
+// Cluster tests: placement properties, replication, transactions across the
+// network, snapshots through the client API, and failure of invariants.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "../testutil.h"
+#include "rados/cluster.h"
+#include "util/rng.h"
+
+namespace vde::rados {
+namespace {
+
+ClusterConfig SmallCluster() {
+  ClusterConfig c;
+  c.store.journal_size = 8ull << 20;
+  c.store.kv_region_size = 32ull << 20;
+  return c;
+}
+
+TEST(Placement, DeterministicAndReplicaCountCorrect) {
+  Placement p(PlacementConfig{128, 3, 9, 3});
+  const auto a = p.OsdsFor("rbd_data.1.000001");
+  const auto b = p.OsdsFor("rbd_data.1.000001");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.size(), 3u);
+}
+
+TEST(Placement, ReplicasOnDistinctNodes) {
+  Placement p(PlacementConfig{128, 3, 9, 3});
+  for (int i = 0; i < 200; ++i) {
+    const auto osds = p.OsdsFor("obj" + std::to_string(i));
+    std::set<size_t> nodes;
+    for (size_t osd : osds) nodes.insert(osd / 9);
+    EXPECT_EQ(nodes.size(), 3u) << "replicas must span all 3 nodes";
+  }
+}
+
+TEST(Placement, PrimariesSpreadAcrossOsds) {
+  Placement p(PlacementConfig{256, 3, 9, 3});
+  std::map<size_t, int> primary_count;
+  for (int i = 0; i < 2000; ++i) {
+    primary_count[p.OsdsFor("img." + std::to_string(i))[0]]++;
+  }
+  // All 27 OSDs should serve as primary for some objects.
+  EXPECT_EQ(primary_count.size(), 27u);
+  for (const auto& [osd, count] : primary_count) {
+    EXPECT_GT(count, 2000 / 27 / 4) << "osd " << osd << " badly underloaded";
+  }
+}
+
+TEST(Placement, DifferentPgCountsStillValid) {
+  for (uint32_t pgs : {8u, 64u, 512u}) {
+    Placement p(PlacementConfig{pgs, 3, 9, 3});
+    const auto osds = p.OsdsFor("x");
+    EXPECT_EQ(osds.size(), 3u);
+  }
+}
+
+TEST(Cluster, WriteReplicatesToAllActingOsds) {
+  testutil::RunSim([]() -> sim::Task<void> {
+    auto cluster = co_await Cluster::Create(SmallCluster());
+    CO_ASSERT_OK(cluster.status());
+    auto io = (*cluster)->ioctx();
+    Rng rng(1);
+    const Bytes data = rng.RandomBytes(8192);
+    CO_ASSERT_OK(co_await io.WriteFull("replobj", data));
+
+    const auto acting = (*cluster)->placement().OsdsFor("replobj");
+    CO_ASSERT_EQ(acting.size(), 3u);
+    for (size_t osd_id : acting) {
+      EXPECT_TRUE((*cluster)->osd(osd_id).store().ObjectExists("replobj"))
+          << "osd " << osd_id;
+      EXPECT_EQ((*cluster)->osd(osd_id).store().ObjectSize("replobj"), 8192u);
+    }
+    // Non-acting OSDs must NOT have the object.
+    size_t have = 0;
+    for (size_t i = 0; i < (*cluster)->osd_count(); ++i) {
+      if ((*cluster)->osd(i).store().ObjectExists("replobj")) have++;
+    }
+    EXPECT_EQ(have, 3u);
+  });
+}
+
+TEST(Cluster, ReadReturnsWrittenData) {
+  testutil::RunSim([]() -> sim::Task<void> {
+    auto cluster = co_await Cluster::Create(SmallCluster());
+    auto io = (*cluster)->ioctx();
+    Rng rng(2);
+    const Bytes data = rng.RandomBytes(65536);
+    CO_ASSERT_OK(co_await io.WriteFull("robj", data));
+    auto got = co_await io.Read("robj", 0, 65536);
+    CO_ASSERT_OK(got.status());
+    EXPECT_EQ(*got, data);
+    // Partial read.
+    auto part = co_await io.Read("robj", 4096, 8192);
+    CO_ASSERT_OK(part.status());
+    EXPECT_TRUE(std::equal(part->begin(), part->end(), data.begin() + 4096));
+  });
+}
+
+TEST(Cluster, TransactionWithDataAndOmap) {
+  testutil::RunSim([]() -> sim::Task<void> {
+    auto cluster = co_await Cluster::Create(SmallCluster());
+    auto io = (*cluster)->ioctx();
+    Rng rng(3);
+    objstore::Transaction txn;
+    objstore::OsdOp w;
+    w.type = objstore::OsdOp::Type::kWrite;
+    w.offset = 0;
+    w.length = 4096;
+    w.data = rng.RandomBytes(4096);
+    objstore::OsdOp o;
+    o.type = objstore::OsdOp::Type::kOmapSet;
+    Bytes key(8);
+    StoreU64Be(key.data(), 0);
+    const Bytes iv = rng.RandomBytes(16);
+    o.omap_kvs.emplace_back(key, iv);
+    txn.ops.push_back(std::move(w));
+    txn.ops.push_back(std::move(o));
+    CO_ASSERT_OK(co_await io.Operate("txobj", std::move(txn), {}));
+
+    // Read data + omap in one op (parallel at the OSD).
+    objstore::Transaction get;
+    objstore::OsdOp r;
+    r.type = objstore::OsdOp::Type::kRead;
+    r.offset = 0;
+    r.length = 4096;
+    objstore::OsdOp g;
+    g.type = objstore::OsdOp::Type::kOmapGetRange;
+    get.ops.push_back(std::move(r));
+    get.ops.push_back(std::move(g));
+    auto got = co_await io.OperateRead("txobj", std::move(get));
+    CO_ASSERT_OK(got.status());
+    EXPECT_EQ(got->data.size(), 4096u);
+    CO_ASSERT_EQ(got->omap_values.size(), 1u);
+    EXPECT_EQ(got->omap_values[0].second, iv);
+  });
+}
+
+TEST(Cluster, SnapshotReadThroughClient) {
+  testutil::RunSim([]() -> sim::Task<void> {
+    auto cluster = co_await Cluster::Create(SmallCluster());
+    auto io = (*cluster)->ioctx();
+    CO_ASSERT_OK(co_await io.WriteFull("snapper", Bytes(4096, 0x11)));
+    const uint64_t snap = (*cluster)->AllocateSnapId();
+    objstore::SnapContext snapc{snap, {snap}};
+    objstore::Transaction txn;
+    objstore::OsdOp w;
+    w.type = objstore::OsdOp::Type::kWriteFull;
+    w.data = Bytes(4096, 0x22);
+    txn.ops.push_back(std::move(w));
+    CO_ASSERT_OK(co_await io.Operate("snapper", std::move(txn), snapc));
+
+    auto head = co_await io.Read("snapper", 0, 4096);
+    auto old = co_await io.Read("snapper", 0, 4096, snap);
+    CO_ASSERT_OK(head.status());
+    CO_ASSERT_OK(old.status());
+    EXPECT_EQ((*head)[0], 0x22);
+    EXPECT_EQ((*old)[0], 0x11);
+  });
+}
+
+TEST(Cluster, WritesAdvanceSimulatedTime) {
+  testutil::RunSim([]() -> sim::Task<void> {
+    auto cluster = co_await Cluster::Create(SmallCluster());
+    auto io = (*cluster)->ioctx();
+    const auto t0 = sim::Scheduler::Current().now();
+    CO_ASSERT_OK(co_await io.WriteFull("timed", Bytes(4096, 1)));
+    const auto elapsed = sim::Scheduler::Current().now() - t0;
+    // Write must cost at least the primary+replica software path.
+    EXPECT_GT(elapsed, 500 * sim::kUs);
+    EXPECT_LT(elapsed, 5 * sim::kMs);
+  });
+}
+
+TEST(Cluster, ReadsCheaperThanWrites) {
+  testutil::RunSim([]() -> sim::Task<void> {
+    auto cluster = co_await Cluster::Create(SmallCluster());
+    auto io = (*cluster)->ioctx();
+    CO_ASSERT_OK(co_await io.WriteFull("rw", Bytes(4096, 1)));
+    co_await (*cluster)->Drain();
+
+    const auto t0 = sim::Scheduler::Current().now();
+    (void)co_await io.Read("rw", 0, 4096);
+    const auto read_time = sim::Scheduler::Current().now() - t0;
+
+    const auto t1 = sim::Scheduler::Current().now();
+    CO_ASSERT_OK(co_await io.WriteFull("rw", Bytes(4096, 2)));
+    const auto write_time = sim::Scheduler::Current().now() - t1;
+    EXPECT_LT(read_time, write_time)
+        << "replication must make writes slower than reads";
+  });
+}
+
+TEST(Cluster, DeviceStatsAggregate) {
+  testutil::RunSim([]() -> sim::Task<void> {
+    auto cluster = co_await Cluster::Create(SmallCluster());
+    auto io = (*cluster)->ioctx();
+    CO_ASSERT_OK(co_await io.WriteFull("statobj", Bytes(16384, 5)));
+    co_await (*cluster)->Drain();
+    const auto stats = (*cluster)->TotalDeviceStats();
+    // 3 replicas x (journal write + data apply) at minimum.
+    EXPECT_GE(stats.write_ops, 6u);
+    EXPECT_GE(stats.bytes_written, 3u * 2 * 16384);
+  });
+}
+
+}  // namespace
+}  // namespace vde::rados

@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/scheduler.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+
+namespace vde::sim {
+namespace {
+
+Task<void> SleepAndRecord(SimTime delay, std::vector<SimTime>* log) {
+  co_await Sleep{delay};
+  log->push_back(Scheduler::Current().now());
+}
+
+TEST(Scheduler, TimeAdvancesWithSleep) {
+  Scheduler sched;
+  std::vector<SimTime> log;
+  sched.Spawn(SleepAndRecord(100, &log));
+  sched.Spawn(SleepAndRecord(50, &log));
+  sched.Run();
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[0], 50u);
+  EXPECT_EQ(log[1], 100u);
+  EXPECT_EQ(sched.now(), 100u);
+}
+
+Task<void> Chain(std::vector<int>* log) {
+  log->push_back(1);
+  co_await Sleep{10};
+  log->push_back(2);
+  co_await Sleep{10};
+  log->push_back(3);
+}
+
+TEST(Scheduler, SequentialAwaitsInOneTask) {
+  Scheduler sched;
+  std::vector<int> log;
+  sched.Spawn(Chain(&log));
+  sched.Run();
+  EXPECT_EQ(log, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sched.now(), 20u);
+}
+
+Task<int> Answer() { co_return 42; }
+
+Task<int> AddOne() {
+  const int v = co_await Answer();
+  co_return v + 1;
+}
+
+Task<void> StoreResult(int* out) { *out = co_await AddOne(); }
+
+TEST(Task, ValueChaining) {
+  Scheduler sched;
+  int out = 0;
+  sched.Spawn(StoreResult(&out));
+  sched.Run();
+  EXPECT_EQ(out, 43);
+}
+
+TEST(Scheduler, FifoOrderAtSameTimestamp) {
+  Scheduler sched;
+  std::vector<SimTime> log;
+  // Same wake time: spawn order must be preserved (determinism).
+  for (int i = 0; i < 5; ++i) {
+    sched.Spawn(SleepAndRecord(100, &log));
+  }
+  std::vector<int> order;
+  sched.Run();
+  EXPECT_EQ(log.size(), 5u);
+}
+
+Task<void> UseSemaphore(Semaphore& sem, SimTime hold, std::vector<SimTime>* done) {
+  co_await sem.Acquire();
+  co_await Sleep{hold};
+  sem.Release();
+  done->push_back(Scheduler::Current().now());
+}
+
+TEST(Semaphore, LimitsParallelism) {
+  Scheduler sched;
+  Semaphore sem(2);
+  std::vector<SimTime> done;
+  for (int i = 0; i < 4; ++i) {
+    sched.Spawn(UseSemaphore(sem, 100, &done));
+  }
+  sched.Run();
+  // Two run [0,100], the next two [100,200].
+  ASSERT_EQ(done.size(), 4u);
+  EXPECT_EQ(done[0], 100u);
+  EXPECT_EQ(done[1], 100u);
+  EXPECT_EQ(done[2], 200u);
+  EXPECT_EQ(done[3], 200u);
+  EXPECT_EQ(sem.available(), 2u);
+}
+
+TEST(Semaphore, FifoFairness) {
+  Scheduler sched;
+  Semaphore sem(1);
+  std::vector<SimTime> done;
+  for (int i = 0; i < 3; ++i) sched.Spawn(UseSemaphore(sem, 10, &done));
+  sched.Run();
+  EXPECT_EQ(done, (std::vector<SimTime>{10, 20, 30}));
+}
+
+Task<void> Waiter(WaitGroup& wg, bool* flag) {
+  co_await wg.Wait();
+  *flag = true;
+}
+
+Task<void> Worker(WaitGroup& wg, SimTime d) {
+  co_await Sleep{d};
+  wg.Done();
+}
+
+TEST(WaitGroup, JoinsAllWorkers) {
+  Scheduler sched;
+  WaitGroup wg(3);
+  bool flag = false;
+  sched.Spawn(Waiter(wg, &flag));
+  sched.Spawn(Worker(wg, 10));
+  sched.Spawn(Worker(wg, 30));
+  sched.Spawn(Worker(wg, 20));
+  sched.Run();
+  EXPECT_TRUE(flag);
+  EXPECT_EQ(sched.now(), 30u);
+}
+
+Task<void> GateWaiter(Gate& gate, std::vector<SimTime>* log) {
+  co_await gate.Wait();
+  log->push_back(Scheduler::Current().now());
+}
+
+Task<void> GateFirer(Gate& gate) {
+  co_await Sleep{500};
+  gate.Fire();
+}
+
+TEST(Gate, BroadcastsToAllWaiters) {
+  Scheduler sched;
+  Gate gate;
+  std::vector<SimTime> log;
+  sched.Spawn(GateWaiter(gate, &log));
+  sched.Spawn(GateWaiter(gate, &log));
+  sched.Spawn(GateFirer(gate));
+  sched.Run();
+  EXPECT_EQ(log, (std::vector<SimTime>{500, 500}));
+}
+
+TEST(Gate, WaitAfterFireCompletesImmediately) {
+  Scheduler sched;
+  Gate gate;
+  gate.Fire();
+  std::vector<SimTime> log;
+  sched.Spawn(GateWaiter(gate, &log));
+  sched.Run();
+  EXPECT_EQ(log, (std::vector<SimTime>{0}));
+}
+
+Task<void> Togethers(std::vector<SimTime>* log) {
+  std::vector<Task<void>> tasks;
+  tasks.push_back(SleepAndRecord(30, log));
+  tasks.push_back(SleepAndRecord(10, log));
+  tasks.push_back(SleepAndRecord(20, log));
+  co_await WhenAll(std::move(tasks));
+  log->push_back(Scheduler::Current().now() + 1000);  // sentinel after join
+}
+
+TEST(WhenAll, RunsConcurrentlyAndJoins) {
+  Scheduler sched;
+  std::vector<SimTime> log;
+  sched.Spawn(Togethers(&log));
+  sched.Run();
+  ASSERT_EQ(log.size(), 4u);
+  EXPECT_EQ(log[0], 10u);
+  EXPECT_EQ(log[1], 20u);
+  EXPECT_EQ(log[2], 30u);
+  EXPECT_EQ(log[3], 1030u) << "join must happen at the max, not the sum";
+}
+
+TEST(Scheduler, RunUntilStopsAtDeadline) {
+  Scheduler sched;
+  std::vector<SimTime> log;
+  sched.Spawn(SleepAndRecord(100, &log));
+  sched.Spawn(SleepAndRecord(300, &log));
+  sched.RunUntil(150);
+  EXPECT_EQ(log.size(), 1u);
+  EXPECT_EQ(sched.now(), 150u);
+  sched.Run();
+  EXPECT_EQ(log.size(), 2u);
+}
+
+TEST(Scheduler, DeterministicEventCount) {
+  auto run_once = []() {
+    Scheduler sched;
+    std::vector<SimTime> log;
+    Semaphore sem(2);
+    std::vector<SimTime> done;
+    for (int i = 0; i < 10; ++i) sched.Spawn(UseSemaphore(sem, 7, &done));
+    sched.Run();
+    return std::make_pair(sched.events_processed(), done);
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+}
+
+}  // namespace
+}  // namespace vde::sim

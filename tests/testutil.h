@@ -1,0 +1,66 @@
+// Shared helpers for simulation-based tests.
+//
+// gtest's ASSERT_* macros issue a plain `return`, which is ill-formed inside
+// a coroutine; CO_ASSERT_* below records the failure and `co_return`s.
+// EXPECT_* macros work unchanged in coroutines.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "sim/scheduler.h"
+#include "sim/task.h"
+
+namespace vde::testutil {
+
+// Runs an async test body to completion on a fresh scheduler.
+inline void RunSim(std::function<sim::Task<void>()> body) {
+  sim::Scheduler sched;
+  bool finished = false;
+  sched.Spawn([](std::function<sim::Task<void>()> b,
+                 bool* done) -> sim::Task<void> {
+    co_await b();
+    *done = true;
+  }(std::move(body), &finished));
+  sched.Run();
+  ASSERT_TRUE(finished) << "simulation did not run the body to completion "
+                           "(deadlock or lost continuation)";
+}
+
+}  // namespace vde::testutil
+
+// Coroutine-safe fatal assertions.
+#define CO_ASSERT_TRUE(cond)                          \
+  do {                                                \
+    if (!(cond)) {                                    \
+      ADD_FAILURE() << "CO_ASSERT_TRUE(" #cond ")";   \
+      co_return;                                      \
+    }                                                 \
+  } while (0)
+
+#define CO_ASSERT_FALSE(cond)                         \
+  do {                                                \
+    if ((cond)) {                                     \
+      ADD_FAILURE() << "CO_ASSERT_FALSE(" #cond ")";  \
+      co_return;                                      \
+    }                                                 \
+  } while (0)
+
+#define CO_ASSERT_EQ(a, b)                                              \
+  do {                                                                  \
+    if (!((a) == (b))) {                                                \
+      ADD_FAILURE() << "CO_ASSERT_EQ(" #a ", " #b ") failed";           \
+      co_return;                                                        \
+    }                                                                   \
+  } while (0)
+
+#define CO_ASSERT_OK(expr)                                              \
+  do {                                                                  \
+    const auto& vde_co_status = (expr);                                 \
+    if (!vde_co_status.ok()) {                                          \
+      ADD_FAILURE() << "CO_ASSERT_OK(" #expr "): "                      \
+                    << vde_co_status.ToString();                        \
+      co_return;                                                        \
+    }                                                                   \
+  } while (0)

@@ -1,0 +1,77 @@
+#include "util/bytes.h"
+
+#include <gtest/gtest.h>
+
+namespace vde {
+namespace {
+
+TEST(Bytes, HexRoundtrip) {
+  const Bytes data = {0x00, 0x01, 0xde, 0xad, 0xbe, 0xef, 0xff};
+  EXPECT_EQ(ToHex(data), "0001deadbeefff");
+  EXPECT_EQ(FromHex("0001deadbeefff"), data);
+  EXPECT_EQ(FromHex("DEAD"), (Bytes{0xde, 0xad}));
+  EXPECT_TRUE(FromHex("").empty());
+}
+
+TEST(Bytes, XorInto) {
+  Bytes a = {0xff, 0x00, 0x55};
+  const Bytes b = {0x0f, 0xf0, 0xaa};
+  XorInto(MutByteSpan(a), ByteSpan(b));
+  EXPECT_EQ(a, (Bytes{0xf0, 0xf0, 0xff}));
+}
+
+TEST(Bytes, ConstantTimeEqual) {
+  const Bytes a = {1, 2, 3};
+  const Bytes b = {1, 2, 3};
+  const Bytes c = {1, 2, 4};
+  const Bytes d = {1, 2};
+  EXPECT_TRUE(ConstantTimeEqual(a, b));
+  EXPECT_FALSE(ConstantTimeEqual(a, c));
+  EXPECT_FALSE(ConstantTimeEqual(a, d));
+  EXPECT_TRUE(ConstantTimeEqual({}, {}));
+}
+
+TEST(Bytes, LittleEndianRoundtrip) {
+  Bytes out;
+  AppendU16Le(out, 0x1234);
+  AppendU32Le(out, 0xdeadbeef);
+  AppendU64Le(out, 0x0123456789abcdefULL);
+  ASSERT_EQ(out.size(), 14u);
+  EXPECT_EQ(LoadU16Le(out.data()), 0x1234);
+  EXPECT_EQ(LoadU32Le(out.data() + 2), 0xdeadbeefu);
+  EXPECT_EQ(LoadU64Le(out.data() + 6), 0x0123456789abcdefULL);
+}
+
+TEST(Bytes, LittleEndianByteOrder) {
+  Bytes out;
+  AppendU32Le(out, 0x11223344);
+  EXPECT_EQ(out, (Bytes{0x44, 0x33, 0x22, 0x11}));
+}
+
+TEST(Bytes, BigEndianRoundtrip) {
+  uint8_t buf[8];
+  StoreU32Be(buf, 0xcafebabe);
+  EXPECT_EQ(LoadU32Be(buf), 0xcafebabeu);
+  EXPECT_EQ(buf[0], 0xca);
+  StoreU64Be(buf, 0x0102030405060708ULL);
+  EXPECT_EQ(LoadU64Be(buf), 0x0102030405060708ULL);
+  EXPECT_EQ(buf[0], 0x01);
+  EXPECT_EQ(buf[7], 0x08);
+}
+
+TEST(Bytes, StoreLoadLeSymmetry) {
+  uint8_t buf[8];
+  StoreU64Le(buf, 0x1122334455667788ULL);
+  EXPECT_EQ(LoadU64Le(buf), 0x1122334455667788ULL);
+  EXPECT_EQ(buf[0], 0x88);
+  StoreU32Le(buf, 0xa1b2c3d4);
+  EXPECT_EQ(LoadU32Le(buf), 0xa1b2c3d4u);
+}
+
+TEST(Bytes, BytesOf) {
+  EXPECT_EQ(BytesOf("ab"), (Bytes{'a', 'b'}));
+  EXPECT_TRUE(BytesOf("").empty());
+}
+
+}  // namespace
+}  // namespace vde

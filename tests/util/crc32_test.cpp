@@ -1,0 +1,47 @@
+#include "util/crc32.h"
+
+#include <gtest/gtest.h>
+
+namespace vde {
+namespace {
+
+TEST(Crc32c, KnownCheckValue) {
+  // The canonical CRC32-C check value for "123456789".
+  const Bytes data = BytesOf("123456789");
+  EXPECT_EQ(Crc32c(data), 0xE3069283u);
+}
+
+TEST(Crc32c, EmptyIsZero) {
+  EXPECT_EQ(Crc32c({}), 0u);
+}
+
+TEST(Crc32c, AllZeros32) {
+  // Well-known vector: 32 bytes of 0x00 -> 0x8A9136AA.
+  const Bytes data(32, 0x00);
+  EXPECT_EQ(Crc32c(data), 0x8A9136AAu);
+}
+
+TEST(Crc32c, AllOnes32) {
+  // Well-known vector: 32 bytes of 0xFF -> 0x62A8AB43.
+  const Bytes data(32, 0xFF);
+  EXPECT_EQ(Crc32c(data), 0x62A8AB43u);
+}
+
+TEST(Crc32c, SensitiveToSingleBit) {
+  Bytes data(64, 0xAB);
+  const uint32_t base = Crc32c(data);
+  data[17] ^= 0x01;
+  EXPECT_NE(Crc32c(data), base);
+}
+
+TEST(Crc32c, IncrementalMatchesOneShot) {
+  const Bytes data = BytesOf("hello incremental crc world");
+  const uint32_t whole = Crc32c(data);
+  // Note: our continuation takes the previous CRC as init.
+  const uint32_t part1 = Crc32c(ByteSpan(data.data(), 5));
+  const uint32_t combined = Crc32c(ByteSpan(data.data() + 5, data.size() - 5), part1);
+  EXPECT_EQ(combined, whole);
+}
+
+}  // namespace
+}  // namespace vde

@@ -1,0 +1,79 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace vde {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) same++;
+  }
+  EXPECT_LE(same, 1);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+  }
+  // bound 1 always yields 0
+  EXPECT_EQ(rng.NextBelow(1), 0u);
+}
+
+TEST(Rng, NextInRangeInclusive) {
+  Rng rng(9);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 200; ++i) {
+    const uint64_t v = rng.NextInRange(5, 8);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 8u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 4u) << "all values in [5,8] should appear";
+}
+
+TEST(Rng, NextDoubleUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, FillCoversAllBytes) {
+  Rng rng(13);
+  Bytes buf(1027, 0);
+  rng.Fill(buf);
+  // Statistically impossible for a long suffix of zeros to remain.
+  int zeros = 0;
+  for (uint8_t b : buf) {
+    if (b == 0) zeros++;
+  }
+  EXPECT_LT(zeros, 32);
+}
+
+TEST(Rng, NextBoolProbability) {
+  Rng rng(17);
+  int truths = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.NextBool(0.25)) truths++;
+  }
+  EXPECT_NEAR(truths / 10000.0, 0.25, 0.03);
+}
+
+}  // namespace
+}  // namespace vde

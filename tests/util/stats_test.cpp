@@ -1,0 +1,97 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace vde {
+namespace {
+
+TEST(Histogram, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Mean(), 0);
+  EXPECT_EQ(h.Percentile(50), 0);
+}
+
+TEST(Histogram, SingleValue) {
+  Histogram h;
+  h.Add(1000);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 1000u);
+  EXPECT_EQ(h.max(), 1000u);
+  EXPECT_EQ(h.Mean(), 1000);
+  EXPECT_NEAR(h.Percentile(50), 1000, 70);  // within bucket resolution
+}
+
+TEST(Histogram, MeanExact) {
+  Histogram h;
+  for (uint64_t v : {10, 20, 30}) h.Add(v);
+  EXPECT_DOUBLE_EQ(h.Mean(), 20.0);
+}
+
+TEST(Histogram, PercentileMonotone) {
+  Histogram h;
+  for (uint64_t i = 1; i <= 10000; ++i) h.Add(i);
+  double prev = 0;
+  for (double p : {1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 99.9}) {
+    const double v = h.Percentile(p);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+  // Uniform 1..10000: p50 within bucket error of 5000.
+  EXPECT_NEAR(h.Percentile(50), 5000, 5000 * 0.07);
+  EXPECT_NEAR(h.Percentile(99), 9900, 9900 * 0.07);
+}
+
+TEST(Histogram, MergeCombines) {
+  Histogram a, b;
+  a.Add(100);
+  b.Add(300);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.min(), 100u);
+  EXPECT_EQ(a.max(), 300u);
+  EXPECT_DOUBLE_EQ(a.Mean(), 200.0);
+}
+
+TEST(Histogram, ResetClears) {
+  Histogram h;
+  h.Add(5);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+}
+
+TEST(Histogram, LargeValues) {
+  Histogram h;
+  const uint64_t big = uint64_t{1} << 55;
+  h.Add(big);
+  h.Add(big + 1000);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_GE(h.Percentile(99), static_cast<double>(big) * 0.9);
+}
+
+TEST(Histogram, SummaryNonEmpty) {
+  Histogram h;
+  h.Add(42);
+  EXPECT_NE(h.Summary().find("n=1"), std::string::npos);
+}
+
+TEST(Accumulator, TracksMinMeanMax) {
+  Accumulator acc;
+  acc.Add(1.0);
+  acc.Add(2.0);
+  acc.Add(6.0);
+  EXPECT_EQ(acc.count(), 3u);
+  EXPECT_DOUBLE_EQ(acc.min(), 1.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 6.0);
+  EXPECT_DOUBLE_EQ(acc.mean(), 3.0);
+}
+
+TEST(Accumulator, EmptyIsZero) {
+  Accumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_EQ(acc.mean(), 0.0);
+}
+
+}  // namespace
+}  // namespace vde

@@ -1,0 +1,162 @@
+// Workload driver tests: measurement mechanics, determinism, prefill/verify.
+#include "workload/fio.h"
+
+#include <gtest/gtest.h>
+
+#include "../testutil.h"
+
+namespace vde::workload {
+namespace {
+
+rados::ClusterConfig TestCluster() {
+  rados::ClusterConfig c;
+  c.store.journal_size = 8ull << 20;
+  c.store.kv_region_size = 32ull << 20;
+  return c;
+}
+
+sim::Task<Result<std::shared_ptr<rbd::Image>>> MakeImage(
+    rados::Cluster& cluster, core::IvLayout layout) {
+  rbd::ImageOptions options;
+  options.size = 256ull << 20;
+  options.enc.mode = layout == core::IvLayout::kNone
+                         ? core::CipherMode::kXtsLba
+                         : core::CipherMode::kXtsRandom;
+  options.enc.layout = layout;
+  options.enc.iv_seed = 5;
+  options.luks.pbkdf2_iterations = 10;
+  options.luks.af_stripes = 8;
+  co_return co_await rbd::Image::Create(cluster, "wl", "pw", options);
+}
+
+TEST(Fio, WriteWorkloadCompletesAndMeasures) {
+  testutil::RunSim([]() -> sim::Task<void> {
+    auto cluster = co_await rados::Cluster::Create(TestCluster());
+    auto image = co_await MakeImage(**cluster, core::IvLayout::kNone);
+    CO_ASSERT_OK(image.status());
+    FioConfig cfg;
+    cfg.is_write = true;
+    cfg.io_size = 16384;
+    cfg.queue_depth = 8;
+    cfg.total_ops = 64;
+    FioRunner runner(**image, cfg);
+    auto result = co_await runner.Run();
+    CO_ASSERT_OK(result.status());
+    EXPECT_EQ(result->ops, 64u);
+    EXPECT_EQ(result->bytes, 64u * 16384);
+    EXPECT_GT(result->duration, 0u);
+    EXPECT_GT(result->BandwidthMBps(), 0.0);
+    EXPECT_EQ(result->latency_ns.count(), 64u);
+  });
+}
+
+TEST(Fio, ReadAfterPrefillVerifiesContent) {
+  testutil::RunSim([]() -> sim::Task<void> {
+    auto cluster = co_await rados::Cluster::Create(TestCluster());
+    auto image = co_await MakeImage(**cluster, core::IvLayout::kObjectEnd);
+    CO_ASSERT_OK(image.status());
+    FioConfig cfg;
+    cfg.is_write = false;
+    cfg.io_size = 8192;
+    cfg.queue_depth = 4;
+    cfg.total_ops = 32;
+    cfg.verify = true;  // decrypted content must equal prefill content
+    FioRunner runner(**image, cfg);
+    CO_ASSERT_OK(co_await runner.Prefill());
+    auto result = co_await runner.Run();
+    CO_ASSERT_OK(result.status());
+    EXPECT_EQ(result->ops, 32u);
+  });
+}
+
+TEST(Fio, VerifyWorksThroughEveryLayout) {
+  for (const auto layout : {core::IvLayout::kUnaligned,
+                            core::IvLayout::kObjectEnd,
+                            core::IvLayout::kOmap}) {
+    testutil::RunSim([layout]() -> sim::Task<void> {
+      auto cluster = co_await rados::Cluster::Create(TestCluster());
+      auto image = co_await MakeImage(**cluster, layout);
+      CO_ASSERT_OK(image.status());
+      FioConfig cfg;
+      cfg.is_write = false;
+      cfg.io_size = 4096;
+      cfg.queue_depth = 4;
+      cfg.total_ops = 16;
+      cfg.verify = true;
+      FioRunner runner(**image, cfg);
+      CO_ASSERT_OK(co_await runner.Prefill());
+      auto result = co_await runner.Run();
+      CO_ASSERT_OK(result.status());
+    });
+  }
+}
+
+TEST(Fio, DeterministicAcrossRuns) {
+  double bw[2] = {0, 0};
+  for (int round = 0; round < 2; ++round) {
+    testutil::RunSim([&bw, round]() -> sim::Task<void> {
+      auto cluster = co_await rados::Cluster::Create(TestCluster());
+      auto image = co_await MakeImage(**cluster, core::IvLayout::kObjectEnd);
+      CO_ASSERT_OK(image.status());
+      FioConfig cfg;
+      cfg.is_write = true;
+      cfg.io_size = 4096;
+      cfg.queue_depth = 8;
+      cfg.total_ops = 128;
+      cfg.seed = 99;
+      FioRunner runner(**image, cfg);
+      auto result = co_await runner.Run();
+      CO_ASSERT_OK(result.status());
+      bw[round] = result->BandwidthMBps();
+    });
+  }
+  EXPECT_DOUBLE_EQ(bw[0], bw[1])
+      << "identical seeds must give identical simulated bandwidth";
+}
+
+TEST(Fio, SequentialPatternCoversWorkingSetInOrder) {
+  testutil::RunSim([]() -> sim::Task<void> {
+    auto cluster = co_await rados::Cluster::Create(TestCluster());
+    auto image = co_await MakeImage(**cluster, core::IvLayout::kNone);
+    CO_ASSERT_OK(image.status());
+    FioConfig cfg;
+    cfg.is_write = true;
+    cfg.pattern = FioConfig::Pattern::kSequential;
+    cfg.io_size = 65536;
+    cfg.queue_depth = 1;
+    cfg.total_ops = 16;
+    cfg.warmup_ops = 1;
+    FioRunner runner(**image, cfg);
+    auto result = co_await runner.Run();
+    CO_ASSERT_OK(result.status());
+    // All 16 + 1 warmup sequential 64K IOs -> image bytes written cover
+    // 17 * 64K contiguously from offset 0.
+    EXPECT_EQ((*image)->stats().bytes_written, 17u * 65536);
+  });
+}
+
+TEST(Fio, QueueDepthBoundsConcurrencyEffect) {
+  // Higher queue depth must not reduce simulated bandwidth.
+  double bw_qd1 = 0, bw_qd16 = 0;
+  for (const size_t qd : {size_t{1}, size_t{16}}) {
+    testutil::RunSim([qd, &bw_qd1, &bw_qd16]() -> sim::Task<void> {
+      auto cluster = co_await rados::Cluster::Create(TestCluster());
+      auto image = co_await MakeImage(**cluster, core::IvLayout::kNone);
+      CO_ASSERT_OK(image.status());
+      FioConfig cfg;
+      cfg.is_write = true;
+      cfg.io_size = 4096;
+      cfg.queue_depth = qd;
+      cfg.total_ops = 64;
+      FioRunner runner(**image, cfg);
+      auto result = co_await runner.Run();
+      CO_ASSERT_OK(result.status());
+      (qd == 1 ? bw_qd1 : bw_qd16) = result->BandwidthMBps();
+    });
+  }
+  EXPECT_GT(bw_qd16, bw_qd1 * 4)
+      << "QD16 should scale bandwidth well past QD1 at 4K";
+}
+
+}  // namespace
+}  // namespace vde::workload
