@@ -5,7 +5,11 @@
 //
 // Layouts: none (LUKS2 baseline), unaligned, object-end, omap.
 // Extras:  --integrity=hmac, --cipher=gcm|wide, --verify (reads).
+// Unaligned guests: any --bs (512, 6144, ...) runs through the image's
+// RMW path; --align=512 puts offsets on a sector grid instead of the
+// io_size grid; --discard=PCT mixes TRIM into the stream.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
@@ -22,6 +26,8 @@ struct Args {
   bool is_write = false;
   bool sequential = false;
   uint64_t bs = 4096;
+  uint64_t align = 0;
+  uint32_t discard_pct = 0;
   uint64_t ops = 256;
   size_t qd = 32;
   bool verify = false;
@@ -56,6 +62,20 @@ bool Parse(int argc, char** argv, Args& args) {
       args.sequential = std::strncmp(v, "rand", 4) != 0;
     } else if (const char* v = value("--bs=")) {
       args.bs = ParseSize(v);
+      if (args.bs == 0) {
+        std::fprintf(stderr, "--bs must be at least 1 byte\n");
+        return false;
+      }
+    } else if (const char* v = value("--align=")) {
+      args.align = ParseSize(v);
+    } else if (const char* v = value("--discard=")) {
+      char* end = nullptr;
+      const unsigned long pct = std::strtoul(v, &end, 10);
+      if (end == v || *end != '\0' || pct > 100) {
+        std::fprintf(stderr, "--discard must be a percentage in 0..100\n");
+        return false;
+      }
+      args.discard_pct = static_cast<uint32_t>(pct);
     } else if (const char* v = value("--ops=")) {
       args.ops = std::stoull(v);
     } else if (const char* v = value("--qd=")) {
@@ -120,11 +140,19 @@ sim::Task<void> Run(const Args& args, bool* ok) {
   fio.pattern = args.sequential ? workload::FioConfig::Pattern::kSequential
                                 : workload::FioConfig::Pattern::kRandom;
   fio.io_size = args.bs;
+  fio.offset_align = args.align;
+  fio.discard_pct = args.discard_pct;
   fio.queue_depth = args.qd;
   fio.total_ops = args.ops;
   fio.working_set = std::max<uint64_t>(args.ops * args.bs, 512ull << 20);
   fio.verify = args.verify;
   workload::FioRunner runner(**image, fio);
+  if (runner.config().queue_depth != fio.queue_depth) {
+    std::printf(
+        "verify with writes/discards: forcing qd=%zu (the content model "
+        "needs non-overlapping in-flight IO)\n",
+        runner.config().queue_depth);
+  }
 
   if (!args.is_write) {
     std::printf("prefilling %llu MiB...\n",
@@ -144,16 +172,13 @@ sim::Task<void> Run(const Args& args, bool* ok) {
   std::printf("\n%s: %s, bs=%llu, qd=%zu, cipher=%s\n",
               args.is_write ? "write" : "read",
               args.sequential ? "seq" : "rand",
-              static_cast<unsigned long long>(args.bs), args.qd,
+              static_cast<unsigned long long>(args.bs),
+              runner.config().queue_depth,
               args.spec.Name().c_str());
-  std::printf("  ops=%llu  bw=%.1f MB/s  iops=%.0f\n",
-              static_cast<unsigned long long>(result->ops),
-              result->BandwidthMBps(), result->Iops());
-  std::printf("  lat (usec): p50=%.0f p99=%.0f max=%.0f\n",
-              result->latency_ns.Percentile(50) / 1e3,
-              result->latency_ns.Percentile(99) / 1e3,
-              static_cast<double>(result->latency_ns.max()) / 1e3);
-  if (args.verify) std::printf("  verify: all reads matched\n");
+  std::printf("  %s\n", result->Summary().c_str());
+  if (args.verify && !args.is_write) {
+    std::printf("  verify: all reads matched\n");
+  }
   *ok = true;
 }
 
@@ -164,8 +189,8 @@ int main(int argc, char** argv) {
   if (!Parse(argc, argv, args)) {
     std::printf(
         "usage: fio_sim [--rw=randread|randwrite|read|write] [--bs=SIZE]\n"
-        "               [--ops=N] [--qd=N] [--layout=none|unaligned|"
-        "object-end|omap]\n"
+        "               [--align=SIZE] [--discard=PCT] [--ops=N] [--qd=N]\n"
+        "               [--layout=none|unaligned|object-end|omap]\n"
         "               [--cipher=gcm|wide] [--integrity=hmac] [--verify]\n");
     return 2;
   }

@@ -43,6 +43,21 @@ Bytes BlockKey(uint64_t block_in_object) {
   return key;
 }
 
+OsdOp ZeroOp(uint64_t offset, uint64_t length) {
+  OsdOp op;
+  op.type = OsdOp::Type::kZero;
+  op.offset = offset;
+  op.length = length;
+  return op;
+}
+
+bool AllZero(ByteSpan data) {
+  for (const uint8_t b : data) {
+    if (b != 0) return false;
+  }
+  return true;
+}
+
 // --- Deterministic formats (no persisted metadata) ---
 
 class DeterministicFormat final : public EncryptionFormat {
@@ -86,6 +101,10 @@ class DeterministicFormat final : public EncryptionFormat {
                                  ext.block_count * kBlockSize));
   }
 
+  size_t ReadBytes(const ObjectExtent& ext) const override {
+    return ext.block_count * kBlockSize;
+  }
+
   Status FinishRead(const ObjectExtent& ext,
                     const objstore::ReadResult& result,
                     MutByteSpan out) override {
@@ -93,11 +112,22 @@ class DeterministicFormat final : public EncryptionFormat {
       return Status::IoError("short read");
     }
     for (size_t b = 0; b < ext.block_count; ++b) {
-      CryptBlock(ext.image_block + b,
-                 ByteSpan(result.data.data() + b * kBlockSize, kBlockSize),
-                 out.subspan(b * kBlockSize, kBlockSize), /*encrypt=*/false);
+      const ByteSpan ct(result.data.data() + b * kBlockSize, kBlockSize);
+      MutByteSpan dst = out.subspan(b * kBlockSize, kBlockSize);
+      // All-zero ciphertext is the cleared marker (trimmed / never written);
+      // decrypting it would fabricate garbage where the disk holds nothing.
+      if (spec_.mode != CipherMode::kNone && AllZero(ct)) {
+        std::fill(dst.begin(), dst.end(), 0);
+        continue;
+      }
+      CryptBlock(ext.image_block + b, ct, dst, /*encrypt=*/false);
     }
     return Status::Ok();
+  }
+
+  void MakeDiscard(const ObjectExtent& ext, Transaction& txn) override {
+    txn.ops.push_back(ZeroOp(ext.first_block * kBlockSize,
+                             ext.block_count * kBlockSize));
   }
 
  private:
@@ -249,14 +279,29 @@ class RandomIvFormat final : public EncryptionFormat {
     }
   }
 
+  size_t ReadBytes(const ObjectExtent& ext) const override {
+    const size_t meta = spec_.MetaPerBlock();
+    switch (spec_.layout) {
+      case IvLayout::kUnaligned:
+      case IvLayout::kObjectEnd:
+        // Interleaved stride or data range + IV-region slice: same total.
+        return ext.block_count * (kBlockSize + meta);
+      case IvLayout::kOmap:
+        return ext.block_count * kBlockSize;
+      case IvLayout::kNone:
+        break;
+    }
+    return 0;
+  }
+
   Status FinishRead(const ObjectExtent& ext,
                     const objstore::ReadResult& result,
                     MutByteSpan out) override {
     const size_t meta = spec_.MetaPerBlock();
     const size_t n = ext.block_count;
-    // Gather (ciphertext, metadata) per block from the layout.
+    // Gather (ciphertext, metadata) per block from the layout. An empty
+    // metadata span marks a block with no stored IV (OMAP row absent).
     std::vector<ByteSpan> cts(n), ms(n);
-    Bytes omap_metas;
     switch (spec_.layout) {
       case IvLayout::kUnaligned: {
         const size_t stride = kBlockSize + meta;
@@ -285,20 +330,20 @@ class RandomIvFormat final : public EncryptionFormat {
         if (result.data.size() != n * kBlockSize) {
           return Status::IoError("short omap-layout read");
         }
-        if (result.omap_values.size() != n) {
-          return Status::Corruption("missing IVs in omap");
-        }
-        omap_metas.reserve(n * meta);
-        for (size_t b = 0; b < n; ++b) {
-          const auto& [key, value] = result.omap_values[b];
-          if (key != BlockKey(ext.first_block + b) || value.size() != meta) {
-            return Status::Corruption("omap IV key/size mismatch");
-          }
-          AppendBytes(omap_metas, value);
-        }
+        // Rows are matched by block key: `result` may carry rows for other
+        // extents batched into the same transaction, and rows for trimmed
+        // or never-written blocks are absent or empty.
         for (size_t b = 0; b < n; ++b) {
           cts[b] = ByteSpan(result.data.data() + b * kBlockSize, kBlockSize);
-          ms[b] = ByteSpan(omap_metas.data() + b * meta, meta);
+        }
+        for (const auto& [k, value] : result.omap_values) {
+          if (k.size() != 8) continue;
+          const uint64_t blk = LoadU64Be(k.data());
+          if (blk < ext.first_block || blk >= ext.first_block + n) continue;
+          if (!value.empty() && value.size() != meta) {
+            return Status::Corruption("omap IV size mismatch");
+          }
+          ms[blk - ext.first_block] = ByteSpan(value);
         }
         break;
       }
@@ -307,11 +352,61 @@ class RandomIvFormat final : public EncryptionFormat {
     }
 
     for (size_t b = 0; b < n; ++b) {
+      MutByteSpan dst = out.subspan(b * kBlockSize, kBlockSize);
+      // Cleared metadata (discard/write-zeroes) or an absent OMAP row means
+      // the block holds nothing; require the ciphertext to agree, so a lost
+      // IV for real data still surfaces as corruption. Like TRIM on real
+      // AEAD disks, the cleared marker itself is unauthenticated: zeroing a
+      // block's data AND metadata reads as legitimate discard even under
+      // HMAC/GCM (any other tamper is still detected).
+      if (ms[b].empty() || AllZero(ms[b])) {
+        if (!AllZero(cts[b])) {
+          return Status::Corruption("missing IV for non-empty block");
+        }
+        std::fill(dst.begin(), dst.end(), 0);
+        continue;
+      }
       VDE_RETURN_IF_ERROR(DecryptBlock(ext.image_block + b, cts[b], ms[b],
-                                       out.subspan(b * kBlockSize,
-                                                   kBlockSize)));
+                                       dst));
     }
     return Status::Ok();
+  }
+
+  void MakeDiscard(const ObjectExtent& ext, Transaction& txn) override {
+    const size_t meta = spec_.MetaPerBlock();
+    switch (spec_.layout) {
+      case IvLayout::kUnaligned: {
+        // Interleaved data+IV clear in one range — inherently atomic.
+        const size_t stride = kBlockSize + meta;
+        txn.ops.push_back(
+            ZeroOp(ext.first_block * stride, ext.block_count * stride));
+        break;
+      }
+      case IvLayout::kObjectEnd: {
+        // Data clear + IV-region clear ride ONE transaction (§3.1).
+        txn.ops.push_back(ZeroOp(ext.first_block * kBlockSize,
+                                 ext.block_count * kBlockSize));
+        txn.ops.push_back(ZeroOp(object_size_ + ext.first_block * meta,
+                                 ext.block_count * meta));
+        break;
+      }
+      case IvLayout::kOmap: {
+        txn.ops.push_back(ZeroOp(ext.first_block * kBlockSize,
+                                 ext.block_count * kBlockSize));
+        // Empty row value = cleared marker (a deleted row is
+        // indistinguishable from "IV lost" for snapshots, so keep the key).
+        OsdOp op;
+        op.type = OsdOp::Type::kOmapSet;
+        op.omap_kvs.reserve(ext.block_count);
+        for (size_t b = 0; b < ext.block_count; ++b) {
+          op.omap_kvs.emplace_back(BlockKey(ext.first_block + b), Bytes{});
+        }
+        txn.ops.push_back(std::move(op));
+        break;
+      }
+      case IvLayout::kNone:
+        assert(false && "random IV requires a layout");
+    }
   }
 
   sim::SimTime CryptoCost(size_t bytes) const override {

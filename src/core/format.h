@@ -50,11 +50,29 @@ class EncryptionFormat {
   virtual void MakeRead(const ObjectExtent& ext,
                         objstore::Transaction& txn) const = 0;
 
+  // Bytes of kRead payload the ops appended by MakeRead(ext) produce.
+  // Callers batching several extents into one read transaction (e.g. the
+  // head+tail reads of an unaligned read-modify-write) split the combined
+  // result at these boundaries.
+  virtual size_t ReadBytes(const ObjectExtent& ext) const = 0;
+
   // Decrypts (and authenticates, if configured) the transaction results
-  // into `out` (block_count * kBlockSize bytes).
+  // into `out` (block_count * kBlockSize bytes). `result.data` must hold
+  // exactly ReadBytes(ext); `result.omap_values` may hold a superset of the
+  // extent's rows (matched by block key). Blocks whose ciphertext and
+  // metadata carry the cleared marker (all zeros / absent) decrypt to
+  // plaintext zeros: virtual disks read zeros for trimmed or never-written
+  // blocks.
   virtual Status FinishRead(const ObjectExtent& ext,
                             const objstore::ReadResult& result,
                             MutByteSpan out) = 0;
+
+  // Appends discard ops for `ext` to `txn`: the data range is cleared with
+  // kZero and any per-sector metadata (random IVs, tags) is cleared in the
+  // SAME transaction, so data and IV state stay consistent (§3.1) and a
+  // later FinishRead sees the cleared marker and returns zeros.
+  virtual void MakeDiscard(const ObjectExtent& ext,
+                           objstore::Transaction& txn) = 0;
 
   // Modeled client CPU time for encrypting/decrypting `bytes`.
   virtual sim::SimTime CryptoCost(size_t bytes) const;

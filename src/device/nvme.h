@@ -42,6 +42,11 @@ class NvmeDevice final : public BlockDevice {
   void PeekRead(uint64_t offset, MutByteSpan out) const {
     ram_.ReadAt(offset, out);
   }
+  // TRIM without simulated time: released pages read back as zeros, so a
+  // recycled extent can never leak a previous tenant's bytes.
+  void PokeTrim(uint64_t offset, uint64_t length) {
+    ram_.Punch(offset, length);
+  }
 
   // Timing/stats-only IO (no data movement); offset/len sector-aligned.
   sim::Task<Status> ChargeRead(uint64_t offset, size_t len);

@@ -41,4 +41,24 @@ void SparseRam::WriteAt(uint64_t offset, ByteSpan data) {
   }
 }
 
+void SparseRam::Punch(uint64_t offset, uint64_t length) {
+  assert(offset + length <= capacity_);
+  uint64_t done = 0;
+  while (done < length) {
+    const uint64_t pos = offset + done;
+    const uint64_t page_no = pos / kPageSize;
+    const size_t in_page = pos % kPageSize;
+    const size_t take = std::min<size_t>(length - done, kPageSize - in_page);
+    if (take == kPageSize) {
+      pages_.erase(page_no);
+    } else {
+      const auto it = pages_.find(page_no);
+      if (it != pages_.end()) {
+        std::memset(it->second->data + in_page, 0, take);
+      }
+    }
+    done += take;
+  }
+}
+
 }  // namespace vde::dev

@@ -26,6 +26,10 @@ class SparseRam {
   void ReadAt(uint64_t offset, MutByteSpan out) const;
   void WriteAt(uint64_t offset, ByteSpan data);
 
+  // TRIM: whole pages in the range are released (subsequent reads return
+  // zeros), partial edge pages are zero-filled in place.
+  void Punch(uint64_t offset, uint64_t length);
+
  private:
   struct Page {
     uint8_t data[kPageSize];

@@ -209,6 +209,20 @@ sim::Task<Status> ObjectStore::MaybeClone(const std::string& oid, Onode& node,
   co_return Status::Ok();
 }
 
+sim::SharedLock& ObjectStore::ObjectLock(const std::string& oid) {
+  auto& lock = object_locks_[oid];
+  if (!lock) lock = std::make_unique<sim::SharedLock>();
+  return *lock;
+}
+
+void ObjectStore::MaybePruneLock(const std::string& oid) {
+  if (objects_.find(oid) != objects_.end()) return;
+  const auto it = object_locks_.find(oid);
+  if (it != object_locks_.end() && it->second->idle()) {
+    object_locks_.erase(it);
+  }
+}
+
 sim::Task<Status> ObjectStore::Apply(const Transaction& txn,
                                      const SnapContext& snapc) {
   for (const auto& op : txn.ops) {
@@ -216,7 +230,9 @@ sim::Task<Status> ObjectStore::Apply(const Transaction& txn,
       co_return Status::InvalidArgument("read op in write transaction");
     }
   }
-  // 1. Commit point: journal the whole transaction.
+  // 1. Commit point: journal the whole transaction. Journaling pipelines
+  // across transactions (like the OSD's journal/WAL stage); only the apply
+  // stage below is ordered per object.
   const Bytes record = SerializeTxn(txn, snapc);
   Status js = co_await journal_->Append(record);
   if (js.code() == StatusCode::kOutOfSpace) {
@@ -230,12 +246,25 @@ sim::Task<Status> ObjectStore::Apply(const Transaction& txn,
   stats_.transactions++;
   stats_.journal_bytes += record.size();
 
+  sim::SharedLock& lock = ObjectLock(txn.oid);
+  co_await lock.AcquireExclusive();
+  const Status status = co_await ApplyLocked(txn, snapc);
+  lock.ReleaseExclusive();
+  MaybePruneLock(txn.oid);
+  co_return status;
+}
+
+sim::Task<Status> ObjectStore::ApplyLocked(const Transaction& txn,
+                                           const SnapContext& snapc) {
   // 2. Resolve the object and preserve snapshot state before mutating.
   const bool is_remove = txn.ops.size() == 1 &&
                          txn.ops[0].type == OsdOp::Type::kRemove;
   if (is_remove) {
     auto it = objects_.find(txn.oid);
     if (it == objects_.end()) co_return Status::NotFound(txn.oid);
+    // Scrub the extent before recycling it: a later tenant of this
+    // allocation must never read the removed object's (cipher)text.
+    device_->PokeTrim(data_base_ + it->second.base, config_.max_object_size);
     alloc_->Free(it->second.base, config_.max_object_size);
     // Drop head OMAP rows (clone namespaces survive for snapshot reads).
     const Bytes lo = OmapKey(txn.oid, kHeadSnap, {});
@@ -250,6 +279,23 @@ sim::Task<Status> ObjectStore::Apply(const Transaction& txn,
     }
     objects_.erase(it);
     co_return Status::Ok();
+  }
+
+  // Discarding a never-written object is a no-op: materializing it would
+  // permanently reserve a full extent for TRIMmed nothing.
+  if (objects_.find(txn.oid) == objects_.end()) {
+    bool discard_only = true;
+    for (const auto& op : txn.ops) {
+      if (op.type == OsdOp::Type::kZero) continue;
+      if (op.type == OsdOp::Type::kOmapSet &&
+          std::all_of(op.omap_kvs.begin(), op.omap_kvs.end(),
+                      [](const auto& kv) { return kv.second.empty(); })) {
+        continue;
+      }
+      discard_only = false;
+      break;
+    }
+    if (discard_only) co_return Status::Ok();
   }
 
   auto node_or = GetOrCreate(txn.oid);
@@ -304,12 +350,14 @@ sim::Task<Status> ObjectStore::Apply(const Transaction& txn,
         break;
       }
       case OsdOp::Type::kZero: {
-        const Bytes zeros(op.length, 0);
-        device_->PokeWrite(data_base_ + node.base + op.offset, zeros);
-        appliers_.Add(1);
-        sim::Scheduler::Current().Spawn(ChargeApply(
-            shared_from_this(), data_base_ + node.base + op.offset,
-            op.length));
+        if (op.offset + op.length > config_.max_object_size) {
+          co_return Status::InvalidArgument("zero beyond max object size");
+        }
+        // Punch instead of writing zero pages: reads return zeros either
+        // way and TRIMmed ranges actually release memory. Deallocation is
+        // metadata-only — no final-location device write to charge (the
+        // per-op software cost above still applies).
+        device_->PokeTrim(data_base_ + node.base + op.offset, op.length);
         break;
       }
       case OsdOp::Type::kOmapSet: {
@@ -338,6 +386,16 @@ sim::Task<Status> ObjectStore::Apply(const Transaction& txn,
 
 sim::Task<Result<ReadResult>> ObjectStore::ExecuteRead(const Transaction& txn,
                                                        SnapId snap) {
+  sim::SharedLock& lock = ObjectLock(txn.oid);
+  co_await lock.AcquireShared();
+  auto result = co_await ExecuteReadLocked(txn, snap);
+  lock.ReleaseShared();
+  MaybePruneLock(txn.oid);
+  co_return result;
+}
+
+sim::Task<Result<ReadResult>> ObjectStore::ExecuteReadLocked(
+    const Transaction& txn, SnapId snap) {
   ReadResult result;
   const auto it = objects_.find(txn.oid);
 

@@ -109,6 +109,18 @@ class ObjectStore : public std::enable_shared_from_this<ObjectStore> {
 
   sim::Task<Status> Init();
   Result<Onode*> GetOrCreate(const std::string& oid);
+  // Per-object lock (RADOS orders ops per object): transactions are
+  // exclusive — an Onode reference held across a suspension point cannot
+  // be invalidated by a concurrent remove, and readers never observe a
+  // half-applied multi-op transaction (data punched, IVs not yet) — while
+  // reads share, so read-only load stays fully parallel.
+  sim::SharedLock& ObjectLock(const std::string& oid);
+  // Drops `oid`'s lock entry when the object is gone and the lock is idle.
+  void MaybePruneLock(const std::string& oid);
+  sim::Task<Status> ApplyLocked(const Transaction& txn,
+                                const SnapContext& snapc);
+  sim::Task<Result<ReadResult>> ExecuteReadLocked(const Transaction& txn,
+                                                  SnapId snap);
   sim::Task<Status> MaybeClone(const std::string& oid, Onode& node,
                                const SnapContext& snapc);
   // Static + shared self: the spawned frame owns a reference to the store
@@ -131,6 +143,7 @@ class ObjectStore : public std::enable_shared_from_this<ObjectStore> {
   std::unique_ptr<kv::KvStore> kv_;
   std::unique_ptr<dev::ExtentAllocator> alloc_;
   std::map<std::string, Onode> objects_;
+  std::map<std::string, std::unique_ptr<sim::SharedLock>> object_locks_;
   sim::WaitGroup appliers_{0};
   sim::Semaphore kv_lane_{1};  // single kv commit thread, like BlueStore
   StoreStats stats_;

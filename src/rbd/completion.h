@@ -1,0 +1,63 @@
+// Completion token for the asynchronous image API (librbd's AioCompletion).
+//
+// A request resolves its completion exactly once on the simulation
+// scheduler: the optional callback runs first, then every Wait()er resumes.
+// Coroutine code awaits Wait(); callback code chains further IO from inside
+// the callback (both styles compose, as in librbd).
+#pragma once
+
+#include <cassert>
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "sim/sync.h"
+#include "util/status.h"
+
+namespace vde::rbd {
+
+class Completion {
+ public:
+  using Callback = std::function<void(Completion&)>;
+
+  static std::shared_ptr<Completion> Create(Callback callback = {}) {
+    return std::make_shared<Completion>(std::move(callback));
+  }
+
+  explicit Completion(Callback callback = {})
+      : callback_(std::move(callback)) {}
+  Completion(const Completion&) = delete;
+  Completion& operator=(const Completion&) = delete;
+
+  bool complete() const { return complete_; }
+  const Status& status() const { return status_; }
+  // Bytes of user data moved: reads report bytes filled, writes bytes
+  // written, discard/write-zeroes bytes affected, flush zero.
+  uint64_t bytes_transferred() const { return bytes_; }
+
+  // Awaitable: resumes once the request completed. Waiting on an already
+  // resolved completion returns immediately.
+  sim::Gate::Awaiter Wait() { return gate_.Wait(); }
+
+  // Resolves the completion (request internals only; must run on the sim
+  // scheduler).
+  void Finish(Status status, uint64_t bytes) {
+    assert(!complete_ && "completion resolved twice");
+    status_ = std::move(status);
+    bytes_ = bytes;
+    complete_ = true;
+    if (callback_) callback_(*this);
+    gate_.Fire();
+  }
+
+ private:
+  Status status_;
+  uint64_t bytes_ = 0;
+  bool complete_ = false;
+  Callback callback_;
+  sim::Gate gate_;
+};
+
+using CompletionPtr = std::shared_ptr<Completion>;
+
+}  // namespace vde::rbd

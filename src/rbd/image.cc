@@ -1,5 +1,6 @@
 #include "rbd/image.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstdio>
 
@@ -142,115 +143,136 @@ sim::Task<Status> Image::PersistMetadata() {
       HeaderObject(), SerializeMetadata(options_, luks_, encrypted_, snaps_));
 }
 
-std::vector<core::ObjectExtent> Image::ExtentsFor(uint64_t offset,
-                                                  uint64_t length) const {
-  std::vector<core::ObjectExtent> extents;
-  const uint64_t bpo = blocks_per_object();
-  uint64_t block = offset / core::kBlockSize;
-  uint64_t remaining = length / core::kBlockSize;
-  while (remaining > 0) {
-    const uint64_t object_no = block / bpo;
-    const uint64_t in_object = block % bpo;
-    const uint64_t take = std::min(remaining, bpo - in_object);
-    core::ObjectExtent ext;
-    ext.oid = ObjectName(object_no);
-    ext.object_no = object_no;
-    ext.first_block = in_object;
-    ext.block_count = take;
-    ext.image_block = block;
-    extents.push_back(std::move(ext));
-    block += take;
-    remaining -= take;
-  }
-  return extents;
+// --- Completion-based entry points ---
+
+void Image::AioReadv(std::vector<MutByteSpan> iov, uint64_t offset,
+                     CompletionPtr c, objstore::SnapId snap) {
+  uint64_t length = 0;
+  for (const auto& seg : iov) length += seg.size();
+  ImageRequest::Submit(*this, IoKind::kRead, offset, length, {},
+                       std::move(iov), snap, std::move(c));
 }
 
-sim::Task<Status> Image::Write(uint64_t offset, ByteSpan data) {
-  if (offset % core::kBlockSize != 0 || data.size() % core::kBlockSize != 0 ||
-      data.empty()) {
-    co_return Status::InvalidArgument("IO must be 4K-block aligned");
-  }
-  if (offset + data.size() > options_.size) {
-    co_return Status::InvalidArgument("write past end of image");
-  }
-  // Client-side encryption cost (modeled; the bytes below are really
-  // encrypted too, which tests verify end to end).
-  co_await sim::Sleep{format_->CryptoCost(data.size())};
+void Image::AioWritev(std::vector<ByteSpan> iov, uint64_t offset,
+                      CompletionPtr c) {
+  uint64_t length = 0;
+  for (const auto& seg : iov) length += seg.size();
+  ImageRequest::Submit(*this, IoKind::kWrite, offset, length, std::move(iov),
+                       {}, objstore::kHeadSnap, std::move(c));
+}
 
-  const auto extents = ExtentsFor(offset, data.size());
-  const auto snapc = SnapContext();
-  std::vector<Status> results(extents.size());
-  std::vector<sim::Task<void>> tasks;
-  size_t data_off = 0;
-  for (size_t i = 0; i < extents.size(); ++i) {
-    const auto& ext = extents[i];
-    objstore::Transaction txn;
-    Status enc = format_->MakeWrite(
-        ext, data.subspan(data_off, ext.block_count * core::kBlockSize), txn);
-    if (!enc.ok()) co_return enc;
-    data_off += ext.block_count * core::kBlockSize;
-    tasks.push_back([](rados::Cluster* cluster, std::string oid,
-                       objstore::Transaction txn, objstore::SnapContext snapc,
-                       Status* out) -> sim::Task<void> {
-      auto io = cluster->ioctx();
-      *out = co_await io.Operate(oid, std::move(txn), snapc);
-    }(&cluster_, ext.oid, std::move(txn), snapc, &results[i]));
-  }
-  co_await sim::WhenAll(std::move(tasks));
-  for (const auto& s : results) {
-    if (!s.ok()) co_return s;
-  }
-  stats_.writes++;
-  stats_.bytes_written += data.size();
-  co_return Status::Ok();
+void Image::AioRead(MutByteSpan buf, uint64_t offset, CompletionPtr c,
+                    objstore::SnapId snap) {
+  AioReadv({buf}, offset, std::move(c), snap);
+}
+
+void Image::AioWrite(ByteSpan buf, uint64_t offset, CompletionPtr c) {
+  AioWritev({buf}, offset, std::move(c));
+}
+
+void Image::AioDiscard(uint64_t offset, uint64_t length, CompletionPtr c) {
+  ImageRequest::Submit(*this, IoKind::kDiscard, offset, length, {}, {},
+                       objstore::kHeadSnap, std::move(c));
+}
+
+void Image::AioWriteZeroes(uint64_t offset, uint64_t length, CompletionPtr c) {
+  ImageRequest::Submit(*this, IoKind::kWriteZeroes, offset, length, {}, {},
+                       objstore::kHeadSnap, std::move(c));
+}
+
+void Image::AioFlush(CompletionPtr c) {
+  ImageRequest::Submit(*this, IoKind::kFlush, 0, 0, {}, {},
+                       objstore::kHeadSnap, std::move(c));
+}
+
+// --- Coroutine sugar ---
+
+sim::Task<Status> Image::Write(uint64_t offset, ByteSpan data) {
+  auto c = Completion::Create();
+  AioWrite(data, offset, c);
+  co_await c->Wait();
+  co_return c->status();
 }
 
 sim::Task<Result<Bytes>> Image::Read(uint64_t offset, uint64_t length,
                                      objstore::SnapId snap) {
-  if (offset % core::kBlockSize != 0 || length % core::kBlockSize != 0 ||
-      length == 0) {
-    co_return Status::InvalidArgument("IO must be 4K-block aligned");
+  // Bounds-check before sizing the result (Validate would reject the
+  // request anyway, but only after this allocation).
+  if (length == 0 || offset + length < offset ||
+      offset + length > options_.size) {
+    co_return Status::InvalidArgument("IO past end of image");
   }
-  if (offset + length > options_.size) {
-    co_return Status::InvalidArgument("read past end of image");
-  }
-  const auto extents = ExtentsFor(offset, length);
   Bytes out(length);
-  std::vector<Status> results(extents.size());
-  std::vector<sim::Task<void>> tasks;
-  size_t data_off = 0;
-  for (size_t i = 0; i < extents.size(); ++i) {
-    const auto& ext = extents[i];
-    tasks.push_back([](Image* self, const core::ObjectExtent* ext,
-                       objstore::SnapId snap, uint8_t* out_base,
-                       Status* result) -> sim::Task<void> {
-      objstore::Transaction txn;
-      self->format_->MakeRead(*ext, txn);
-      auto io = self->cluster_.ioctx();
-      auto got = co_await io.OperateRead(ext->oid, std::move(txn), snap);
-      MutByteSpan out(out_base, ext->block_count * core::kBlockSize);
-      if (got.status().IsNotFound()) {
-        // Never-written object: virtual disks read zeros.
-        std::fill(out.begin(), out.end(), 0);
-        *result = Status::Ok();
-        co_return;
-      }
-      if (!got.ok()) {
-        *result = got.status();
-        co_return;
-      }
-      *result = self->format_->FinishRead(*ext, *got, out);
-    }(this, &extents[i], snap, out.data() + data_off, &results[i]));
-    data_off += ext.block_count * core::kBlockSize;
-  }
-  co_await sim::WhenAll(std::move(tasks));
-  for (const auto& s : results) {
-    if (!s.ok()) co_return s;
-  }
-  co_await sim::Sleep{format_->CryptoCost(length)};
-  stats_.reads++;
-  stats_.bytes_read += length;
+  auto c = Completion::Create();
+  AioRead(MutByteSpan(out), offset, c, snap);
+  co_await c->Wait();
+  if (!c->status().ok()) co_return c->status();
   co_return out;
+}
+
+sim::Task<Status> Image::Writev(std::vector<ByteSpan> iov, uint64_t offset) {
+  auto c = Completion::Create();
+  AioWritev(std::move(iov), offset, c);
+  co_await c->Wait();
+  co_return c->status();
+}
+
+sim::Task<Status> Image::Readv(std::vector<MutByteSpan> iov, uint64_t offset,
+                               objstore::SnapId snap) {
+  auto c = Completion::Create();
+  AioReadv(std::move(iov), offset, c, snap);
+  co_await c->Wait();
+  co_return c->status();
+}
+
+sim::Task<Status> Image::Discard(uint64_t offset, uint64_t length) {
+  auto c = Completion::Create();
+  AioDiscard(offset, length, c);
+  co_await c->Wait();
+  co_return c->status();
+}
+
+sim::Task<Status> Image::WriteZeroes(uint64_t offset, uint64_t length) {
+  auto c = Completion::Create();
+  AioWriteZeroes(offset, length, c);
+  co_await c->Wait();
+  co_return c->status();
+}
+
+sim::Task<Status> Image::Flush() {
+  auto c = Completion::Create();
+  AioFlush(c);
+  co_await c->Wait();
+  co_return c->status();
+}
+
+// --- Flush ordering ---
+
+uint64_t Image::BeginWriteIo() {
+  const uint64_t seq = next_write_seq_++;
+  inflight_writes_.insert(seq);
+  return seq;
+}
+
+bool Image::WritesRetiredBelow(uint64_t barrier) const {
+  return inflight_writes_.empty() || *inflight_writes_.begin() >= barrier;
+}
+
+void Image::AddFlushWaiter(uint64_t barrier, sim::Gate* gate) {
+  flush_waiters_.emplace_back(barrier, gate);
+}
+
+void Image::EndWriteIo(uint64_t seq) {
+  inflight_writes_.erase(seq);
+  auto it = flush_waiters_.begin();
+  while (it != flush_waiters_.end()) {
+    if (WritesRetiredBelow(it->first)) {
+      it->second->Fire();
+      it = flush_waiters_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 sim::Task<Result<uint64_t>> Image::SnapCreate(const std::string& snap_name) {

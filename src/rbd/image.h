@@ -1,15 +1,27 @@
 // RBD-like virtual disk image: stripes a linear block space over 4 MiB
 // RADOS objects and runs every IO through the pluggable encryption format
 // (libRBD with the paper's modified crypto layer).
+//
+// The datapath is completion-based (librbd aio_*): Aio* entry points accept
+// arbitrary offsets/lengths and scatter-gather iovecs, split the range into
+// per-object requests, and resolve a Completion on the sim scheduler.
+// Partial 4 KiB blocks are handled by read-modify-write inside the crypto
+// layer; discard/write-zeroes clear data and IV metadata atomically per
+// object. The coroutine methods (Read/Write/...) are thin sugar over the
+// same path.
 #pragma once
 
 #include <deque>
 #include <memory>
+#include <set>
 #include <string>
+#include <vector>
 
 #include "core/format.h"
 #include "core/luks_header.h"
 #include "rados/cluster.h"
+#include "rbd/completion.h"
+#include "rbd/image_request.h"
 
 namespace vde::rbd {
 
@@ -23,8 +35,12 @@ struct ImageOptions {
 struct ImageStats {
   uint64_t writes = 0;
   uint64_t reads = 0;
+  uint64_t discards = 0;       // discard + write-zeroes requests
+  uint64_t flushes = 0;
   uint64_t bytes_written = 0;
   uint64_t bytes_read = 0;
+  uint64_t bytes_discarded = 0;
+  uint64_t rmw_blocks = 0;     // partial blocks read back for merge
 };
 
 class Image {
@@ -40,10 +56,37 @@ class Image {
       rados::Cluster& cluster, const std::string& name,
       const std::string& passphrase);
 
-  // Block-aligned IO (4 KiB). Extents spanning objects run in parallel.
+  // --- Completion-based async IO (librbd aio_*) ---
+  //
+  // Any offset/length within the image is valid; no alignment is required.
+  // Buffers must stay alive until the completion resolves. Concurrent
+  // requests touching the same blocks have no ordering guarantee (as with a
+  // real disk: the guest serializes conflicting IO).
+  void AioReadv(std::vector<MutByteSpan> iov, uint64_t offset, CompletionPtr c,
+                objstore::SnapId snap = objstore::kHeadSnap);
+  void AioWritev(std::vector<ByteSpan> iov, uint64_t offset, CompletionPtr c);
+  void AioRead(MutByteSpan buf, uint64_t offset, CompletionPtr c,
+               objstore::SnapId snap = objstore::kHeadSnap);
+  void AioWrite(ByteSpan buf, uint64_t offset, CompletionPtr c);
+  // Discard rounds inward to whole 4 KiB blocks (TRIM granularity); a full
+  // object range is removed outright when no snapshots pin it.
+  void AioDiscard(uint64_t offset, uint64_t length, CompletionPtr c);
+  // Write-zeroes zeroes the exact byte range: whole blocks are cleared with
+  // kZero, partial edges merge zeros via RMW in the same transaction.
+  void AioWriteZeroes(uint64_t offset, uint64_t length, CompletionPtr c);
+  // Resolves once every write-class request issued before it completed.
+  void AioFlush(CompletionPtr c);
+
+  // --- Coroutine sugar over the aio path ---
   sim::Task<Status> Write(uint64_t offset, ByteSpan data);
   sim::Task<Result<Bytes>> Read(uint64_t offset, uint64_t length,
                                 objstore::SnapId snap = objstore::kHeadSnap);
+  sim::Task<Status> Writev(std::vector<ByteSpan> iov, uint64_t offset);
+  sim::Task<Status> Readv(std::vector<MutByteSpan> iov, uint64_t offset,
+                          objstore::SnapId snap = objstore::kHeadSnap);
+  sim::Task<Status> Discard(uint64_t offset, uint64_t length);
+  sim::Task<Status> WriteZeroes(uint64_t offset, uint64_t length);
+  sim::Task<Status> Flush();
 
   // Takes a snapshot; subsequent overwrites preserve this point in time.
   sim::Task<Result<uint64_t>> SnapCreate(const std::string& snap_name);
@@ -63,13 +106,21 @@ class Image {
   std::string ObjectName(uint64_t object_no) const;
 
  private:
+  friend class ImageRequest;
+
   Image(rados::Cluster& cluster, std::string name, ImageOptions options);
 
-  std::vector<core::ObjectExtent> ExtentsFor(uint64_t offset,
-                                             uint64_t length) const;
   sim::Task<Status> PersistMetadata();
   std::string HeaderObject() const { return "rbd_header." + name_; }
   objstore::SnapContext SnapContext() const;
+
+  // Flush ordering: write-class requests take a ticket at submit time and
+  // retire it on completion; a flush barrier resolves once no ticket below
+  // it is outstanding.
+  uint64_t BeginWriteIo();
+  void EndWriteIo(uint64_t seq);
+  bool WritesRetiredBelow(uint64_t barrier) const;
+  void AddFlushWaiter(uint64_t barrier, sim::Gate* gate);
 
   rados::Cluster& cluster_;
   std::string name_;
@@ -79,6 +130,10 @@ class Image {
   bool encrypted_ = false;
   std::deque<std::pair<uint64_t, std::string>> snaps_;  // newest first
   ImageStats stats_;
+
+  uint64_t next_write_seq_ = 0;
+  std::set<uint64_t> inflight_writes_;
+  std::vector<std::pair<uint64_t, sim::Gate*>> flush_waiters_;
 };
 
 }  // namespace vde::rbd

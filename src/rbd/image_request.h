@@ -1,0 +1,99 @@
+// One in-flight image I/O request (librbd's io::ImageRequest).
+//
+// A request maps an arbitrary byte range onto per-object block extents,
+// runs every object's work concurrently, performs read-modify-write for
+// partial 4 KiB blocks through the encryption format (so RMW reads ride one
+// read transaction per object and only the touched blocks are
+// re-encrypted), and resolves its Completion when everything finished.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/format.h"
+#include "objstore/types.h"
+#include "rbd/completion.h"
+#include "sim/task.h"
+
+namespace vde::rbd {
+
+class Image;
+
+enum class IoKind : uint8_t { kRead, kWrite, kDiscard, kWriteZeroes, kFlush };
+
+class ImageRequest {
+ public:
+  // Validates the request and spawns it on the sim scheduler; the
+  // completion is resolved either way (immediately on validation failure).
+  // `src` feeds writes, `dst` receives reads; `length` is the total byte
+  // count (must equal the iovec sum); `snap` applies to reads only.
+  static void Submit(Image& image, IoKind kind, uint64_t offset,
+                     uint64_t length, std::vector<ByteSpan> src,
+                     std::vector<MutByteSpan> dst, objstore::SnapId snap,
+                     CompletionPtr completion);
+
+ private:
+  // A byte range within one object plus the block-aligned extent covering
+  // it. `byte_off` is relative to the cover's first block.
+  struct Chunk {
+    core::ObjectExtent cover;
+    uint64_t byte_off = 0;
+    uint64_t byte_len = 0;
+    uint64_t buf_off = 0;  // offset into the flattened user buffer
+  };
+
+  ImageRequest(Image& image, IoKind kind, uint64_t offset, uint64_t length,
+               std::vector<ByteSpan> src, std::vector<MutByteSpan> dst,
+               objstore::SnapId snap, CompletionPtr completion);
+
+  Status Validate() const;
+  bool IsWriteClass() const {
+    return kind_ == IoKind::kWrite || kind_ == IoKind::kDiscard ||
+           kind_ == IoKind::kWriteZeroes;
+  }
+
+  static sim::Task<void> Run(std::unique_ptr<ImageRequest> self);
+  sim::Task<Status> Execute();
+  sim::Task<Status> ExecuteReadOp();
+  sim::Task<Status> ExecuteWriteOp();
+  sim::Task<Status> ExecuteDiscardOp();  // kDiscard and kWriteZeroes
+  sim::Task<Status> ExecuteFlushOp();
+
+  sim::Task<Status> ReadChunk(const Chunk& chunk);
+  sim::Task<Status> WriteChunk(const Chunk& chunk);
+  sim::Task<Status> DiscardChunk(const Chunk& chunk);
+
+  // Reads + decrypts the partial edge blocks of `chunk` — the cover's
+  // first block into `head_block`, its last into `tail_block` (either may
+  // be empty = not needed; pass only `head_block` when the cover is a
+  // single block). One read transaction per object carries every RMW
+  // sub-extent; the caller then overlays the new bytes.
+  sim::Task<Status> RmwReadEdges(const Chunk& chunk, MutByteSpan head_block,
+                                 MutByteSpan tail_block);
+
+  // Splits the image byte range [offset_, offset_+length_) by object.
+  std::vector<Chunk> Chunks() const;
+
+  // Scatter-gather between the flattened request range and the iovecs.
+  void GatherFrom(uint64_t buf_off, MutByteSpan out) const;
+  void ScatterTo(uint64_t buf_off, ByteSpan in);
+  // The destination/source span for [buf_off, buf_off+len) if it falls
+  // inside a single iovec segment; empty otherwise.
+  MutByteSpan ContiguousDst(uint64_t buf_off, uint64_t len) const;
+  ByteSpan ContiguousSrc(uint64_t buf_off, uint64_t len) const;
+
+  Image& image_;
+  IoKind kind_;
+  uint64_t offset_;
+  uint64_t length_;
+  std::vector<ByteSpan> src_;
+  std::vector<MutByteSpan> dst_;
+  objstore::SnapId snap_;
+  CompletionPtr completion_;
+  uint64_t write_seq_ = 0;  // flush-ordering ticket (write-class ops)
+  bool seq_assigned_ = false;
+  sim::Gate flush_gate_;
+};
+
+}  // namespace vde::rbd

@@ -73,6 +73,90 @@ class SemGuard {
   Semaphore* sem_;
 };
 
+// Shared/exclusive (reader-writer) lock with FIFO admission: readers run
+// concurrently, writers exclusively, and a queued writer blocks later
+// readers (no writer starvation). Deterministic like Semaphore.
+class SharedLock {
+ public:
+  SharedLock() = default;
+  SharedLock(const SharedLock&) = delete;
+  SharedLock& operator=(const SharedLock&) = delete;
+
+  struct [[nodiscard]] Awaiter {
+    SharedLock& lock;
+    bool exclusive;
+    bool await_ready() {
+      if (lock.CanGrant(exclusive)) {
+        lock.Grant(exclusive);
+        return true;
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      lock.waiters_.push_back({h, exclusive});
+    }
+    void await_resume() {}
+  };
+
+  Awaiter AcquireShared() { return Awaiter{*this, /*exclusive=*/false}; }
+  Awaiter AcquireExclusive() { return Awaiter{*this, /*exclusive=*/true}; }
+
+  void ReleaseShared() {
+    assert(readers_ > 0);
+    readers_--;
+    Pump();
+  }
+  void ReleaseExclusive() {
+    assert(writer_active_);
+    writer_active_ = false;
+    Pump();
+  }
+
+  bool idle() const {
+    return !writer_active_ && readers_ == 0 && waiters_.empty();
+  }
+
+ private:
+  struct Waiter {
+    std::coroutine_handle<> handle;
+    bool exclusive;
+  };
+
+  bool CanGrant(bool exclusive) const {
+    if (exclusive) {
+      return !writer_active_ && readers_ == 0 && waiters_.empty();
+    }
+    return !writer_active_ && waiters_.empty();
+  }
+  void Grant(bool exclusive) {
+    if (exclusive) {
+      writer_active_ = true;
+    } else {
+      readers_++;
+    }
+  }
+  void Pump() {
+    while (!waiters_.empty()) {
+      Waiter& w = waiters_.front();
+      if (w.exclusive) {
+        if (writer_active_ || readers_ > 0) break;
+        writer_active_ = true;
+        Scheduler::Current().ScheduleNow(w.handle);
+        waiters_.pop_front();
+        break;
+      }
+      if (writer_active_) break;
+      readers_++;
+      Scheduler::Current().ScheduleNow(w.handle);
+      waiters_.pop_front();
+    }
+  }
+
+  bool writer_active_ = false;
+  size_t readers_ = 0;
+  std::deque<Waiter> waiters_;
+};
+
 // Join-counter for spawned tasks: Add() before spawn, Done() on completion,
 // co_await Wait() resumes when the count reaches zero.
 class WaitGroup {

@@ -2,19 +2,54 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
 
 namespace vde::workload {
 
+namespace {
+
+uint64_t RoundUpBlock(uint64_t v) {
+  return (v + core::kBlockSize - 1) / core::kBlockSize * core::kBlockSize;
+}
+
+}  // namespace
+
+std::string FioResult::Summary() const {
+  char buf[192];
+  std::snprintf(
+      buf, sizeof(buf),
+      "ops=%llu (discards=%llu) bw=%.1f MB/s iops=%.0f "
+      "lat_us[p50=%.1f p99=%.1f max=%.1f]",
+      static_cast<unsigned long long>(ops),
+      static_cast<unsigned long long>(discards), BandwidthMBps(), Iops(),
+      latency_ns.Percentile(50) / 1e3, latency_ns.Percentile(99) / 1e3,
+      static_cast<double>(latency_ns.max()) / 1e3);
+  return buf;
+}
+
 FioRunner::FioRunner(rbd::Image& image, FioConfig config)
     : image_(image), config_(config), rng_(config.seed) {
-  assert(config_.io_size % core::kBlockSize == 0 && config_.io_size > 0);
-  working_set_ = config_.working_set == 0
-                     ? config_.total_ops * config_.io_size
-                     : config_.working_set;
-  working_set_ = std::min(working_set_, image_.size());
-  // Round down to a whole number of IO slots.
-  slots_ = std::max<uint64_t>(1, working_set_ / config_.io_size);
-  working_set_ = slots_ * config_.io_size;
+  assert(config_.io_size > 0);
+  config_.io_size = std::max<uint64_t>(config_.io_size, 1);  // NDEBUG guard
+  uint64_t ws = config_.working_set == 0
+                    ? config_.total_ops * config_.io_size
+                    : config_.working_set;
+  ws = std::min(std::max(ws, config_.io_size), image_.size());
+  align_ = config_.offset_align == 0 ? config_.io_size : config_.offset_align;
+  // Offsets form a grid of `align_` steps; the last slot still fits a
+  // whole IO inside the working set. An io_size beyond the image leaves a
+  // single slot (the image will reject the IO with InvalidArgument).
+  slots_ = ws >= config_.io_size ? (ws - config_.io_size) / align_ + 1 : 1;
+  working_set_ = (slots_ - 1) * align_ + config_.io_size;
+  if (config_.verify) {
+    block_state_.assign(RoundUpBlock(working_set_) / core::kBlockSize,
+                        BlockState::kContent);
+    // The content model tracks state at issue time, so verify runs that
+    // mutate (writes or discards) need non-overlapping in-flight IO.
+    if (config_.is_write || config_.discard_pct > 0) {
+      config_.queue_depth = 1;
+    }
+  }
 }
 
 void FioRunner::FillBlock(uint64_t offset, MutByteSpan out) const {
@@ -24,11 +59,99 @@ void FioRunner::FillBlock(uint64_t offset, MutByteSpan out) const {
   content.Fill(out);
 }
 
+void FioRunner::ExpectedRange(uint64_t offset, MutByteSpan out) const {
+  Bytes block(core::kBlockSize);
+  uint64_t pos = offset;
+  size_t out_off = 0;
+  while (out_off < out.size()) {
+    const uint64_t bstart = pos / core::kBlockSize * core::kBlockSize;
+    FillBlock(bstart, block);
+    const uint64_t in_block = pos - bstart;
+    const size_t take = std::min<size_t>(core::kBlockSize - in_block,
+                                         out.size() - out_off);
+    std::copy(block.begin() + static_cast<long>(in_block),
+              block.begin() + static_cast<long>(in_block + take),
+              out.begin() + static_cast<long>(out_off));
+    pos += take;
+    out_off += take;
+  }
+}
+
+Status FioRunner::VerifyRead(uint64_t offset, ByteSpan got) const {
+  Bytes expect(core::kBlockSize);
+  uint64_t pos = offset;
+  size_t got_off = 0;
+  while (got_off < got.size()) {
+    const uint64_t block = pos / core::kBlockSize;
+    const uint64_t bstart = block * core::kBlockSize;
+    const uint64_t in_block = pos - bstart;
+    const size_t take = std::min<size_t>(core::kBlockSize - in_block,
+                                         got.size() - got_off);
+    const BlockState state = block < block_state_.size()
+                                 ? block_state_[block]
+                                 : BlockState::kContent;
+    bool ok = true;
+    switch (state) {
+      case BlockState::kContent:
+        FillBlock(bstart, expect);
+        ok = std::equal(expect.begin() + static_cast<long>(in_block),
+                        expect.begin() + static_cast<long>(in_block + take),
+                        got.begin() + static_cast<long>(got_off));
+        break;
+      case BlockState::kZero:
+        ok = std::all_of(got.begin() + static_cast<long>(got_off),
+                         got.begin() + static_cast<long>(got_off + take),
+                         [](uint8_t b) { return b == 0; });
+        break;
+      case BlockState::kUnknown:
+        break;  // mixed content (partial write over a trimmed block): skip
+    }
+    if (!ok) {
+      return Status::Corruption("read verification failed at " +
+                                std::to_string(pos));
+    }
+    pos += take;
+    got_off += take;
+  }
+  return Status::Ok();
+}
+
+void FioRunner::MarkWrite(uint64_t offset, uint64_t length) {
+  // A verify-mode write carries seed-derived content, so fully covered
+  // blocks return to kContent; a partially covered block only does if its
+  // remainder already held content.
+  const uint64_t first = offset / core::kBlockSize;
+  const uint64_t last = (offset + length - 1) / core::kBlockSize;
+  for (uint64_t b = first; b <= last && b < block_state_.size(); ++b) {
+    const uint64_t bstart = b * core::kBlockSize;
+    const bool full = offset <= bstart &&
+                      offset + length >= bstart + core::kBlockSize;
+    if (full || block_state_[b] == BlockState::kContent) {
+      block_state_[b] = BlockState::kContent;
+    } else {
+      block_state_[b] = BlockState::kUnknown;
+    }
+  }
+}
+
+void FioRunner::MarkDiscard(uint64_t offset, uint64_t length) {
+  // Discard rounds inward to whole blocks (mirrors rbd::Image semantics).
+  const uint64_t first = (offset + core::kBlockSize - 1) / core::kBlockSize;
+  const uint64_t last = (offset + length) / core::kBlockSize;
+  for (uint64_t b = first; b < last && b < block_state_.size(); ++b) {
+    block_state_[b] = BlockState::kZero;
+  }
+}
+
 sim::Task<Status> FioRunner::Prefill() {
-  const uint64_t chunk = std::max<uint64_t>(config_.io_size, 1 << 20);
+  // Prefill whole blocks covering the working set (block-aligned so the
+  // content model holds even for unaligned io_size).
+  const uint64_t span = std::min(RoundUpBlock(working_set_), image_.size());
+  const uint64_t chunk = std::max<uint64_t>(RoundUpBlock(config_.io_size),
+                                            1 << 20);
   Bytes buf;
-  for (uint64_t off = 0; off < working_set_; off += chunk) {
-    const uint64_t len = std::min(chunk, working_set_ - off);
+  for (uint64_t off = 0; off < span; off += chunk) {
+    const uint64_t len = std::min(chunk, span - off);
     buf.resize(len);
     for (uint64_t b = 0; b < len; b += core::kBlockSize) {
       FillBlock(off + b, MutByteSpan(buf.data() + b, core::kBlockSize));
@@ -40,11 +163,11 @@ sim::Task<Status> FioRunner::Prefill() {
 
 uint64_t FioRunner::NextOffset() {
   if (config_.pattern == FioConfig::Pattern::kSequential) {
-    const uint64_t off = (seq_cursor_ % slots_) * config_.io_size;
+    const uint64_t off = (seq_cursor_ % slots_) * align_;
     seq_cursor_++;
     return off;
   }
-  return rng_.NextBelow(slots_) * config_.io_size;
+  return rng_.NextBelow(slots_) * align_;
 }
 
 sim::Task<void> FioRunner::Worker(size_t worker_id, FioResult* result,
@@ -69,12 +192,33 @@ sim::Task<void> FioRunner::Worker(size_t worker_id, FioResult* result,
       measure_start_ = sim::Scheduler::Current().now();
     }
     const uint64_t offset = NextOffset();
+    const bool do_discard =
+        config_.discard_pct > 0 && rng_.NextBelow(100) < config_.discard_pct;
     const sim::SimTime start = sim::Scheduler::Current().now();
-    if (config_.is_write) {
-      // Vary the payload cheaply per op (keeps real encryption honest
-      // without regenerating the whole buffer).
-      StoreU64Le(write_buf.data(), issued_);
-      StoreU64Le(write_buf.data() + config_.io_size - 8, offset);
+    bool was_discard = false;
+    if (do_discard) {
+      was_discard = true;
+      if (config_.verify) MarkDiscard(offset, config_.io_size);
+      const Status s = co_await image_.Discard(offset, config_.io_size);
+      if (!s.ok()) {
+        *status = s;
+        co_return;
+      }
+    } else if (config_.is_write) {
+      if (config_.verify) {
+        // Content-true writes keep the verify model consistent.
+        ExpectedRange(offset, write_buf);
+        MarkWrite(offset, config_.io_size);
+      } else {
+        // Vary the payload cheaply per op (keeps real encryption honest
+        // without regenerating the whole buffer).
+        if (config_.io_size >= 8) {
+          StoreU64Le(write_buf.data(), issued_);
+        }
+        if (config_.io_size >= 16) {
+          StoreU64Le(write_buf.data() + config_.io_size - 8, offset);
+        }
+      }
       const Status s = co_await image_.Write(offset, write_buf);
       if (!s.ok()) {
         *status = s;
@@ -87,14 +231,10 @@ sim::Task<void> FioRunner::Worker(size_t worker_id, FioResult* result,
         co_return;
       }
       if (config_.verify) {
-        Bytes expect(core::kBlockSize);
-        for (uint64_t b = 0; b < config_.io_size; b += core::kBlockSize) {
-          FillBlock(offset + b, expect);
-          if (!std::equal(expect.begin(), expect.end(), got->begin() + b)) {
-            *status = Status::Corruption("read verification failed at " +
-                                         std::to_string(offset + b));
-            co_return;
-          }
+        const Status s = VerifyRead(offset, *got);
+        if (!s.ok()) {
+          *status = s;
+          co_return;
         }
       }
     }
@@ -102,7 +242,13 @@ sim::Task<void> FioRunner::Worker(size_t worker_id, FioResult* result,
     if (measured && measured_done_ < config_.total_ops) {
       measured_done_++;
       result->ops++;
-      result->bytes += config_.io_size;
+      // Discards move no data: counting them as bytes would inflate the
+      // reported bandwidth (fio tracks the trim ddir separately too).
+      if (was_discard) {
+        result->discards++;
+      } else {
+        result->bytes += config_.io_size;
+      }
       result->latency_ns.Add(end - start);
       if (measured_done_ == config_.total_ops) {
         measure_end_ = end;

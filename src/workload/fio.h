@@ -2,9 +2,15 @@
 // fixed IO size with a bounded number of in-flight IOs (the paper runs fio
 // with 32 maximum parallel accesses), measuring bandwidth on the simulation
 // clock — fully deterministic for a given seed.
+//
+// IO size and offsets need not be 4 KiB-aligned: sub-block and straddling
+// IOs exercise the image's read-modify-write path (databases doing 512 B or
+// 8 KiB+512 accesses). A discard percentage mixes TRIM into any pattern.
 #pragma once
 
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "rbd/image.h"
 #include "util/rng.h"
@@ -17,7 +23,10 @@ struct FioConfig {
 
   bool is_write = false;
   Pattern pattern = Pattern::kRandom;
-  uint64_t io_size = 4096;       // must be a multiple of the 4 KiB block
+  uint64_t io_size = 4096;       // any byte count >= 1 (sub-block IO RMWs)
+  uint64_t offset_align = 0;     // offset grid; 0 = io_size (classic fio
+                                 // slots), 512 models a sector-granular guest
+  uint32_t discard_pct = 0;      // % of ops issued as Discard, any pattern
   size_t queue_depth = 32;       // concurrent IOs
   uint64_t total_ops = 256;      // measured IOs
   uint64_t warmup_ops = 0;       // untimed IOs before measuring
@@ -25,11 +34,16 @@ struct FioConfig {
   uint64_t working_set = 0;      // byte span of the image touched
                                  // (0 = total_ops * io_size, capped to image)
   uint64_t seed = 1;
-  bool verify = false;           // reads check content written by Prefill
+  bool verify = false;           // reads check content written by Prefill.
+                                 // The per-block state model assumes no two
+                                 // in-flight IOs overlap, so verify runs
+                                 // with writes or discards force
+                                 // queue_depth to 1.
 };
 
 struct FioResult {
   uint64_t ops = 0;
+  uint64_t discards = 0;  // subset of ops issued as Discard
   uint64_t bytes = 0;
   sim::SimTime duration = 0;
   Histogram latency_ns;
@@ -44,6 +58,9 @@ struct FioResult {
                ? 0
                : static_cast<double>(ops) * 1e9 / static_cast<double>(duration);
   }
+  // One-line human-readable digest: throughput plus p50/p99/max latency
+  // from the (warmup-excluded) histogram.
+  std::string Summary() const;
 };
 
 class FioRunner {
@@ -58,18 +75,31 @@ class FioRunner {
   sim::Task<Result<FioResult>> Run();
 
   uint64_t working_set() const { return working_set_; }
+  // Effective config after constructor adjustments (e.g. the verify-mode
+  // queue-depth clamp).
+  const FioConfig& config() const { return config_; }
 
  private:
+  // Per-4 KiB-block content model for verify mode.
+  enum class BlockState : uint8_t { kContent, kZero, kUnknown };
+
   sim::Task<void> Worker(size_t worker_id, FioResult* result, Status* status);
   uint64_t NextOffset();
   // Deterministic content for the block at `offset` (verify mode).
   void FillBlock(uint64_t offset, MutByteSpan out) const;
+  // Seed-derived expected bytes for an arbitrary range (slices FillBlock).
+  void ExpectedRange(uint64_t offset, MutByteSpan out) const;
+  Status VerifyRead(uint64_t offset, ByteSpan got) const;
+  void MarkWrite(uint64_t offset, uint64_t length);
+  void MarkDiscard(uint64_t offset, uint64_t length);
 
   rbd::Image& image_;
   FioConfig config_;
   uint64_t working_set_;
+  uint64_t align_;
   uint64_t slots_;
   Rng rng_;
+  std::vector<BlockState> block_state_;  // verify mode only
   uint64_t issued_ = 0;
   uint64_t seq_cursor_ = 0;
   bool measuring_ = false;

@@ -192,6 +192,51 @@ TEST(Scheduler, RunUntilStopsAtDeadline) {
   EXPECT_EQ(log.size(), 2u);
 }
 
+namespace {
+
+sim::Task<void> Reader(SharedLock& lock, SimTime hold, int* active,
+                       int* max_active, std::vector<int>* order, int id) {
+  co_await lock.AcquireShared();
+  (*active)++;
+  *max_active = std::max(*max_active, *active);
+  co_await Sleep{hold};
+  (*active)--;
+  order->push_back(id);
+  lock.ReleaseShared();
+}
+
+sim::Task<void> Writer(SharedLock& lock, SimTime hold, int* active,
+                       std::vector<int>* order, int id) {
+  co_await lock.AcquireExclusive();
+  EXPECT_EQ(*active, 0) << "writer overlapped readers";
+  (*active)++;
+  co_await Sleep{hold};
+  (*active)--;
+  order->push_back(id);
+  lock.ReleaseExclusive();
+}
+
+}  // namespace
+
+TEST(SharedLock, ReadersShareWritersExclude) {
+  Scheduler sched;
+  SharedLock lock;
+  int active = 0;
+  int max_active = 0;
+  std::vector<int> order;
+  // Two readers, then a writer, then a late reader: the readers overlap,
+  // the writer runs alone, and the late reader queues behind the writer
+  // (FIFO, no writer starvation).
+  sched.Spawn(Reader(lock, 100, &active, &max_active, &order, 1));
+  sched.Spawn(Reader(lock, 200, &active, &max_active, &order, 2));
+  sched.Spawn(Writer(lock, 50, &active, &order, 3));
+  sched.Spawn(Reader(lock, 10, &active, &max_active, &order, 4));
+  sched.Run();
+  EXPECT_EQ(max_active, 2) << "readers must overlap";
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_TRUE(lock.idle());
+}
+
 TEST(Scheduler, DeterministicEventCount) {
   auto run_once = []() {
     Scheduler sched;
