@@ -147,12 +147,6 @@ sim::Task<void> Run(const Args& args, bool* ok) {
   fio.working_set = std::max<uint64_t>(args.ops * args.bs, 512ull << 20);
   fio.verify = args.verify;
   workload::FioRunner runner(**image, fio);
-  if (runner.config().queue_depth != fio.queue_depth) {
-    std::printf(
-        "verify with writes/discards: forcing qd=%zu (the content model "
-        "needs non-overlapping in-flight IO)\n",
-        runner.config().queue_depth);
-  }
 
   if (!args.is_write) {
     std::printf("prefilling %llu MiB...\n",

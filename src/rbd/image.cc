@@ -4,11 +4,24 @@
 #include <cassert>
 #include <cstdio>
 
+#include "util/crc32.h"
+
 namespace vde::rbd {
 
 namespace {
 
 constexpr uint32_t kImageMagic = 0x52424431;  // "RBD1"
+
+// Snapshot names ride a u16 length field in the serialized header.
+constexpr size_t kMaxSnapNameLen = 0xFFFF;
+
+// First read of the header object; if the total-length field says the
+// metadata is larger (many snapshots, big LUKS blob), Open re-reads the
+// full size instead of silently truncating.
+constexpr uint64_t kHeaderFirstRead = 64 * 1024;
+
+// Upper bound on a plausible header (corruption guard for the re-read).
+constexpr uint32_t kMaxHeaderLen = 64u << 20;
 
 Bytes SerializeMetadata(const ImageOptions& options,
                         const core::LuksHeader& luks, bool encrypted,
@@ -16,6 +29,7 @@ Bytes SerializeMetadata(const ImageOptions& options,
                             snaps) {
   Bytes out;
   AppendU32Le(out, kImageMagic);
+  AppendU32Le(out, 0);  // total length, patched below
   AppendU64Le(out, options.size);
   AppendU64Le(out, options.object_size);
   AppendU8(out, static_cast<uint8_t>(options.enc.mode));
@@ -31,13 +45,71 @@ Bytes SerializeMetadata(const ImageOptions& options,
   const Bytes luks_blob = luks.Serialize();
   AppendU32Le(out, static_cast<uint32_t>(luks_blob.size()));
   AppendBytes(out, luks_blob);
+  // CRC32-C trailer over everything before it. The store pads short reads
+  // with zeros, so a genuinely truncated header object would otherwise
+  // parse its padding as zeroed metadata; the checksum catches that (and
+  // any other corruption) outright.
+  StoreU32Le(out.data() + 4, static_cast<uint32_t>(out.size()) + 4);
+  AppendU32Le(out, Crc32c(out));
   return out;
 }
+
+// Bounds-checked reader over the serialized header: every load verifies
+// the bytes exist, so a truncated or corrupt header fails cleanly instead
+// of reading past the buffer.
+class HeaderReader {
+ public:
+  explicit HeaderReader(ByteSpan data) : data_(data) {}
+
+  bool U8(uint8_t* v) {
+    if (!Need(1)) return false;
+    *v = data_[off_++];
+    return true;
+  }
+  bool U16(uint16_t* v) {
+    if (!Need(2)) return false;
+    *v = LoadU16Le(data_.data() + off_);
+    off_ += 2;
+    return true;
+  }
+  bool U32(uint32_t* v) {
+    if (!Need(4)) return false;
+    *v = LoadU32Le(data_.data() + off_);
+    off_ += 4;
+    return true;
+  }
+  bool U64(uint64_t* v) {
+    if (!Need(8)) return false;
+    *v = LoadU64Le(data_.data() + off_);
+    off_ += 8;
+    return true;
+  }
+  bool Str(size_t len, std::string* v) {
+    if (!Need(len)) return false;
+    v->assign(reinterpret_cast<const char*>(data_.data() + off_), len);
+    off_ += len;
+    return true;
+  }
+  bool Span(size_t len, ByteSpan* v) {
+    if (!Need(len)) return false;
+    *v = data_.subspan(off_, len);
+    off_ += len;
+    return true;
+  }
+
+ private:
+  bool Need(size_t n) const { return n <= data_.size() - off_; }
+
+  ByteSpan data_;
+  size_t off_ = 0;
+};
 
 }  // namespace
 
 Image::Image(rados::Cluster& cluster, std::string name, ImageOptions options)
-    : cluster_(cluster), name_(std::move(name)), options_(options) {}
+    : cluster_(cluster), name_(std::move(name)), options_(options) {
+  writeback_ = std::make_unique<Writeback>(*this, options_.writeback);
+}
 
 std::string Image::ObjectName(uint64_t object_no) const {
   char buf[17];
@@ -83,49 +155,88 @@ sim::Task<Result<std::shared_ptr<Image>>> Image::Create(
 
 sim::Task<Result<std::shared_ptr<Image>>> Image::Open(
     rados::Cluster& cluster, const std::string& name,
-    const std::string& passphrase) {
+    const std::string& passphrase, WritebackConfig writeback) {
   auto io = cluster.ioctx();
   const std::string header_oid = "rbd_header." + name;
-  // Read the (small) metadata object.
-  auto raw = co_await io.Read(header_oid, 0, 64 * 1024);
+  auto raw = co_await io.Read(header_oid, 0, kHeaderFirstRead);
   if (!raw.ok()) co_return raw.status();
-  const Bytes& data = *raw;
-  if (data.size() < 31 || LoadU32Le(data.data()) != kImageMagic) {
+  Bytes data = std::move(*raw);
+  if (data.size() < 8 || LoadU32Le(data.data()) != kImageMagic) {
     co_return Status::Corruption("bad image header");
   }
-  ImageOptions options;
-  options.size = LoadU64Le(data.data() + 4);
-  options.object_size = LoadU64Le(data.data() + 12);
-  options.enc.mode = static_cast<core::CipherMode>(data[20]);
-  options.enc.layout = static_cast<core::IvLayout>(data[21]);
-  options.enc.integrity = static_cast<core::Integrity>(data[22]);
-  const bool encrypted = data[23] != 0;
-  size_t off = 24;
-  const uint32_t snap_count = LoadU32Le(data.data() + off);
-  off += 4;
-  std::deque<std::pair<uint64_t, std::string>> snaps;
-  for (uint32_t i = 0; i < snap_count; ++i) {
-    const uint64_t id = LoadU64Le(data.data() + off);
-    const uint16_t name_len = LoadU16Le(data.data() + off + 8);
-    off += 10;
-    snaps.emplace_back(id, std::string(data.begin() + static_cast<long>(off),
-                                       data.begin() +
-                                           static_cast<long>(off + name_len)));
-    off += name_len;
+  const uint32_t total_len = LoadU32Le(data.data() + 4);
+  if (total_len < 8 || total_len > kMaxHeaderLen) {
+    co_return Status::Corruption("bad image header length");
   }
-  const uint32_t luks_len = LoadU32Le(data.data() + off);
-  off += 4;
-  if (off + luks_len > data.size()) {
-    co_return Status::Corruption("truncated image header");
+  if (total_len > data.size()) {
+    // Large metadata (many snapshots, big LUKS blob): read the whole
+    // object instead of parsing a truncated prefix.
+    auto full = co_await io.Read(header_oid, 0, total_len);
+    if (!full.ok()) co_return full.status();
+    data = std::move(*full);
+    if (data.size() < total_len) {
+      co_return Status::Corruption("truncated image header");
+    }
+  }
+  // The store pads reads past the object's logical size; parse exactly the
+  // serialized bytes. The checksum trailer rejects padded (truncated) and
+  // corrupted headers before any field is trusted.
+  data.resize(total_len);
+  if (total_len < 12 ||
+      LoadU32Le(data.data() + total_len - 4) !=
+          Crc32c(ByteSpan(data.data(), total_len - 4))) {
+    co_return Status::Corruption("image header checksum mismatch");
   }
 
+  const Status corrupt = Status::Corruption("truncated image header");
+  HeaderReader in(ByteSpan(data.data() + 8, data.size() - 12));
+  ImageOptions options;
+  uint8_t mode = 0, layout = 0, integrity = 0, encrypted_flag = 0;
+  uint32_t snap_count = 0;
+  if (!in.U64(&options.size) || !in.U64(&options.object_size) ||
+      !in.U8(&mode) || !in.U8(&layout) || !in.U8(&integrity) ||
+      !in.U8(&encrypted_flag) || !in.U32(&snap_count)) {
+    co_return corrupt;
+  }
+  if (mode > static_cast<uint8_t>(core::CipherMode::kWideLba) ||
+      layout > static_cast<uint8_t>(core::IvLayout::kOmap) ||
+      integrity > static_cast<uint8_t>(core::Integrity::kHmac)) {
+    co_return Status::Corruption("bad image header encryption spec");
+  }
+  options.enc.mode = static_cast<core::CipherMode>(mode);
+  options.enc.layout = static_cast<core::IvLayout>(layout);
+  options.enc.integrity = static_cast<core::Integrity>(integrity);
+  if (options.object_size == 0 || options.size == 0 ||
+      options.object_size % core::kBlockSize != 0 ||
+      options.size % core::kBlockSize != 0) {
+    co_return Status::Corruption("bad image header geometry");
+  }
+  const bool encrypted = encrypted_flag != 0;
+  std::deque<std::pair<uint64_t, std::string>> snaps;
+  for (uint32_t i = 0; i < snap_count; ++i) {
+    uint64_t id = 0;
+    uint16_t name_len = 0;
+    std::string snap_name;
+    if (!in.U64(&id) || !in.U16(&name_len) || !in.Str(name_len, &snap_name)) {
+      co_return corrupt;
+    }
+    snaps.emplace_back(id, std::move(snap_name));
+  }
+  uint32_t luks_len = 0;
+  ByteSpan luks_blob;
+  if (!in.U32(&luks_len) || !in.Span(luks_len, &luks_blob)) {
+    co_return corrupt;
+  }
+
+  // The write-back configuration is client-side runtime policy, not
+  // persisted metadata: the caller picks it per open.
+  options.writeback = writeback;
   std::shared_ptr<Image> image(new Image(cluster, name, options));
   image->encrypted_ = encrypted;
   image->snaps_ = std::move(snaps);
   Bytes master_key(core::kMasterKeySize, 0);
   if (encrypted) {
-    auto luks = core::LuksHeader::Deserialize(
-        ByteSpan(data.data() + off, luks_len));
+    auto luks = core::LuksHeader::Deserialize(luks_blob);
     if (!luks.ok()) co_return luks.status();
     image->luks_ = std::move(luks).value();
     auto key = image->luks_.Unlock(passphrase);
@@ -276,6 +387,14 @@ void Image::EndWriteIo(uint64_t seq) {
 }
 
 sim::Task<Result<uint64_t>> Image::SnapCreate(const std::string& snap_name) {
+  if (snap_name.size() > kMaxSnapNameLen) {
+    // The serialized header carries the name behind a u16 length field;
+    // longer names used to truncate silently on the next Open.
+    co_return Status::InvalidArgument("snapshot name longer than 65535 bytes");
+  }
+  // The snapshot must capture every completed write, including bytes still
+  // sitting in the volatile write-back buffer.
+  VDE_CO_RETURN_IF_ERROR(co_await writeback_->Drain());
   const uint64_t id = cluster_.AllocateSnapId();
   snaps_.emplace_front(id, snap_name);
   VDE_CO_RETURN_IF_ERROR(co_await PersistMetadata());

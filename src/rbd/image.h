@@ -9,6 +9,11 @@
 // layer; discard/write-zeroes clear data and IV metadata atomically per
 // object. The coroutine methods (Read/Write/...) are thin sugar over the
 // same path.
+//
+// A per-image write-back layer (rbd/writeback.h) sits between requests and
+// the format: overlapping block ranges are admitted in submission order
+// (fixing the RMW lost-update race) and sub-block writes coalesce in a
+// volatile staging buffer — AioFlush is the durability barrier.
 #pragma once
 
 #include <deque>
@@ -22,6 +27,7 @@
 #include "rados/cluster.h"
 #include "rbd/completion.h"
 #include "rbd/image_request.h"
+#include "rbd/writeback.h"
 
 namespace vde::rbd {
 
@@ -30,6 +36,7 @@ struct ImageOptions {
   uint64_t object_size = 4ull << 20;
   core::EncryptionSpec enc;
   core::LuksHeader::Params luks;
+  WritebackConfig writeback;
 };
 
 struct ImageStats {
@@ -41,6 +48,11 @@ struct ImageStats {
   uint64_t bytes_read = 0;
   uint64_t bytes_discarded = 0;
   uint64_t rmw_blocks = 0;     // partial blocks read back for merge
+  uint64_t rmw_merged = 0;     // RMW edge reads served from the staging
+                               // buffer (store read avoided)
+  uint64_t wb_hits = 0;        // writes absorbed into an existing stage
+  uint64_t wb_stages = 0;      // staged-block creations
+  uint64_t wb_flushes = 0;     // staged-block flush transactions
 };
 
 class Image {
@@ -52,16 +64,21 @@ class Image {
       const std::string& passphrase, const ImageOptions& options);
 
   // Opens an existing image, unlocking the header with `passphrase`.
+  // `writeback` is client-side runtime policy (not persisted): pass a
+  // custom config to e.g. disable coalescing for this open.
   static sim::Task<Result<std::shared_ptr<Image>>> Open(
       rados::Cluster& cluster, const std::string& name,
-      const std::string& passphrase);
+      const std::string& passphrase, WritebackConfig writeback = {});
 
   // --- Completion-based async IO (librbd aio_*) ---
   //
   // Any offset/length within the image is valid; no alignment is required.
   // Buffers must stay alive until the completion resolves. Concurrent
-  // requests touching the same blocks have no ordering guarantee (as with a
-  // real disk: the guest serializes conflicting IO).
+  // requests touching overlapping block ranges apply in submission order
+  // (per-object block-range guards in the write-back layer); disjoint
+  // ranges run concurrently. A completed write may still sit in the
+  // volatile write-back buffer — reads observe it, but AioFlush is the
+  // durability barrier, exactly like a disk write cache.
   void AioReadv(std::vector<MutByteSpan> iov, uint64_t offset, CompletionPtr c,
                 objstore::SnapId snap = objstore::kHeadSnap);
   void AioWritev(std::vector<ByteSpan> iov, uint64_t offset, CompletionPtr c);
@@ -98,6 +115,7 @@ class Image {
   }
   const core::EncryptionSpec& spec() const { return options_.enc; }
   const ImageStats& stats() const { return stats_; }
+  const Writeback& writeback() const { return *writeback_; }
   const std::deque<std::pair<uint64_t, std::string>>& snapshots() const {
     return snaps_;
   }
@@ -107,6 +125,7 @@ class Image {
 
  private:
   friend class ImageRequest;
+  friend class Writeback;
 
   Image(rados::Cluster& cluster, std::string name, ImageOptions options);
 
@@ -126,6 +145,7 @@ class Image {
   std::string name_;
   ImageOptions options_;
   std::unique_ptr<core::EncryptionFormat> format_;
+  std::unique_ptr<Writeback> writeback_;
   core::LuksHeader luks_;
   bool encrypted_ = false;
   std::deque<std::pair<uint64_t, std::string>> snaps_;  // newest first

@@ -61,6 +61,21 @@ SpanT ContiguousAt(const std::vector<SpanT>& iov, uint64_t buf_off,
   return {};
 }
 
+// Releases a write-back hold when the owning chunk task finishes.
+class HoldGuard {
+ public:
+  HoldGuard(Writeback& wb, Writeback::Hold* hold) : wb_(wb), hold_(hold) {}
+  HoldGuard(const HoldGuard&) = delete;
+  HoldGuard& operator=(const HoldGuard&) = delete;
+  ~HoldGuard() {
+    if (hold_ != nullptr) wb_.Release(hold_);
+  }
+
+ private:
+  Writeback& wb_;
+  Writeback::Hold* hold_;
+};
+
 }  // namespace
 
 ImageRequest::ImageRequest(Image& image, IoKind kind, uint64_t offset,
@@ -97,6 +112,56 @@ Status ImageRequest::Validate() const {
   return Status::Ok();
 }
 
+void ImageRequest::RegisterHolds() {
+  Writeback& wb = *image_.writeback_;
+  holds_.assign(chunks_.size(), nullptr);
+  for (size_t i = 0; i < chunks_.size(); ++i) {
+    const Chunk& c = chunks_[i];
+    const uint64_t first = c.cover.first_block;
+    const uint64_t last = first + c.cover.block_count - 1;
+    switch (kind_) {
+      case IoKind::kRead:
+        holds_[i] = wb.Register(c.cover.object_no, first, last,
+                                /*exclusive=*/false);
+        break;
+      case IoKind::kWrite:
+      case IoKind::kWriteZeroes:
+        holds_[i] = wb.Register(c.cover.object_no, first, last,
+                                /*exclusive=*/true);
+        break;
+      case IoKind::kDiscard: {
+        // TRIM mutates only whole blocks inside the range; a sub-block
+        // discard is a no-op and must not serialize against anything.
+        const uint64_t first_full =
+            first + (c.byte_off + kBlockSize - 1) / kBlockSize;
+        const uint64_t end_full = first + (c.byte_off + c.byte_len) / kBlockSize;
+        if (first_full < end_full) {
+          holds_[i] = wb.Register(c.cover.object_no, first_full, end_full - 1,
+                                  /*exclusive=*/true);
+        }
+        break;
+      }
+      case IoKind::kFlush:
+        break;
+    }
+  }
+}
+
+bool ImageRequest::StageEligible(const Chunk& chunk) const {
+  if (kind_ != IoKind::kWrite || !image_.writeback_->coalescing()) {
+    return false;
+  }
+  // Small writes with a partial edge: these are the RMW-paying chunks the
+  // staging buffer absorbs. Aligned or multi-block bulk writes go straight
+  // through (staging them would only copy bytes twice — and would let a
+  // bulk write linger in the volatile buffer for no RMW savings).
+  if (chunk.cover.block_count > 2) return false;
+  const bool head_partial = chunk.byte_off % kBlockSize != 0;
+  const bool tail_partial =
+      (chunk.byte_off + chunk.byte_len) % kBlockSize != 0;
+  return head_partial || tail_partial;
+}
+
 void ImageRequest::Submit(Image& image, IoKind kind, uint64_t offset,
                           uint64_t length, std::vector<ByteSpan> src,
                           std::vector<MutByteSpan> dst, objstore::SnapId snap,
@@ -110,9 +175,15 @@ void ImageRequest::Submit(Image& image, IoKind kind, uint64_t offset,
     req->completion_->Finish(std::move(valid), 0);
     return;
   }
-  // Flush ordering tickets are taken in ISSUE order, before the request
-  // coroutine first runs, so "everything issued before the flush" is
-  // well-defined even when many requests are submitted back to back.
+  // Flush ordering tickets and block-range holds are both taken in ISSUE
+  // order, synchronously, before the request coroutine first runs: flush
+  // barriers cover "everything issued before", and overlapping block
+  // ranges are admitted in the order the guest submitted them even when
+  // many requests are submitted back to back.
+  if (req->kind_ != IoKind::kFlush) {
+    req->chunks_ = req->Chunks();
+    req->RegisterHolds();
+  }
   if (req->IsWriteClass()) {
     req->write_seq_ = image.BeginWriteIo();
     req->seq_assigned_ = true;
@@ -210,24 +281,25 @@ void ImageRequest::ScatterTo(uint64_t buf_off, ByteSpan in) {
 // --- Read ---
 
 sim::Task<Status> ImageRequest::ExecuteReadOp() {
-  const auto chunks = Chunks();
-  std::vector<Status> results(chunks.size());
+  std::vector<Status> results(chunks_.size());
   std::vector<sim::Task<void>> tasks;
-  uint64_t cover_bytes = 0;
-  for (size_t i = 0; i < chunks.size(); ++i) {
-    cover_bytes += chunks[i].cover.block_count * kBlockSize;
-    tasks.push_back([](ImageRequest* self, const Chunk* chunk,
+  for (size_t i = 0; i < chunks_.size(); ++i) {
+    tasks.push_back([](ImageRequest* self, size_t idx,
                        Status* out) -> sim::Task<void> {
-      *out = co_await self->ReadChunk(*chunk);
-    }(this, &chunks[i], &results[i]));
+      *out = co_await self->ReadChunk(idx);
+    }(this, i, &results[i]));
   }
   co_await sim::WhenAll(std::move(tasks));
   for (const auto& s : results) {
     if (!s.ok()) co_return s;
   }
-  // Client-side decryption cost over the covering blocks (partial blocks
-  // are decrypted whole even if the guest asked for 512 B of them).
-  co_await sim::Sleep{image_.format_->CryptoCost(cover_bytes)};
+  // Client-side decryption cost over the covers that actually decrypted
+  // ciphertext (partial blocks are decrypted whole even if the guest asked
+  // for 512 B of them); covers served from the plaintext staging buffer
+  // cost nothing here.
+  if (read_decrypted_bytes_ > 0) {
+    co_await sim::Sleep{image_.format_->CryptoCost(read_decrypted_bytes_)};
+  }
   co_return Status::Ok();
 }
 
@@ -235,7 +307,12 @@ MutByteSpan ImageRequest::ContiguousDst(uint64_t buf_off, uint64_t len) const {
   return ContiguousAt(dst_, buf_off, len);
 }
 
-sim::Task<Status> ImageRequest::ReadChunk(const Chunk& chunk) {
+sim::Task<Status> ImageRequest::ReadChunk(size_t idx) {
+  const Chunk& chunk = chunks_[idx];
+  Writeback& wb = *image_.writeback_;
+  co_await wb.Acquire(holds_[idx]);
+  HoldGuard held(wb, holds_[idx]);
+
   core::EncryptionFormat& fmt = *image_.format_;
   const size_t cover_bytes = chunk.cover.block_count * kBlockSize;
   // Block-aligned chunks landing in one iovec segment decrypt straight
@@ -249,17 +326,41 @@ sim::Task<Status> ImageRequest::ReadChunk(const Chunk& chunk) {
     scratch.resize(cover_bytes);
     out = scratch;
   }
-  objstore::Transaction txn;
-  fmt.MakeRead(chunk.cover, txn);
-  auto io = image_.cluster_.ioctx();
-  auto got = co_await io.OperateRead(chunk.cover.oid, std::move(txn), snap_);
-  if (got.status().IsNotFound()) {
-    // Never-written object: virtual disks read zeros.
-    std::fill(out.begin(), out.end(), 0);
-  } else if (!got.ok()) {
-    co_return got.status();
-  } else {
-    VDE_CO_RETURN_IF_ERROR(fmt.FinishRead(chunk.cover, *got, out));
+  // Completed-but-unflushed writes live in the staging buffer; the head
+  // snapshot must observe them (read-your-writes under a shared hold —
+  // the stage cannot change while we hold it). A cover whose every block
+  // is staged needs no store read at all: the stages ARE the content —
+  // the hot read-after-write path of the db workload.
+  const bool overlay = snap_ == objstore::kHeadSnap;
+  bool fully_staged = overlay;
+  if (overlay) {
+    for (size_t b = 0; fully_staged && b < chunk.cover.block_count; ++b) {
+      fully_staged = wb.Staged(chunk.cover.object_no,
+                               chunk.cover.first_block + b) != nullptr;
+    }
+  }
+  if (!fully_staged) {
+    objstore::Transaction txn;
+    fmt.MakeRead(chunk.cover, txn);
+    auto io = image_.cluster_.ioctx();
+    auto got = co_await io.OperateRead(chunk.cover.oid, std::move(txn), snap_);
+    if (got.status().IsNotFound()) {
+      // Never-written object: virtual disks read zeros.
+      std::fill(out.begin(), out.end(), 0);
+    } else if (!got.ok()) {
+      co_return got.status();
+    } else {
+      VDE_CO_RETURN_IF_ERROR(fmt.FinishRead(chunk.cover, *got, out));
+      read_decrypted_bytes_ += cover_bytes;
+    }
+  }
+  if (overlay) {
+    for (size_t b = 0; b < chunk.cover.block_count; ++b) {
+      if (const Bytes* staged =
+              wb.Staged(chunk.cover.object_no, chunk.cover.first_block + b)) {
+        std::memcpy(out.data() + b * kBlockSize, staged->data(), kBlockSize);
+      }
+    }
   }
   if (!scratch.empty()) {
     ScatterTo(chunk.buf_off, ByteSpan(scratch.data() + chunk.byte_off,
@@ -271,20 +372,25 @@ sim::Task<Status> ImageRequest::ReadChunk(const Chunk& chunk) {
 // --- Write ---
 
 sim::Task<Status> ImageRequest::ExecuteWriteOp() {
-  const auto chunks = Chunks();
-  uint64_t cover_bytes = 0;
-  for (const auto& c : chunks) cover_bytes += c.cover.block_count * kBlockSize;
-  // Client-side encryption cost (modeled; the bytes below are really
-  // encrypted too, which tests verify end to end).
-  co_await sim::Sleep{image_.format_->CryptoCost(cover_bytes)};
+  // Client-side encryption cost for the write-through chunks (modeled; the
+  // bytes below are really encrypted too, which tests verify end to end).
+  // Staged chunks pay their crypto at stage-creation (RMW decrypt) and
+  // flush (encrypt) instead — that deferral is the coalescing win.
+  uint64_t through_bytes = 0;
+  for (const auto& c : chunks_) {
+    if (!StageEligible(c)) through_bytes += c.cover.block_count * kBlockSize;
+  }
+  if (through_bytes > 0) {
+    co_await sim::Sleep{image_.format_->CryptoCost(through_bytes)};
+  }
 
-  std::vector<Status> results(chunks.size());
+  std::vector<Status> results(chunks_.size());
   std::vector<sim::Task<void>> tasks;
-  for (size_t i = 0; i < chunks.size(); ++i) {
-    tasks.push_back([](ImageRequest* self, const Chunk* chunk,
+  for (size_t i = 0; i < chunks_.size(); ++i) {
+    tasks.push_back([](ImageRequest* self, size_t idx,
                        Status* out) -> sim::Task<void> {
-      *out = co_await self->WriteChunk(*chunk);
-    }(this, &chunks[i], &results[i]));
+      *out = co_await self->WriteChunk(idx);
+    }(this, i, &results[i]));
   }
   co_await sim::WhenAll(std::move(tasks));
   for (const auto& s : results) {
@@ -309,14 +415,29 @@ sim::Task<Status> ImageRequest::RmwReadEdges(const Chunk& chunk,
         {SubExtent(chunk.cover, chunk.cover.block_count - 1, 1), tail_block});
   }
   if (edges.empty()) co_return Status::Ok();
-  image_.stats_.rmw_blocks += edges.size();
+
+  // Edges whose block sits in the write-back buffer read from the stage —
+  // that IS the current block content, and the store copy may be stale.
+  Writeback& wb = *image_.writeback_;
+  std::vector<Edge> from_store;
+  for (auto& e : edges) {
+    if (const Bytes* staged =
+            wb.Staged(chunk.cover.object_no, e.ext.first_block)) {
+      std::memcpy(e.out.data(), staged->data(), kBlockSize);
+      image_.stats_.rmw_merged++;
+    } else {
+      from_store.push_back(e);
+    }
+  }
+  if (from_store.empty()) co_return Status::Ok();
+  image_.stats_.rmw_blocks += from_store.size();
 
   core::EncryptionFormat& fmt = *image_.format_;
   // All RMW sub-reads of this object ride ONE read transaction; the format
   // decides what a block read needs for its layout (data+IV range, IV
   // region slice, OMAP rows).
   objstore::Transaction txn;
-  for (const auto& e : edges) fmt.MakeRead(e.ext, txn);
+  for (const auto& e : from_store) fmt.MakeRead(e.ext, txn);
   auto io = image_.cluster_.ioctx();
   auto got =
       co_await io.OperateRead(chunk.cover.oid, std::move(txn),
@@ -325,7 +446,7 @@ sim::Task<Status> ImageRequest::RmwReadEdges(const Chunk& chunk,
   if (!got.ok()) co_return got.status();
 
   size_t data_off = 0;
-  for (const auto& e : edges) {
+  for (const auto& e : from_store) {
     const size_t nbytes = fmt.ReadBytes(e.ext);
     if (data_off + nbytes > got->data.size()) {
       co_return Status::IoError("short RMW read");
@@ -337,7 +458,7 @@ sim::Task<Status> ImageRequest::RmwReadEdges(const Chunk& chunk,
     data_off += nbytes;
     VDE_CO_RETURN_IF_ERROR(fmt.FinishRead(e.ext, slice, e.out));
   }
-  co_await sim::Sleep{fmt.CryptoCost(edges.size() * kBlockSize)};
+  co_await sim::Sleep{fmt.CryptoCost(from_store.size() * kBlockSize)};
   co_return Status::Ok();
 }
 
@@ -345,8 +466,39 @@ ByteSpan ImageRequest::ContiguousSrc(uint64_t buf_off, uint64_t len) const {
   return ContiguousAt(src_, buf_off, len);
 }
 
-sim::Task<Status> ImageRequest::WriteChunk(const Chunk& chunk) {
+sim::Task<Status> ImageRequest::StageChunk(const Chunk& chunk) {
+  // The chunk covers one or two blocks (StageEligible); park each block's
+  // slice in the write-back buffer. byte_off is always < kBlockSize by
+  // construction, so the first touched block is cover-relative block 0.
+  Writeback& wb = *image_.writeback_;
+  const uint64_t end = chunk.byte_off + chunk.byte_len;
+  Bytes tmp;
+  for (size_t b = 0; b * kBlockSize < end; ++b) {
+    const uint64_t slice_start = std::max<uint64_t>(chunk.byte_off,
+                                                    b * kBlockSize);
+    const uint64_t slice_end = std::min<uint64_t>(end, (b + 1) * kBlockSize);
+    tmp.resize(slice_end - slice_start);
+    GatherFrom(chunk.buf_off + (slice_start - chunk.byte_off), tmp);
+    VDE_CO_RETURN_IF_ERROR(co_await wb.StageWrite(
+        chunk.cover.object_no, chunk.cover.first_block + b,
+        slice_start - b * kBlockSize, tmp));
+  }
+  co_return Status::Ok();
+}
+
+sim::Task<Status> ImageRequest::WriteChunk(size_t idx) {
+  const Chunk& chunk = chunks_[idx];
+  Writeback& wb = *image_.writeback_;
+  co_await wb.Acquire(holds_[idx]);
+  HoldGuard held(wb, holds_[idx]);
+
+  if (StageEligible(chunk)) {
+    co_return co_await StageChunk(chunk);
+  }
+
   core::EncryptionFormat& fmt = *image_.format_;
+  const uint64_t last_block =
+      chunk.cover.first_block + chunk.cover.block_count - 1;
   const size_t cover_bytes = chunk.cover.block_count * kBlockSize;
   const bool head_partial = chunk.byte_off % kBlockSize != 0;
   const bool tail_partial = (chunk.byte_off + chunk.byte_len) % kBlockSize != 0;
@@ -358,8 +510,11 @@ sim::Task<Status> ImageRequest::WriteChunk(const Chunk& chunk) {
     if (!direct.empty()) {
       VDE_CO_RETURN_IF_ERROR(fmt.MakeWrite(chunk.cover, direct, txn));
       auto io = image_.cluster_.ioctx();
-      co_return co_await io.Operate(chunk.cover.oid, std::move(txn),
-                                    image_.SnapContext());
+      VDE_CO_RETURN_IF_ERROR(co_await io.Operate(
+          chunk.cover.oid, std::move(txn), image_.SnapContext()));
+      // Any staged blocks under this cover are fully superseded.
+      wb.DropRange(chunk.cover.object_no, chunk.cover.first_block, last_block);
+      co_return Status::Ok();
     }
   }
   Bytes scratch(cover_bytes, 0);
@@ -378,21 +533,24 @@ sim::Task<Status> ImageRequest::WriteChunk(const Chunk& chunk) {
   // per-object transaction (§3.1).
   VDE_CO_RETURN_IF_ERROR(fmt.MakeWrite(chunk.cover, scratch, txn));
   auto io = image_.cluster_.ioctx();
-  co_return co_await io.Operate(chunk.cover.oid, std::move(txn),
-                                image_.SnapContext());
+  VDE_CO_RETURN_IF_ERROR(co_await io.Operate(chunk.cover.oid, std::move(txn),
+                                             image_.SnapContext()));
+  // Staged edge content was folded in via RmwReadEdges; interior stages
+  // are overwritten outright. Either way the buffer copy is superseded.
+  wb.DropRange(chunk.cover.object_no, chunk.cover.first_block, last_block);
+  co_return Status::Ok();
 }
 
 // --- Discard / WriteZeroes ---
 
 sim::Task<Status> ImageRequest::ExecuteDiscardOp() {
-  const auto chunks = Chunks();
-  std::vector<Status> results(chunks.size());
+  std::vector<Status> results(chunks_.size());
   std::vector<sim::Task<void>> tasks;
-  for (size_t i = 0; i < chunks.size(); ++i) {
-    tasks.push_back([](ImageRequest* self, const Chunk* chunk,
+  for (size_t i = 0; i < chunks_.size(); ++i) {
+    tasks.push_back([](ImageRequest* self, size_t idx,
                        Status* out) -> sim::Task<void> {
-      *out = co_await self->DiscardChunk(*chunk);
-    }(this, &chunks[i], &results[i]));
+      *out = co_await self->DiscardChunk(idx);
+    }(this, i, &results[i]));
   }
   co_await sim::WhenAll(std::move(tasks));
   for (const auto& s : results) {
@@ -401,7 +559,9 @@ sim::Task<Status> ImageRequest::ExecuteDiscardOp() {
   co_return Status::Ok();
 }
 
-sim::Task<Status> ImageRequest::DiscardChunk(const Chunk& chunk) {
+sim::Task<Status> ImageRequest::DiscardChunk(size_t idx) {
+  const Chunk& chunk = chunks_[idx];
+  Writeback& wb = *image_.writeback_;
   core::EncryptionFormat& fmt = *image_.format_;
   auto io = image_.cluster_.ioctx();
   const uint64_t start = chunk.byte_off;
@@ -411,8 +571,11 @@ sim::Task<Status> ImageRequest::DiscardChunk(const Chunk& chunk) {
   const uint64_t end_full = end / kBlockSize;
 
   if (kind_ == IoKind::kDiscard) {
-    // TRIM granularity: round inward; a sub-block discard is a no-op.
+    // TRIM granularity: round inward; a sub-block discard is a no-op (and
+    // registered no hold).
     if (first_full >= end_full) co_return Status::Ok();
+    co_await wb.Acquire(holds_[idx]);
+    HoldGuard held(wb, holds_[idx]);
     const auto ext =
         SubExtent(chunk.cover, first_full, end_full - first_full);
     // A discard of the entire object drops it outright — unless snapshots
@@ -426,18 +589,30 @@ sim::Task<Status> ImageRequest::DiscardChunk(const Chunk& chunk) {
       txn.ops.push_back(std::move(op));
       Status s = co_await io.Operate(chunk.cover.oid, std::move(txn),
                                      image_.SnapContext());
-      co_return s.IsNotFound() ? Status::Ok() : s;
+      if (!s.ok() && !s.IsNotFound()) co_return s;
+      wb.DropRange(chunk.cover.object_no, ext.first_block,
+                   ext.first_block + ext.block_count - 1);
+      co_return Status::Ok();
     }
     objstore::Transaction txn;
     fmt.MakeDiscard(ext, txn);
-    co_return co_await io.Operate(chunk.cover.oid, std::move(txn),
-                                  image_.SnapContext());
+    VDE_CO_RETURN_IF_ERROR(co_await io.Operate(chunk.cover.oid,
+                                               std::move(txn),
+                                               image_.SnapContext()));
+    // Trimmed blocks read zeros from now on; drop their staged copies so
+    // a later flush cannot resurrect the data.
+    wb.DropRange(chunk.cover.object_no, ext.first_block,
+                 ext.first_block + ext.block_count - 1);
+    co_return Status::Ok();
   }
 
   // Write-zeroes: exact byte semantics. Whole blocks are cleared with kZero
-  // ops; partial edge blocks merge zeros via RMW and are re-encrypted. All
-  // of it rides ONE per-object transaction. Only the edge blocks are
-  // buffered — the interior needs no staging at all.
+  // ops; partial edge blocks merge zeros via RMW (served from the staging
+  // buffer when the block is parked there) and are re-encrypted. All of it
+  // rides ONE per-object transaction. Only the edge blocks are buffered —
+  // the interior needs no staging at all.
+  co_await wb.Acquire(holds_[idx]);
+  HoldGuard held(wb, holds_[idx]);
   const bool head_partial = start % kBlockSize != 0;
   const bool tail_partial = end % kBlockSize != 0;
   const size_t last = chunk.cover.block_count - 1;
@@ -480,20 +655,27 @@ sim::Task<Status> ImageRequest::DiscardChunk(const Chunk& chunk) {
   if (edge_blocks > 0) {
     co_await sim::Sleep{fmt.CryptoCost(edge_blocks * kBlockSize)};
   }
-  co_return co_await io.Operate(chunk.cover.oid, std::move(txn),
-                                image_.SnapContext());
+  VDE_CO_RETURN_IF_ERROR(co_await io.Operate(chunk.cover.oid, std::move(txn),
+                                             image_.SnapContext()));
+  // Edge stages were folded into the zeroed blocks, interior stages are
+  // cleared in the store: every staged copy under the cover is superseded.
+  wb.DropRange(chunk.cover.object_no, chunk.cover.first_block,
+               chunk.cover.first_block + chunk.cover.block_count - 1);
+  co_return Status::Ok();
 }
 
 // --- Flush ---
 
 sim::Task<Status> ImageRequest::ExecuteFlushOp() {
   // write_seq_ holds the barrier: every write-class ticket below it must
-  // retire before the flush resolves.
+  // retire before the flush resolves. A retired staged write may still sit
+  // in the volatile write-back buffer — drain it; flush is the durability
+  // barrier.
   if (!image_.WritesRetiredBelow(write_seq_)) {
     image_.AddFlushWaiter(write_seq_, &flush_gate_);
     co_await flush_gate_.Wait();
   }
-  co_return Status::Ok();
+  co_return co_await image_.writeback_->Drain();
 }
 
 }  // namespace vde::rbd

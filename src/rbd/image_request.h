@@ -1,10 +1,15 @@
 // One in-flight image I/O request (librbd's io::ImageRequest).
 //
-// A request maps an arbitrary byte range onto per-object block extents,
-// runs every object's work concurrently, performs read-modify-write for
-// partial 4 KiB blocks through the encryption format (so RMW reads ride one
-// read transaction per object and only the touched blocks are
-// re-encrypted), and resolves its Completion when everything finished.
+// A request maps an arbitrary byte range onto per-object block extents and
+// runs every object's work concurrently. Each chunk registers a block-range
+// hold with the image's write-back layer at submission time — overlapping
+// ranges are admitted in submission order (serializing the read-modify-write
+// window), disjoint ranges run concurrently. Sub-block writes coalesce in
+// the write-back staging buffer instead of paying one RMW read + one
+// transaction each; reads overlay staged bytes; discard/write-zeroes drop
+// or absorb overlapping stages. The request resolves its Completion when
+// everything finished (for staged writes: when the bytes are buffered —
+// AioFlush is the durability barrier).
 #pragma once
 
 #include <cstdint>
@@ -14,6 +19,7 @@
 #include "core/format.h"
 #include "objstore/types.h"
 #include "rbd/completion.h"
+#include "rbd/writeback.h"
 #include "sim/task.h"
 
 namespace vde::rbd {
@@ -53,6 +59,17 @@ class ImageRequest {
            kind_ == IoKind::kWriteZeroes;
   }
 
+  // Registers each chunk's block-range hold with the write-back layer, in
+  // submission order (called synchronously from Submit). Reads take shared
+  // holds; write-class ops take exclusive holds over the blocks they
+  // mutate (a sub-block discard mutates nothing and holds nothing).
+  void RegisterHolds();
+
+  // Small sub-block writes park their bytes in the write-back staging
+  // buffer (one RMW read + one flush transaction per block instead of one
+  // per write); everything else writes through.
+  bool StageEligible(const Chunk& chunk) const;
+
   static sim::Task<void> Run(std::unique_ptr<ImageRequest> self);
   sim::Task<Status> Execute();
   sim::Task<Status> ExecuteReadOp();
@@ -60,15 +77,17 @@ class ImageRequest {
   sim::Task<Status> ExecuteDiscardOp();  // kDiscard and kWriteZeroes
   sim::Task<Status> ExecuteFlushOp();
 
-  sim::Task<Status> ReadChunk(const Chunk& chunk);
-  sim::Task<Status> WriteChunk(const Chunk& chunk);
-  sim::Task<Status> DiscardChunk(const Chunk& chunk);
+  sim::Task<Status> ReadChunk(size_t idx);
+  sim::Task<Status> WriteChunk(size_t idx);
+  sim::Task<Status> DiscardChunk(size_t idx);
+  sim::Task<Status> StageChunk(const Chunk& chunk);
 
   // Reads + decrypts the partial edge blocks of `chunk` — the cover's
   // first block into `head_block`, its last into `tail_block` (either may
   // be empty = not needed; pass only `head_block` when the cover is a
-  // single block). One read transaction per object carries every RMW
-  // sub-extent; the caller then overlays the new bytes.
+  // single block). Staged blocks are served from the write-back buffer;
+  // the rest ride ONE read transaction per object. The caller then
+  // overlays the new bytes.
   sim::Task<Status> RmwReadEdges(const Chunk& chunk, MutByteSpan head_block,
                                  MutByteSpan tail_block);
 
@@ -91,6 +110,9 @@ class ImageRequest {
   std::vector<MutByteSpan> dst_;
   objstore::SnapId snap_;
   CompletionPtr completion_;
+  std::vector<Chunk> chunks_;
+  std::vector<Writeback::Hold*> holds_;  // parallel to chunks_; may be null
+  uint64_t read_decrypted_bytes_ = 0;  // covers that really hit the cipher
   uint64_t write_seq_ = 0;  // flush-ordering ticket (write-class ops)
   bool seq_assigned_ = false;
   sim::Gate flush_gate_;

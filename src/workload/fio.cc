@@ -42,13 +42,12 @@ FioRunner::FioRunner(rbd::Image& image, FioConfig config)
   slots_ = ws >= config_.io_size ? (ws - config_.io_size) / align_ + 1 : 1;
   working_set_ = (slots_ - 1) * align_ + config_.io_size;
   if (config_.verify) {
+    // The content model marks state at issue time; that is consistent at
+    // any queue depth because the image applies overlapping IO in
+    // submission order (write-back block-range guards) and writes carry
+    // offset-derived content, so no clamp is needed for mutating runs.
     block_state_.assign(RoundUpBlock(working_set_) / core::kBlockSize,
                         BlockState::kContent);
-    // The content model tracks state at issue time, so verify runs that
-    // mutate (writes or discards) need non-overlapping in-flight IO.
-    if (config_.is_write || config_.discard_pct > 0) {
-      config_.queue_depth = 1;
-    }
   }
 }
 
@@ -77,8 +76,23 @@ void FioRunner::ExpectedRange(uint64_t offset, MutByteSpan out) const {
   }
 }
 
-Status FioRunner::VerifyRead(uint64_t offset, ByteSpan got) const {
+std::vector<FioRunner::BlockState> FioRunner::StateSnapshot(
+    uint64_t offset, uint64_t length) const {
+  const uint64_t first = offset / core::kBlockSize;
+  const uint64_t last = (offset + length - 1) / core::kBlockSize;
+  std::vector<BlockState> out;
+  out.reserve(last - first + 1);
+  for (uint64_t b = first; b <= last; ++b) {
+    out.push_back(b < block_state_.size() ? block_state_[b]
+                                          : BlockState::kContent);
+  }
+  return out;
+}
+
+Status FioRunner::VerifyRead(uint64_t offset, ByteSpan got,
+                             const std::vector<BlockState>& expected) const {
   Bytes expect(core::kBlockSize);
+  const uint64_t first = offset / core::kBlockSize;
   uint64_t pos = offset;
   size_t got_off = 0;
   while (got_off < got.size()) {
@@ -87,9 +101,7 @@ Status FioRunner::VerifyRead(uint64_t offset, ByteSpan got) const {
     const uint64_t in_block = pos - bstart;
     const size_t take = std::min<size_t>(core::kBlockSize - in_block,
                                          got.size() - got_off);
-    const BlockState state = block < block_state_.size()
-                                 ? block_state_[block]
-                                 : BlockState::kContent;
+    const BlockState state = expected[block - first];
     bool ok = true;
     switch (state) {
       case BlockState::kContent:
@@ -225,13 +237,21 @@ sim::Task<void> FioRunner::Worker(size_t worker_id, FioResult* result,
         co_return;
       }
     } else {
+      // Capture the expected state at issue time: a discard issued after
+      // this read (but before it completes) flips the live model, yet the
+      // read — ordered first by the image's guards — returns the content
+      // as of its own submission.
+      std::vector<BlockState> expected;
+      if (config_.verify) {
+        expected = StateSnapshot(offset, config_.io_size);
+      }
       auto got = co_await image_.Read(offset, config_.io_size);
       if (!got.ok()) {
         *status = got.status();
         co_return;
       }
       if (config_.verify) {
-        const Status s = VerifyRead(offset, *got);
+        const Status s = VerifyRead(offset, *got, expected);
         if (!s.ok()) {
           *status = s;
           co_return;

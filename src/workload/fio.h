@@ -35,10 +35,25 @@ struct FioConfig {
                                  // (0 = total_ops * io_size, capped to image)
   uint64_t seed = 1;
   bool verify = false;           // reads check content written by Prefill.
-                                 // The per-block state model assumes no two
-                                 // in-flight IOs overlap, so verify runs
-                                 // with writes or discards force
-                                 // queue_depth to 1.
+                                 // Valid at any queue depth: the image
+                                 // applies overlapping IO in submission
+                                 // order, matching the issue-time state
+                                 // model.
+
+  // Database-style 512 B stream (§3.1's worst case for length-preserving
+  // encryption plus metadata): sector-granular sequential writes at
+  // moderate depth — the workload the write-back layer coalesces into one
+  // RMW read + one transaction per block instead of one per write.
+  static FioConfig Db() {
+    FioConfig c;
+    c.is_write = true;
+    c.pattern = Pattern::kSequential;
+    c.io_size = 512;
+    c.offset_align = 512;
+    c.queue_depth = 8;
+    c.total_ops = 2048;
+    return c;
+  }
 };
 
 struct FioResult {
@@ -75,8 +90,7 @@ class FioRunner {
   sim::Task<Result<FioResult>> Run();
 
   uint64_t working_set() const { return working_set_; }
-  // Effective config after constructor adjustments (e.g. the verify-mode
-  // queue-depth clamp).
+  // Effective config after constructor adjustments.
   const FioConfig& config() const { return config_; }
 
  private:
@@ -89,7 +103,14 @@ class FioRunner {
   void FillBlock(uint64_t offset, MutByteSpan out) const;
   // Seed-derived expected bytes for an arbitrary range (slices FillBlock).
   void ExpectedRange(uint64_t offset, MutByteSpan out) const;
-  Status VerifyRead(uint64_t offset, ByteSpan got) const;
+  // Per-block expected state for [offset, offset+length), captured at
+  // issue time: the image applies overlapping IO in submission order, so
+  // a read returns the state as of ITS issue — mutations issued later
+  // (but completing earlier) must not shift the expectation.
+  std::vector<BlockState> StateSnapshot(uint64_t offset,
+                                        uint64_t length) const;
+  Status VerifyRead(uint64_t offset, ByteSpan got,
+                    const std::vector<BlockState>& expected) const;
   void MarkWrite(uint64_t offset, uint64_t length);
   void MarkDiscard(uint64_t offset, uint64_t length);
 

@@ -264,8 +264,9 @@ TEST_P(AioAllLayouts, FlushOrdering) {
 }
 
 // RMW writes keep data + IV metadata in ONE object transaction: a sub-block
-// overwrite applies exactly one store transaction (the RMW read is a
-// read-class op, not a transaction).
+// overwrite parks in the write-back buffer (zero store transactions at
+// completion), and draining it applies exactly one transaction carrying
+// data + IV (the RMW read is a read-class op, not a transaction).
 TEST(AioAtomicity, RmwRidesSingleTransaction) {
   testutil::RunSim([]() -> sim::Task<void> {
     rados::ClusterConfig cfg = TestCluster();
@@ -292,6 +293,9 @@ TEST(AioAtomicity, RmwRidesSingleTransaction) {
 
     const uint64_t before = txn_count();
     CO_ASSERT_OK(co_await img.Write(100, rng.RandomBytes(512)));
+    EXPECT_EQ(txn_count() - before, 0u)
+        << "sub-block write must stage, not write through";
+    CO_ASSERT_OK(co_await img.Flush());
     EXPECT_EQ(txn_count() - before, 1u) << "RMW data+IV must be one txn";
 
     const uint64_t before_discard = txn_count();
@@ -397,7 +401,9 @@ TEST(AioFio, VerifiedDiscardMix) {
     cfg.offset_align = 512;
     cfg.discard_pct = 30;
     cfg.total_ops = 64;
-    cfg.queue_depth = 1;            // verify model needs non-overlapping IO
+    cfg.queue_depth = 8;            // overlapping IO applies in issue order
+                                    // (write-back guards), so the content
+                                    // model holds at depth
     cfg.working_set = 1 << 20;
     cfg.verify = true;
     cfg.seed = 23;
