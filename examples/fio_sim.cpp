@@ -7,12 +7,18 @@
 // Extras:  --integrity=hmac, --cipher=gcm|wide, --verify (reads).
 // Unaligned guests: any --bs (512, 6144, ...) runs through the image's
 // RMW path; --align=512 puts offsets on a sector grid instead of the
-// io_size grid; --discard=PCT mixes TRIM into the stream.
+// io_size grid; --discard=PCT mixes TRIM into the stream; --rwmix=PCT
+// models a mixed tenant (PCT percent of ops are writes).
+// QoS: --qos-iops=N / --qos-bw=BYTES_PER_SEC / --qos-depth=N attach the
+// image to a client-side qos::Scheduler with those ceilings — the summary
+// line then reports queueing and throttling counters.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
+#include "qos/scheduler.h"
 #include "rados/cluster.h"
 #include "rbd/image.h"
 #include "sim/scheduler.h"
@@ -28,10 +34,16 @@ struct Args {
   uint64_t bs = 4096;
   uint64_t align = 0;
   uint32_t discard_pct = 0;
+  int32_t rw_mix_pct = -1;
   uint64_t ops = 256;
   size_t qd = 32;
   bool verify = false;
+  uint64_t qos_iops = 0;
+  uint64_t qos_bw = 0;
+  size_t qos_depth = 0;
   core::EncryptionSpec spec;
+
+  bool UseQos() const { return qos_iops > 0 || qos_bw > 0 || qos_depth > 0; }
 };
 
 uint64_t ParseSize(const std::string& v) {
@@ -76,6 +88,20 @@ bool Parse(int argc, char** argv, Args& args) {
         return false;
       }
       args.discard_pct = static_cast<uint32_t>(pct);
+    } else if (const char* v = value("--rwmix=")) {
+      char* end = nullptr;
+      const unsigned long pct = std::strtoul(v, &end, 10);
+      if (end == v || *end != '\0' || pct > 100) {
+        std::fprintf(stderr, "--rwmix must be a percentage in 0..100\n");
+        return false;
+      }
+      args.rw_mix_pct = static_cast<int32_t>(pct);
+    } else if (const char* v = value("--qos-iops=")) {
+      args.qos_iops = std::stoull(v);
+    } else if (const char* v = value("--qos-bw=")) {
+      args.qos_bw = ParseSize(v);
+    } else if (const char* v = value("--qos-depth=")) {
+      args.qos_depth = std::stoul(v);
     } else if (const char* v = value("--ops=")) {
       args.ops = std::stoull(v);
     } else if (const char* v = value("--qd=")) {
@@ -132,11 +158,19 @@ sim::Task<void> Run(const Args& args, bool* ok) {
   options.enc.iv_seed = 1;
   options.luks.pbkdf2_iterations = 10;
   options.luks.af_stripes = 8;
+  if (args.UseQos()) {
+    options.qos_scheduler = std::make_shared<qos::Scheduler>();
+    options.qos.enabled = true;
+    options.qos.max_iops = args.qos_iops;
+    options.qos.max_bps = args.qos_bw;
+    options.qos.max_queue_depth = args.qos_depth;
+  }
   auto image = co_await rbd::Image::Create(**cluster, "fio", "pw", options);
   if (!image.ok()) co_return;
 
   workload::FioConfig fio;
   fio.is_write = args.is_write;
+  fio.rw_mix_pct = args.rw_mix_pct;
   fio.pattern = args.sequential ? workload::FioConfig::Pattern::kSequential
                                 : workload::FioConfig::Pattern::kRandom;
   fio.io_size = args.bs;
@@ -146,9 +180,17 @@ sim::Task<void> Run(const Args& args, bool* ok) {
   fio.total_ops = args.ops;
   fio.working_set = std::max<uint64_t>(args.ops * args.bs, 512ull << 20);
   fio.verify = args.verify;
+  if (Status s = fio.Validate(); !s.ok()) {
+    std::printf("invalid config: %s\n", s.ToString().c_str());
+    co_return;
+  }
   workload::FioRunner runner(**image, fio);
 
-  if (!args.is_write) {
+  // Any run that issues reads (pure read or rwmix) needs valid
+  // ciphertext + IVs underneath — and verify mode assumes the content
+  // model that Prefill lays down.
+  const bool needs_prefill = fio.WritePct() < 100;
+  if (needs_prefill) {
     std::printf("prefilling %llu MiB...\n",
                 static_cast<unsigned long long>(runner.working_set() >> 20));
     if (Status s = co_await runner.Prefill(); !s.ok()) {
@@ -163,13 +205,34 @@ sim::Task<void> Run(const Args& args, bool* ok) {
     std::printf("run failed: %s\n", result.status().ToString().c_str());
     co_return;
   }
-  std::printf("\n%s: %s, bs=%llu, qd=%zu, cipher=%s\n",
-              args.is_write ? "write" : "read",
+  const char* direction = args.rw_mix_pct >= 0
+                              ? "rwmix"
+                              : (args.is_write ? "write" : "read");
+  std::printf("\n%s: %s, bs=%llu, qd=%zu, cipher=%s%s\n", direction,
               args.sequential ? "seq" : "rand",
               static_cast<unsigned long long>(args.bs),
-              runner.config().queue_depth,
-              args.spec.Name().c_str());
+              runner.config().queue_depth, args.spec.Name().c_str(),
+              args.UseQos() ? ", qos" : "");
   std::printf("  %s\n", result->Summary().c_str());
+  // The per-image counters behind the summary: RMW/write-back behavior and
+  // (with --qos-*) dispatch-queue pressure.
+  const rbd::ImageStats& is = result->image;
+  std::printf("  image: rmw_blocks=%llu rmw_merged=%llu wb_stages=%llu "
+              "wb_hits=%llu wb_flushes=%llu\n",
+              static_cast<unsigned long long>(is.rmw_blocks),
+              static_cast<unsigned long long>(is.rmw_merged),
+              static_cast<unsigned long long>(is.wb_stages),
+              static_cast<unsigned long long>(is.wb_hits),
+              static_cast<unsigned long long>(is.wb_flushes));
+  if (args.UseQos()) {
+    std::printf("  qos:   submitted=%llu queued=%llu throttled=%llu "
+                "peak_queue=%llu wait_ms=%.1f\n",
+                static_cast<unsigned long long>(is.qos_submitted),
+                static_cast<unsigned long long>(is.qos_queued),
+                static_cast<unsigned long long>(is.qos_throttled),
+                static_cast<unsigned long long>(is.qos_peak_queue),
+                static_cast<double>(is.qos_wait_ns) / 1e6);
+  }
   if (args.verify && !args.is_write) {
     std::printf("  verify: all reads matched\n");
   }
@@ -183,9 +246,11 @@ int main(int argc, char** argv) {
   if (!Parse(argc, argv, args)) {
     std::printf(
         "usage: fio_sim [--rw=randread|randwrite|read|write] [--bs=SIZE]\n"
-        "               [--align=SIZE] [--discard=PCT] [--ops=N] [--qd=N]\n"
+        "               [--align=SIZE] [--discard=PCT] [--rwmix=PCT]\n"
+        "               [--ops=N] [--qd=N]\n"
         "               [--layout=none|unaligned|object-end|omap]\n"
-        "               [--cipher=gcm|wide] [--integrity=hmac] [--verify]\n");
+        "               [--cipher=gcm|wide] [--integrity=hmac] [--verify]\n"
+        "               [--qos-iops=N] [--qos-bw=BYTES/S] [--qos-depth=N]\n");
     return 2;
   }
   sim::Scheduler sched;

@@ -1,0 +1,190 @@
+// Multi-tenant client-side QoS scheduler: one shared dispatch queue for
+// every virtual disk an rbd-style client serves, modeling the multi-tenant
+// host where dozens of guests' images funnel through one process.
+//
+// Each image attaches as a *tenant* with a QosPolicy. Submitted IO lands in
+// the tenant's FIFO queue; a deficit-weighted round-robin (DWRR) pass over
+// the active tenants admits requests to execution, charging each tenant's
+// token buckets (IOPS and bandwidth, with burst credit) on dispatch and
+// enforcing per-tenant and host-wide in-flight caps. A tenant whose policy
+// is disabled bypasses the queue entirely — Submit degenerates to a plain
+// spawn, adding zero simulated work (passthrough).
+//
+// Ordering: dispatch within one tenant is strictly FIFO, so per-image
+// submission order is preserved end to end. That is load-bearing: the
+// write-back layer's block-range guards admit overlapping IO in submission
+// order, and a dispatched request may therefore wait on holds owned only by
+// *earlier-submitted* requests of the same image — which FIFO dispatch has
+// already admitted. Reordering dispatch within an image could park a
+// hold-owner behind the in-flight cap while a hold-waiter occupies the last
+// slot: deadlock. Across tenants there is no hold sharing (guards are
+// per-image), so DWRR may interleave tenants freely.
+//
+// The scheduler never blocks a caller: Submit enqueues and returns; a pump
+// pass dispatches whatever credit, tokens, and slots allow; token-starved
+// heads arm a timer for the earliest refill instant, and completions re-pump
+// for freed slots. All state changes happen on the single-threaded sim
+// scheduler — no locking, fully deterministic.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+
+#include "qos/token_bucket.h"
+#include "sim/task.h"
+
+namespace vde::qos {
+
+// Per-tenant dispatch policy. The default (enabled = false) is a
+// zero-overhead passthrough: no queueing, no token accounting, no stats.
+struct QosPolicy {
+  bool enabled = false;
+  // DWRR share under contention: a weight-3 tenant receives 3x the dispatch
+  // credit of a weight-1 tenant per round while both have queued work.
+  uint32_t weight = 1;
+  // Rate ceilings; 0 = unlimited. Charged on dispatch: one IOPS token per
+  // request, `length` bandwidth tokens per data byte.
+  uint64_t max_iops = 0;
+  uint64_t max_bps = 0;
+  // Burst credit (bucket depth). 0 picks a default of 100 ms worth of the
+  // corresponding rate — short bursts ride through, sustained load is held
+  // to the ceiling.
+  uint64_t burst_ops = 0;
+  uint64_t burst_bytes = 0;
+  // Per-tenant in-flight cap (requests dispatched but not yet completed);
+  // 0 = unlimited.
+  size_t max_queue_depth = 0;
+};
+
+struct TenantStats {
+  uint64_t submitted = 0;    // requests routed through the enabled queue
+  uint64_t dispatched = 0;   // requests admitted to execution
+  uint64_t queued = 0;       // of those, dispatched only after waiting
+  uint64_t throttled = 0;    // head-of-queue deferrals for lack of tokens
+  uint64_t depth_deferred = 0;  // head-of-queue deferrals at an in-flight cap
+  uint64_t wait_ns = 0;      // total sim time requests spent queued
+  size_t cur_queue = 0;      // current queue length
+  size_t peak_queue = 0;     // high-water queue length
+  size_t inflight = 0;       // currently dispatched, not yet completed
+  size_t peak_inflight = 0;  // high-water in-flight count
+};
+
+using TenantId = uint64_t;
+
+class Scheduler {
+ public:
+  struct Config {
+    // DWRR quantum: dispatch credit (cost units) granted per visited round,
+    // scaled by the tenant's weight.
+    uint64_t quantum = 64 * 1024;
+    // Floor on a request's DWRR cost, so ops-bound tenants (many tiny IOs)
+    // and bandwidth-bound tenants (few huge IOs) are comparable. The
+    // bandwidth bucket still charges actual bytes.
+    uint64_t min_op_cost = 4096;
+    // Host-wide in-flight cap across every tenant; 0 = unlimited. This is
+    // the shared resource DWRR arbitrates: when slots are scarce, weights
+    // decide who gets the next one.
+    size_t max_inflight_total = 0;
+  };
+
+  Scheduler();
+  explicit Scheduler(Config config);
+  ~Scheduler();
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  // Registers a tenant (one per image). The returned id is valid until
+  // Detach.
+  TenantId Attach(const QosPolicy& policy);
+
+  // Unregisters a tenant. The tenant must be idle (nothing queued or in
+  // flight) — images drain their IO before closing.
+  void Detach(TenantId id);
+
+  // Replaces the tenant's policy; token buckets restart full at the new
+  // rates. Queued work is re-evaluated on the next pump.
+  void SetPolicy(TenantId id, const QosPolicy& policy);
+  const QosPolicy& policy(TenantId id) const;
+
+  // Fast path check: false means callers may bypass Submit entirely.
+  bool enabled(TenantId id) const;
+
+  // Hands `io` to the dispatcher. `cost_bytes` is the request's data size
+  // (drives DWRR credit and the bandwidth bucket); `charge` is false for
+  // barrier ops (flush) that move no data and must not pay tokens. For a
+  // disabled tenant this spawns `io` immediately — the passthrough adds no
+  // sim events and touches no queue.
+  void Submit(TenantId id, uint64_t cost_bytes, bool charge,
+              sim::Task<void> io);
+
+  const TenantStats& stats(TenantId id) const;
+  size_t total_queued() const { return total_queued_; }
+  size_t total_inflight() const { return total_inflight_; }
+
+ private:
+  struct Queued {
+    sim::Task<void> io;
+    uint64_t cost_bytes = 0;
+    bool charge = true;
+    sim::SimTime enqueued_at = 0;
+  };
+  struct Tenant {
+    QosPolicy policy;
+    TokenBucket ops_bucket;
+    TokenBucket bw_bucket;
+    std::deque<Queued> queue;
+    uint64_t deficit = 0;  // DWRR credit, in cost units
+    bool in_ring = false;
+    // True while a ring visit is in progress: the quantum was granted and
+    // must not be granted again when the cursor resumes after a line-busy
+    // pause.
+    bool visiting = false;
+    TenantStats stats;
+  };
+
+  Tenant& Get(TenantId id);
+  const Tenant& Get(TenantId id) const;
+  static void ConfigureBuckets(Tenant& t);
+  uint64_t DeficitCost(const Queued& q) const;
+
+  // Why the head of a tenant's queue could not dispatch. kDeficit and
+  // kTokens / kDepth are tenant-local (rotate to the back of the ring,
+  // carrying residual credit); kLineBusy means the host-wide in-flight
+  // window is full — the cursor pauses on this tenant so it resumes its
+  // quantum when a completion frees a slot.
+  enum class HeadVerdict { kDispatched, kDeficit, kTokens, kDepth, kLineBusy };
+
+  // Dispatches whatever credit, tokens, and slots allow; arms the refill
+  // timer when a head is token-blocked.
+  void Pump();
+  HeadVerdict TryDispatchHead(TenantId id, Tenant& t, sim::SimTime now);
+  void OnComplete(TenantId id);
+  void NoteRefill(sim::SimTime at);
+  void ArmTimer();
+
+  static sim::Task<void> RunOne(std::shared_ptr<bool> alive, Scheduler* self,
+                                TenantId id, sim::Task<void> io);
+  static sim::Task<void> TimerFire(std::shared_ptr<bool> alive,
+                                   Scheduler* self, sim::SimTime at);
+
+  Config config_;
+  std::unordered_map<TenantId, Tenant> tenants_;
+  std::deque<TenantId> ring_;  // active tenants in round-robin order
+  TenantId next_id_ = 1;
+  size_t total_queued_ = 0;
+  size_t total_inflight_ = 0;
+  bool pumping_ = false;
+  // Earliest token-refill instant among blocked heads (valid when
+  // have_refill_), and the earliest armed timer.
+  bool have_refill_ = false;
+  sim::SimTime next_refill_ = 0;
+  bool timer_armed_ = false;
+  sim::SimTime timer_at_ = 0;
+  // Timer/completion coroutines outlive any single pump; they check this
+  // flag so a scheduler destroyed mid-simulation cannot be touched.
+  std::shared_ptr<bool> alive_;
+};
+
+}  // namespace vde::qos

@@ -1,0 +1,47 @@
+#include "qos/token_bucket.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vde::qos {
+
+TokenBucket::TokenBucket(double rate_per_sec, double capacity)
+    : rate_(rate_per_sec), capacity_(capacity), tokens_(capacity) {}
+
+void TokenBucket::Refill(sim::SimTime now) {
+  if (unlimited()) return;
+  if (now <= last_refill_) return;
+  const double elapsed_sec =
+      static_cast<double>(now - last_refill_) / static_cast<double>(sim::kSec);
+  tokens_ = std::min(capacity_, tokens_ + rate_ * elapsed_sec);
+  last_refill_ = now;
+}
+
+bool TokenBucket::CanTake(double cost) const {
+  if (unlimited()) return true;
+  // A full bucket admits an oversized cost (overdraw); Refill clamps at
+  // capacity_ exactly, so the comparison is exact.
+  return tokens_ >= cost || tokens_ >= capacity_;
+}
+
+void TokenBucket::Take(double cost) {
+  if (unlimited()) return;
+  tokens_ -= cost;
+}
+
+sim::SimTime TokenBucket::WhenAdmissible(double cost,
+                                         sim::SimTime now) const {
+  if (unlimited()) return now;
+  // An oversized cost is admitted at full capacity; everything else once
+  // the level reaches the cost.
+  const double target = std::min(cost, capacity_);
+  if (tokens_ >= target) return now;
+  const double deficit = target - tokens_;
+  const double wait_ns =
+      std::ceil(deficit / rate_ * static_cast<double>(sim::kSec));
+  // +1ns guards the floating-point boundary: refilling for exactly wait_ns
+  // could land a hair short of `target` and re-arm a zero-length timer.
+  return now + static_cast<sim::SimTime>(wait_ns) + 1;
+}
+
+}  // namespace vde::qos

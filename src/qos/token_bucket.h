@@ -1,0 +1,57 @@
+// Token-bucket rate limiter on the simulated clock.
+//
+// Tokens accrue continuously at `rate` per simulated second up to
+// `capacity` (the burst credit) and are taken at dispatch time. The model
+// is deterministic: refill is a pure function of elapsed sim time, so a
+// given schedule always admits the same requests at the same instants.
+//
+// A cost larger than the whole capacity would classically never be
+// admitted; here a full bucket admits it and the level goes negative
+// (overdraw), so one oversized IO pays its debt by delaying later ones
+// instead of being starved forever — the standard virtual-scheduling
+// treatment for jumbo requests.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/scheduler.h"
+
+namespace vde::qos {
+
+class TokenBucket {
+ public:
+  // Default-constructed bucket is unlimited: every take is free.
+  TokenBucket() = default;
+  // `rate_per_sec` tokens accrue per simulated second; the bucket starts
+  // full at `capacity` tokens. rate_per_sec <= 0 means unlimited.
+  TokenBucket(double rate_per_sec, double capacity);
+
+  bool unlimited() const { return rate_ <= 0; }
+
+  // Accrues tokens for the sim time elapsed since the last refill.
+  void Refill(sim::SimTime now);
+
+  // True when `cost` tokens are available right now (after the last
+  // Refill). A full bucket admits any cost, even one beyond capacity.
+  bool CanTake(double cost) const;
+
+  // Removes `cost` tokens; the level may go negative on an oversized take
+  // admitted at full capacity. Call only after CanTake(cost).
+  void Take(double cost);
+
+  // Earliest sim time >= now at which CanTake(cost) becomes true. Returns
+  // `now` itself when already admissible.
+  sim::SimTime WhenAdmissible(double cost, sim::SimTime now) const;
+
+  double tokens() const { return tokens_; }
+  double rate_per_sec() const { return rate_; }
+  double capacity() const { return capacity_; }
+
+ private:
+  double rate_ = 0;      // tokens per simulated second; <= 0 = unlimited
+  double capacity_ = 0;  // burst credit
+  double tokens_ = 0;
+  sim::SimTime last_refill_ = 0;
+};
+
+}  // namespace vde::qos

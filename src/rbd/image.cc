@@ -107,8 +107,30 @@ class HeaderReader {
 }  // namespace
 
 Image::Image(rados::Cluster& cluster, std::string name, ImageOptions options)
-    : cluster_(cluster), name_(std::move(name)), options_(options) {
+    : cluster_(cluster), name_(std::move(name)), options_(std::move(options)) {
   writeback_ = std::make_unique<Writeback>(*this, options_.writeback);
+  if (options_.qos_scheduler) {
+    qos_tenant_ = options_.qos_scheduler->Attach(options_.qos);
+  }
+}
+
+Image::~Image() {
+  // The caller drains IO before dropping the image (same contract the
+  // write-back buffer already imposes); the tenant slot is idle here.
+  if (options_.qos_scheduler) options_.qos_scheduler->Detach(qos_tenant_);
+}
+
+ImageStats Image::stats() const {
+  ImageStats s = stats_;
+  if (options_.qos_scheduler) {
+    const qos::TenantStats& q = options_.qos_scheduler->stats(qos_tenant_);
+    s.qos_submitted = q.submitted;
+    s.qos_queued = q.queued;
+    s.qos_throttled = q.throttled;
+    s.qos_wait_ns = q.wait_ns;
+    s.qos_peak_queue = q.peak_queue;
+  }
+  return s;
 }
 
 std::string Image::ObjectName(uint64_t object_no) const {
@@ -155,7 +177,8 @@ sim::Task<Result<std::shared_ptr<Image>>> Image::Create(
 
 sim::Task<Result<std::shared_ptr<Image>>> Image::Open(
     rados::Cluster& cluster, const std::string& name,
-    const std::string& passphrase, WritebackConfig writeback) {
+    const std::string& passphrase, WritebackConfig writeback,
+    std::shared_ptr<qos::Scheduler> qos_scheduler, qos::QosPolicy qos) {
   auto io = cluster.ioctx();
   const std::string header_oid = "rbd_header." + name;
   auto raw = co_await io.Read(header_oid, 0, kHeaderFirstRead);
@@ -228,9 +251,11 @@ sim::Task<Result<std::shared_ptr<Image>>> Image::Open(
     co_return corrupt;
   }
 
-  // The write-back configuration is client-side runtime policy, not
-  // persisted metadata: the caller picks it per open.
+  // Write-back and QoS configuration are client-side runtime policy, not
+  // persisted metadata: the caller picks them per open.
   options.writeback = writeback;
+  options.qos_scheduler = std::move(qos_scheduler);
+  options.qos = qos;
   std::shared_ptr<Image> image(new Image(cluster, name, options));
   image->encrypted_ = encrypted;
   image->snaps_ = std::move(snaps);

@@ -24,6 +24,7 @@
 
 #include "core/format.h"
 #include "core/luks_header.h"
+#include "qos/scheduler.h"
 #include "rados/cluster.h"
 #include "rbd/completion.h"
 #include "rbd/image_request.h"
@@ -37,6 +38,12 @@ struct ImageOptions {
   core::EncryptionSpec enc;
   core::LuksHeader::Params luks;
   WritebackConfig writeback;
+  // Client-side QoS (not persisted): images sharing one scheduler are
+  // tenants of one dispatch queue — the multi-tenant host serving many
+  // virtual disks from one process. Null scheduler or a disabled policy is
+  // a zero-overhead passthrough.
+  std::shared_ptr<qos::Scheduler> qos_scheduler;
+  qos::QosPolicy qos;
 };
 
 struct ImageStats {
@@ -53,6 +60,13 @@ struct ImageStats {
   uint64_t wb_hits = 0;        // writes absorbed into an existing stage
   uint64_t wb_stages = 0;      // staged-block creations
   uint64_t wb_flushes = 0;     // staged-block flush transactions
+  // QoS dispatch counters, mirrored from the shared scheduler's per-tenant
+  // stats (all zero without an enabled policy).
+  uint64_t qos_submitted = 0;  // requests routed through the dispatch queue
+  uint64_t qos_queued = 0;     // of those, dispatched only after waiting
+  uint64_t qos_throttled = 0;  // head-of-queue token-bucket deferrals
+  uint64_t qos_wait_ns = 0;    // total sim time spent in the queue
+  uint64_t qos_peak_queue = 0; // high-water dispatch-queue length
 };
 
 class Image {
@@ -64,11 +78,17 @@ class Image {
       const std::string& passphrase, const ImageOptions& options);
 
   // Opens an existing image, unlocking the header with `passphrase`.
-  // `writeback` is client-side runtime policy (not persisted): pass a
-  // custom config to e.g. disable coalescing for this open.
+  // `writeback`, `qos_scheduler`, and `qos` are client-side runtime policy
+  // (not persisted): pass a custom write-back config to e.g. disable
+  // coalescing, and a shared qos::Scheduler + QosPolicy to make this open
+  // a tenant of a multi-image dispatch queue.
   static sim::Task<Result<std::shared_ptr<Image>>> Open(
       rados::Cluster& cluster, const std::string& name,
-      const std::string& passphrase, WritebackConfig writeback = {});
+      const std::string& passphrase, WritebackConfig writeback = {},
+      std::shared_ptr<qos::Scheduler> qos_scheduler = nullptr,
+      qos::QosPolicy qos = {});
+
+  ~Image();
 
   // --- Completion-based async IO (librbd aio_*) ---
   //
@@ -114,8 +134,14 @@ class Image {
     return options_.object_size / core::kBlockSize;
   }
   const core::EncryptionSpec& spec() const { return options_.enc; }
-  const ImageStats& stats() const { return stats_; }
+  // Snapshot of the image's IO counters; the qos_* fields are pulled from
+  // the shared scheduler's per-tenant stats at call time.
+  ImageStats stats() const;
   const Writeback& writeback() const { return *writeback_; }
+  qos::Scheduler* qos_scheduler() const {
+    return options_.qos_scheduler.get();
+  }
+  qos::TenantId qos_tenant() const { return qos_tenant_; }
   const std::deque<std::pair<uint64_t, std::string>>& snapshots() const {
     return snaps_;
   }
@@ -150,6 +176,7 @@ class Image {
   bool encrypted_ = false;
   std::deque<std::pair<uint64_t, std::string>> snaps_;  // newest first
   ImageStats stats_;
+  qos::TenantId qos_tenant_ = 0;  // valid while options_.qos_scheduler set
 
   uint64_t next_write_seq_ = 0;
   std::set<uint64_t> inflight_writes_;

@@ -190,7 +190,19 @@ void ImageRequest::Submit(Image& image, IoKind kind, uint64_t offset,
   } else if (kind == IoKind::kFlush) {
     req->write_seq_ = image.next_write_seq_;  // barrier
   }
-  sim::Scheduler::Current().Spawn(Run(std::move(req)));
+  // Admission: an enabled QoS tenant rides the shared dispatch queue (FIFO
+  // per image, so holds and flush tickets — both taken above, in submission
+  // order — are owned only by requests dispatched no later than ours);
+  // otherwise spawn directly. Flushes move no data and pay no tokens, but
+  // still queue FIFO behind the writes they fence.
+  qos::Scheduler* qsched = image.qos_scheduler();
+  if (qsched != nullptr && qsched->enabled(image.qos_tenant())) {
+    const uint64_t cost = req->length_;
+    const bool charge = kind != IoKind::kFlush;
+    qsched->Submit(image.qos_tenant(), cost, charge, Run(std::move(req)));
+  } else {
+    sim::Scheduler::Current().Spawn(Run(std::move(req)));
+  }
 }
 
 sim::Task<void> ImageRequest::Run(std::unique_ptr<ImageRequest> self) {

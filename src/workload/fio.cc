@@ -1,8 +1,8 @@
 #include "workload/fio.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cstdio>
+#include <optional>
 
 namespace vde::workload {
 
@@ -12,25 +12,95 @@ uint64_t RoundUpBlock(uint64_t v) {
   return (v + core::kBlockSize - 1) / core::kBlockSize * core::kBlockSize;
 }
 
+// Counter delta `after - before`; high-water marks (qos_peak_queue) keep
+// the end-of-run value.
+rbd::ImageStats StatsDelta(const rbd::ImageStats& after,
+                           const rbd::ImageStats& before) {
+  rbd::ImageStats d;
+  d.writes = after.writes - before.writes;
+  d.reads = after.reads - before.reads;
+  d.discards = after.discards - before.discards;
+  d.flushes = after.flushes - before.flushes;
+  d.bytes_written = after.bytes_written - before.bytes_written;
+  d.bytes_read = after.bytes_read - before.bytes_read;
+  d.bytes_discarded = after.bytes_discarded - before.bytes_discarded;
+  d.rmw_blocks = after.rmw_blocks - before.rmw_blocks;
+  d.rmw_merged = after.rmw_merged - before.rmw_merged;
+  d.wb_hits = after.wb_hits - before.wb_hits;
+  d.wb_stages = after.wb_stages - before.wb_stages;
+  d.wb_flushes = after.wb_flushes - before.wb_flushes;
+  d.qos_submitted = after.qos_submitted - before.qos_submitted;
+  d.qos_queued = after.qos_queued - before.qos_queued;
+  d.qos_throttled = after.qos_throttled - before.qos_throttled;
+  d.qos_wait_ns = after.qos_wait_ns - before.qos_wait_ns;
+  d.qos_peak_queue = after.qos_peak_queue;
+  return d;
+}
+
 }  // namespace
 
+Status FioConfig::Validate() const {
+  if (io_size == 0) {
+    return Status::InvalidArgument("fio: io_size must be at least 1 byte");
+  }
+  if (queue_depth == 0) {
+    return Status::InvalidArgument("fio: queue_depth must be at least 1");
+  }
+  if (working_set != 0 && working_set < io_size) {
+    return Status::InvalidArgument(
+        "fio: working_set smaller than one io_size");
+  }
+  if (discard_pct > 100) {
+    return Status::InvalidArgument("fio: discard_pct must be in 0..100");
+  }
+  if (rw_mix_pct < -1 || rw_mix_pct > 100) {
+    return Status::InvalidArgument("fio: rw_mix_pct must be in -1..100");
+  }
+  return Status::Ok();
+}
+
 std::string FioResult::Summary() const {
-  char buf[192];
+  char buf[256];
   std::snprintf(
       buf, sizeof(buf),
-      "ops=%llu (discards=%llu) bw=%.1f MB/s iops=%.0f "
-      "lat_us[p50=%.1f p99=%.1f max=%.1f]",
+      "ops=%llu (reads=%llu writes=%llu discards=%llu) bw=%.1f MB/s "
+      "iops=%.0f lat_us[p50=%.1f p99=%.1f max=%.1f]",
       static_cast<unsigned long long>(ops),
+      static_cast<unsigned long long>(read_ops),
+      static_cast<unsigned long long>(write_ops),
       static_cast<unsigned long long>(discards), BandwidthMBps(), Iops(),
       latency_ns.Percentile(50) / 1e3, latency_ns.Percentile(99) / 1e3,
       static_cast<double>(latency_ns.max()) / 1e3);
-  return buf;
+  std::string out = buf;
+  if (image.wb_stages + image.wb_hits + image.wb_flushes +
+          image.rmw_merged > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  " wb[stages=%llu hits=%llu flushes=%llu rmw_merged=%llu]",
+                  static_cast<unsigned long long>(image.wb_stages),
+                  static_cast<unsigned long long>(image.wb_hits),
+                  static_cast<unsigned long long>(image.wb_flushes),
+                  static_cast<unsigned long long>(image.rmw_merged));
+    out += buf;
+  }
+  if (image.qos_submitted > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  " qos[queued=%llu throttled=%llu peak_q=%llu wait_ms=%.1f]",
+                  static_cast<unsigned long long>(image.qos_queued),
+                  static_cast<unsigned long long>(image.qos_throttled),
+                  static_cast<unsigned long long>(image.qos_peak_queue),
+                  static_cast<double>(image.qos_wait_ns) / 1e6);
+    out += buf;
+  }
+  return out;
 }
 
 FioRunner::FioRunner(rbd::Image& image, FioConfig config)
     : image_(image), config_(config), rng_(config.seed) {
-  assert(config_.io_size > 0);
-  config_.io_size = std::max<uint64_t>(config_.io_size, 1);  // NDEBUG guard
+  // An invalid config is remembered (Run/Prefill report it) and clamped
+  // below so the derived-geometry math here stays well-defined either way.
+  valid_ = config_.Validate();
+  config_.io_size = std::max<uint64_t>(config_.io_size, 1);
+  config_.queue_depth = std::max<size_t>(config_.queue_depth, 1);
   uint64_t ws = config_.working_set == 0
                     ? config_.total_ops * config_.io_size
                     : config_.working_set;
@@ -156,6 +226,7 @@ void FioRunner::MarkDiscard(uint64_t offset, uint64_t length) {
 }
 
 sim::Task<Status> FioRunner::Prefill() {
+  VDE_CO_RETURN_IF_ERROR(valid_);
   // Prefill whole blocks covering the working set (block-aligned so the
   // content model holds even for unaligned io_size).
   const uint64_t span = std::min(RoundUpBlock(working_set_), image_.size());
@@ -185,8 +256,9 @@ uint64_t FioRunner::NextOffset() {
 sim::Task<void> FioRunner::Worker(size_t worker_id, FioResult* result,
                                   Status* status) {
   (void)worker_id;
+  const uint32_t write_pct = config_.WritePct();
   Bytes write_buf;
-  if (config_.is_write) {
+  if (write_pct > 0) {
     write_buf.resize(config_.io_size);
     rng_.Fill(write_buf);
   }
@@ -195,7 +267,7 @@ sim::Task<void> FioRunner::Worker(size_t worker_id, FioResult* result,
   // Keep issuing while the measured-op quota is unfilled so the queue depth
   // stays constant through the whole timing window (no ramp-down bias);
   // completions beyond the quota are simply not counted.
-  while (measured_done_ < config_.total_ops && status->ok()) {
+  while (!stop_ && measured_done_ < config_.total_ops && status->ok()) {
     issued_++;
     const bool measured = issued_ > warmup;
     if (measured && !measuring_) {
@@ -206,8 +278,14 @@ sim::Task<void> FioRunner::Worker(size_t worker_id, FioResult* result,
     const uint64_t offset = NextOffset();
     const bool do_discard =
         config_.discard_pct > 0 && rng_.NextBelow(100) < config_.discard_pct;
+    // Pure runs (0 or 100) skip the roll, keeping their rng stream — and
+    // therefore every existing bench figure — byte-identical.
+    const bool do_write =
+        write_pct == 100 ||
+        (write_pct > 0 && rng_.NextBelow(100) < write_pct);
     const sim::SimTime start = sim::Scheduler::Current().now();
     bool was_discard = false;
+    bool was_write = false;
     if (do_discard) {
       was_discard = true;
       if (config_.verify) MarkDiscard(offset, config_.io_size);
@@ -216,7 +294,8 @@ sim::Task<void> FioRunner::Worker(size_t worker_id, FioResult* result,
         *status = s;
         co_return;
       }
-    } else if (config_.is_write) {
+    } else if (do_write) {
+      was_write = true;
       if (config_.verify) {
         // Content-true writes keep the verify model consistent.
         ExpectedRange(offset, write_buf);
@@ -268,23 +347,31 @@ sim::Task<void> FioRunner::Worker(size_t worker_id, FioResult* result,
         result->discards++;
       } else {
         result->bytes += config_.io_size;
+        if (was_write) {
+          result->write_ops++;
+        } else {
+          result->read_ops++;
+        }
       }
       result->latency_ns.Add(end - start);
-      if (measured_done_ == config_.total_ops) {
-        measure_end_ = end;
-      }
+      // Tracks the last counted completion, so a run stopped early
+      // (RequestStop) still reports a closed timing window.
+      measure_end_ = end;
     }
   }
 }
 
 sim::Task<Result<FioResult>> FioRunner::Run() {
+  VDE_CO_RETURN_IF_ERROR(valid_);
   FioResult result;
   Status status;
   issued_ = 0;
   measured_done_ = 0;
   measuring_ = false;
+  stop_ = false;
   measure_start_ = sim::Scheduler::Current().now();
   measure_end_ = measure_start_;
+  const rbd::ImageStats stats_before = image_.stats();
 
   std::vector<sim::Task<void>> workers;
   for (size_t w = 0; w < config_.queue_depth; ++w) {
@@ -293,8 +380,69 @@ sim::Task<Result<FioResult>> FioRunner::Run() {
   co_await sim::WhenAll(std::move(workers));
 
   result.duration = measure_end_ - measure_start_;
+  result.image = StatsDelta(image_.stats(), stats_before);
   if (!status.ok()) co_return status;
   co_return result;
+}
+
+// --- MultiFioRunner ---
+
+MultiFioRunner::MultiFioRunner(std::vector<FioTenant> tenants)
+    : tenants_(std::move(tenants)) {
+  runners_.reserve(tenants_.size());
+  for (const FioTenant& t : tenants_) {
+    runners_.push_back(std::make_unique<FioRunner>(*t.image, t.fio));
+  }
+}
+
+sim::Task<Status> MultiFioRunner::Prefill() {
+  for (auto& runner : runners_) {
+    VDE_CO_RETURN_IF_ERROR(co_await runner->Prefill());
+  }
+  co_return Status::Ok();
+}
+
+sim::Task<Result<std::vector<FioTenantResult>>> MultiFioRunner::Run() {
+  const size_t n = tenants_.size();
+  size_t foreground = 0;
+  for (const FioTenant& t : tenants_) {
+    if (!t.background) foreground++;
+  }
+  if (n == 0 || foreground == 0) {
+    co_return Status::InvalidArgument(
+        "multi-fio: need at least one foreground tenant");
+  }
+
+  // Every tenant runs concurrently. Foreground tenants run to their op
+  // quota; once the last one finishes, background tenants are asked to
+  // stop so "the neighbor was hammering the whole time" holds for every
+  // measured sample.
+  std::vector<std::optional<Result<FioResult>>> slots(n);
+  sim::WaitGroup fg_done(foreground);
+  sim::WaitGroup all_done(n);
+  for (size_t i = 0; i < n; ++i) {
+    sim::Scheduler::Current().Spawn(
+        [](MultiFioRunner* self, size_t idx,
+           std::optional<Result<FioResult>>* slot, sim::WaitGroup* fg,
+           sim::WaitGroup* all) -> sim::Task<void> {
+          slot->emplace(co_await self->runners_[idx]->Run());
+          if (!self->tenants_[idx].background) fg->Done();
+          all->Done();
+        }(this, i, &slots[i], &fg_done, &all_done));
+  }
+  co_await fg_done.Wait();
+  for (size_t i = 0; i < n; ++i) {
+    if (tenants_[i].background) runners_[i]->RequestStop();
+  }
+  co_await all_done.Wait();
+
+  std::vector<FioTenantResult> results;
+  results.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (!slots[i]->ok()) co_return slots[i]->status();
+    results.push_back({tenants_[i].name, std::move(**slots[i])});
+  }
+  co_return results;
 }
 
 }  // namespace vde::workload

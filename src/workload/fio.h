@@ -22,6 +22,10 @@ struct FioConfig {
   enum class Pattern { kRandom, kSequential };
 
   bool is_write = false;
+  // Percent of non-discard ops issued as writes: one run can model a mixed
+  // tenant (fio's rwmixwrite) instead of pure read / pure write. -1 derives
+  // 0 or 100 from `is_write`, which stays as sugar for the pure cases.
+  int32_t rw_mix_pct = -1;
   Pattern pattern = Pattern::kRandom;
   uint64_t io_size = 4096;       // any byte count >= 1 (sub-block IO RMWs)
   uint64_t offset_align = 0;     // offset grid; 0 = io_size (classic fio
@@ -39,6 +43,17 @@ struct FioConfig {
                                  // applies overlapping IO in submission
                                  // order, matching the issue-time state
                                  // model.
+
+  // Effective write percentage for non-discard ops (0..100).
+  uint32_t WritePct() const {
+    return rw_mix_pct < 0 ? (is_write ? 100u : 0u)
+                          : static_cast<uint32_t>(rw_mix_pct);
+  }
+
+  // Rejects configurations that would divide by zero or loop forever
+  // (io_size/queue_depth of 0, a working set smaller than one IO,
+  // percentages beyond 100). FioRunner refuses to run an invalid config.
+  Status Validate() const;
 
   // Database-style 512 B stream (§3.1's worst case for length-preserving
   // encryption plus metadata): sector-granular sequential writes at
@@ -58,10 +73,16 @@ struct FioConfig {
 
 struct FioResult {
   uint64_t ops = 0;
-  uint64_t discards = 0;  // subset of ops issued as Discard
+  uint64_t read_ops = 0;   // measured ops issued as reads
+  uint64_t write_ops = 0;  // measured ops issued as writes
+  uint64_t discards = 0;   // subset of ops issued as Discard
   uint64_t bytes = 0;
   sim::SimTime duration = 0;
   Histogram latency_ns;
+  // Per-image counter delta over the whole run (warmup included): the
+  // write-back and QoS behavior behind the measured numbers. The qos peak
+  // field is a high-water mark, not a delta.
+  rbd::ImageStats image;
 
   double BandwidthMBps() const {
     return duration == 0
@@ -74,7 +95,8 @@ struct FioResult {
                : static_cast<double>(ops) * 1e9 / static_cast<double>(duration);
   }
   // One-line human-readable digest: throughput plus p50/p99/max latency
-  // from the (warmup-excluded) histogram.
+  // from the (warmup-excluded) histogram, the read/write split for mixed
+  // runs, and — when active — the write-back and QoS counters.
   std::string Summary() const;
 };
 
@@ -88,6 +110,12 @@ class FioRunner {
   sim::Task<Status> Prefill();
 
   sim::Task<Result<FioResult>> Run();
+
+  // Asks a running workload to wind down: workers finish their in-flight
+  // op and exit, and Run() reports the ops measured so far. Lets a
+  // background noisy neighbor run exactly as long as the tenants under
+  // measurement (MultiFioRunner uses this).
+  void RequestStop() { stop_ = true; }
 
   uint64_t working_set() const { return working_set_; }
   // Effective config after constructor adjustments.
@@ -116,6 +144,7 @@ class FioRunner {
 
   rbd::Image& image_;
   FioConfig config_;
+  Status valid_;  // Validate() verdict on the original config
   uint64_t working_set_;
   uint64_t align_;
   uint64_t slots_;
@@ -124,9 +153,51 @@ class FioRunner {
   uint64_t issued_ = 0;
   uint64_t seq_cursor_ = 0;
   bool measuring_ = false;
+  bool stop_ = false;
   uint64_t measured_done_ = 0;
   sim::SimTime measure_start_ = 0;
   sim::SimTime measure_end_ = 0;
+};
+
+// One tenant of a multi-image run: a name for reporting, the image to
+// drive (typically opened against a shared qos::Scheduler), and its own
+// workload shape. Background tenants — noisy neighbors — are stopped once
+// every foreground tenant reaches its op quota, so the measured tenants
+// see contention for their entire run; their partial results are still
+// reported.
+struct FioTenant {
+  std::string name;
+  rbd::Image* image = nullptr;
+  FioConfig fio;
+  bool background = false;
+};
+
+struct FioTenantResult {
+  std::string name;
+  FioResult result;
+};
+
+// Drives N tenants concurrently against one simulated cluster — the
+// multi-tenant host scenario the QoS scheduler exists for — and reports
+// per-tenant results.
+class MultiFioRunner {
+ public:
+  explicit MultiFioRunner(std::vector<FioTenant> tenants);
+
+  // Prefills every tenant's working set, one tenant at a time (run this
+  // before the measured phase so prefill IO is not throttled into it).
+  sim::Task<Status> Prefill();
+
+  // Runs every tenant concurrently; resolves once all finished. Results
+  // are in tenant order. Fails if any tenant fails or if every tenant is
+  // background (nothing would bound the run).
+  sim::Task<Result<std::vector<FioTenantResult>>> Run();
+
+  FioRunner& runner(size_t i) { return *runners_[i]; }
+
+ private:
+  std::vector<FioTenant> tenants_;
+  std::vector<std::unique_ptr<FioRunner>> runners_;
 };
 
 }  // namespace vde::workload

@@ -1,0 +1,247 @@
+// qos::Scheduler unit tests, on synthetic tasks (no rbd): passthrough
+// zero-overhead, FIFO order within a tenant, token-bucket pacing with
+// timer-driven drain, per-tenant and host-wide in-flight caps, and
+// deficit-weighted round-robin fairness between a saturating neighbor and
+// a weighted victim.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "../testutil.h"
+#include "qos/scheduler.h"
+#include "sim/sync.h"
+
+namespace vde::qos {
+namespace {
+
+using sim::kMs;
+using sim::kUs;
+using testutil::RunSim;
+
+// A dispatched probe: records its start time, models `service` of work,
+// then records completion. `running`/`peak` observe real concurrency.
+struct Probe {
+  std::vector<sim::SimTime> started;
+  std::vector<sim::SimTime> finished;
+  int running = 0;
+  int peak = 0;
+
+  sim::Task<void> Job(sim::SimTime service) {
+    started.push_back(sim::Scheduler::Current().now());
+    running++;
+    peak = std::max(peak, running);
+    if (service > 0) co_await sim::Sleep{service};
+    running--;
+    finished.push_back(sim::Scheduler::Current().now());
+  }
+};
+
+TEST(QosScheduler, DisabledPolicyIsPassthrough) {
+  RunSim([]() -> sim::Task<void> {
+    Scheduler qos;
+    const TenantId t = qos.Attach(QosPolicy{});  // disabled by default
+    EXPECT_FALSE(qos.enabled(t));
+    Probe probe;
+    co_await sim::Sleep{5 * kUs};
+    qos.Submit(t, 1 << 20, true, probe.Job(0));
+    co_await sim::Sleep{1};  // let the spawned task run
+    // Dispatched at the submit instant, with no queueing and no stats.
+    CO_ASSERT_EQ(probe.started.size(), 1u);
+    EXPECT_EQ(probe.started[0], 5 * kUs);
+    EXPECT_EQ(qos.stats(t).submitted, 0u);
+    EXPECT_EQ(qos.total_queued(), 0u);
+  });
+}
+
+TEST(QosScheduler, FifoWithinTenantAndUnlimitedPolicyDispatchesAtOnce) {
+  RunSim([]() -> sim::Task<void> {
+    Scheduler qos;
+    QosPolicy p;
+    p.enabled = true;  // no caps: queue is pass-shaped but unthrottled
+    const TenantId t = qos.Attach(p);
+    Probe probe;
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i) {
+      qos.Submit(t, 4096, true,
+                 [](Probe* pr, std::vector<int>* ord, int idx)
+                     -> sim::Task<void> {
+                   ord->push_back(idx);
+                   co_await pr->Job(10 * kUs);
+                 }(&probe, &order, i));
+    }
+    co_await sim::Sleep{1 * kMs};
+    CO_ASSERT_EQ(order.size(), 8u);
+    for (int i = 0; i < 8; ++i) EXPECT_EQ(order[i], i) << "FIFO broken";
+    // Unthrottled: everything dispatched at the submit instant.
+    EXPECT_EQ(qos.stats(t).submitted, 8u);
+    EXPECT_EQ(qos.stats(t).dispatched, 8u);
+    EXPECT_EQ(qos.stats(t).queued, 0u);
+    EXPECT_EQ(qos.stats(t).throttled, 0u);
+  });
+}
+
+TEST(QosScheduler, IopsBucketPacesDispatchAndTimerDrainsQueue) {
+  RunSim([]() -> sim::Task<void> {
+    Scheduler qos;
+    QosPolicy p;
+    p.enabled = true;
+    p.max_iops = 1000;  // 1 op per ms
+    p.burst_ops = 1;
+    const TenantId t = qos.Attach(p);
+    Probe probe;
+    for (int i = 0; i < 5; ++i) qos.Submit(t, 4096, true, probe.Job(0));
+    co_await sim::Sleep{20 * kMs};
+    CO_ASSERT_EQ(probe.started.size(), 5u);
+    // First rides the burst credit at t=0; the rest are paced ~1 ms apart
+    // by the refill timer with no external events driving them.
+    EXPECT_EQ(probe.started[0], 0u);
+    for (size_t i = 1; i < 5; ++i) {
+      const sim::SimTime gap = probe.started[i] - probe.started[i - 1];
+      EXPECT_GE(gap, 1 * kMs - 10 * kUs) << "op " << i << " not paced";
+      EXPECT_LE(gap, 1 * kMs + 100 * kUs) << "op " << i << " late";
+    }
+    EXPECT_EQ(qos.stats(t).dispatched, 5u);
+    EXPECT_GE(qos.stats(t).throttled, 4u);
+    EXPECT_EQ(qos.stats(t).queued, 4u);
+    EXPECT_GT(qos.stats(t).wait_ns, 0u);
+    EXPECT_GE(qos.stats(t).peak_queue, 4u);
+  });
+}
+
+TEST(QosScheduler, BandwidthBucketCapsBytesPerSecond) {
+  RunSim([]() -> sim::Task<void> {
+    Scheduler qos;
+    QosPolicy p;
+    p.enabled = true;
+    p.max_bps = 10ull << 20;       // 10 MiB/s
+    p.burst_bytes = 1ull << 20;    // 1 MiB burst
+    const TenantId t = qos.Attach(p);
+    Probe probe;
+    // 8 MiB of demand in 1 MiB ops: burst passes one instantly, the rest
+    // drain at 10 MiB/s => ~700ms for the remaining 7 MiB.
+    for (int i = 0; i < 8; ++i) {
+      qos.Submit(t, 1ull << 20, true, probe.Job(0));
+    }
+    co_await sim::Sleep{2000 * kMs};
+    CO_ASSERT_EQ(probe.started.size(), 8u);
+    const sim::SimTime last = probe.started.back();
+    EXPECT_GE(last, 690 * kMs);
+    EXPECT_LE(last, 710 * kMs);
+  });
+}
+
+TEST(QosScheduler, PerTenantDepthCapBoundsInflight) {
+  RunSim([]() -> sim::Task<void> {
+    Scheduler qos;
+    QosPolicy p;
+    p.enabled = true;
+    p.max_queue_depth = 2;
+    const TenantId t = qos.Attach(p);
+    Probe probe;
+    for (int i = 0; i < 10; ++i) {
+      qos.Submit(t, 4096, true, probe.Job(100 * kUs));
+    }
+    co_await sim::Sleep{10 * kMs};
+    CO_ASSERT_EQ(probe.finished.size(), 10u);
+    EXPECT_EQ(probe.peak, 2) << "in-flight cap violated";
+    EXPECT_EQ(qos.stats(t).peak_inflight, 2u);
+    EXPECT_GT(qos.stats(t).depth_deferred, 0u);
+    EXPECT_EQ(qos.stats(t).inflight, 0u);
+  });
+}
+
+TEST(QosScheduler, GlobalInflightCapSharedByWeight) {
+  RunSim([]() -> sim::Task<void> {
+    Scheduler::Config cfg;
+    cfg.max_inflight_total = 4;  // the scarce, shared dispatch window
+    Scheduler qos(cfg);
+    QosPolicy heavy;
+    heavy.enabled = true;
+    heavy.weight = 3;
+    QosPolicy light = heavy;
+    light.weight = 1;
+    const TenantId th = qos.Attach(heavy);
+    const TenantId tl = qos.Attach(light);
+    Probe ph, pl;
+    // Equal demand, equal service cost; only weights differ.
+    for (int i = 0; i < 120; ++i) {
+      qos.Submit(th, 4096, true, ph.Job(100 * kUs));
+      qos.Submit(tl, 4096, true, pl.Job(100 * kUs));
+    }
+    co_await sim::Sleep{50 * kMs};
+    CO_ASSERT_EQ(ph.finished.size(), 120u);
+    CO_ASSERT_EQ(pl.finished.size(), 120u);
+    // The weight-3 tenant clears its backlog ~in 1/3 the light tenant's
+    // span; while both are backlogged the light tenant still progresses
+    // (DWRR never starves a positive weight).
+    const sim::SimTime heavy_done = ph.finished.back();
+    const sim::SimTime light_done = pl.finished.back();
+    EXPECT_LT(heavy_done, light_done);
+    size_t light_before = 0;
+    for (sim::SimTime f : pl.finished) light_before += f <= heavy_done;
+    // Expected ~120/3 = 40 light completions by the heavy tenant's finish.
+    EXPECT_GE(light_before, 20u) << "weighted victim starved";
+    EXPECT_LE(light_before, 70u) << "weights not respected";
+    EXPECT_EQ(qos.total_inflight(), 0u);
+  });
+}
+
+TEST(QosScheduler, FlushLikeZeroCostSubmitNeverPaysTokens) {
+  RunSim([]() -> sim::Task<void> {
+    Scheduler qos;
+    QosPolicy p;
+    p.enabled = true;
+    p.max_iops = 10;  // tight
+    p.burst_ops = 1;
+    const TenantId t = qos.Attach(p);
+    Probe data, flush;
+    qos.Submit(t, 4096, true, data.Job(0));
+    qos.Submit(t, 0, /*charge=*/false, flush.Job(0));
+    co_await sim::Sleep{1 * kMs};
+    // The flush queues FIFO behind the data op but pays no tokens: both
+    // dispatch at t=0 even though the ops bucket is drained.
+    CO_ASSERT_EQ(data.started.size(), 1u);
+    CO_ASSERT_EQ(flush.started.size(), 1u);
+    EXPECT_EQ(flush.started[0], 0u);
+    EXPECT_EQ(qos.stats(t).throttled, 0u);
+  });
+}
+
+TEST(QosScheduler, LargeCostCrossesMultipleQuanta) {
+  RunSim([]() -> sim::Task<void> {
+    Scheduler::Config cfg;
+    cfg.quantum = 16 * 1024;  // one 4 MiB op needs many rounds of credit
+    Scheduler qos(cfg);
+    QosPolicy p;
+    p.enabled = true;
+    const TenantId t = qos.Attach(p);
+    Probe probe;
+    qos.Submit(t, 4ull << 20, true, probe.Job(0));
+    co_await sim::Sleep{1 * kMs};
+    // Liveness: deficit rounds keep turning until the head affords it.
+    CO_ASSERT_EQ(probe.started.size(), 1u);
+    EXPECT_EQ(probe.started[0], 0u);
+  });
+}
+
+TEST(QosScheduler, DetachAfterDrainForgetsTenant) {
+  RunSim([]() -> sim::Task<void> {
+    Scheduler qos;
+    QosPolicy p;
+    p.enabled = true;
+    const TenantId t = qos.Attach(p);
+    Probe probe;
+    qos.Submit(t, 4096, true, probe.Job(10 * kUs));
+    co_await sim::Sleep{1 * kMs};
+    CO_ASSERT_EQ(probe.finished.size(), 1u);
+    qos.Detach(t);
+    // A fresh tenant id starts clean.
+    const TenantId t2 = qos.Attach(p);
+    EXPECT_NE(t2, t);
+    EXPECT_EQ(qos.stats(t2).submitted, 0u);
+  });
+}
+
+}  // namespace
+}  // namespace vde::qos

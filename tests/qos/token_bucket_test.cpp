@@ -1,0 +1,98 @@
+// TokenBucket unit tests: burst credit, refill math, oversized-cost
+// overdraw, and the WhenAdmissible/CanTake contract.
+#include <gtest/gtest.h>
+
+#include "qos/token_bucket.h"
+
+namespace vde::qos {
+namespace {
+
+using sim::kMs;
+using sim::kSec;
+using sim::kUs;
+
+TEST(TokenBucket, UnlimitedAdmitsEverything) {
+  TokenBucket b;
+  EXPECT_TRUE(b.unlimited());
+  b.Refill(123 * kMs);
+  EXPECT_TRUE(b.CanTake(1e18));
+  EXPECT_EQ(b.WhenAdmissible(1e18, 5 * kSec), 5 * kSec);
+  b.Take(1e18);  // no-op
+  EXPECT_TRUE(b.CanTake(1));
+}
+
+TEST(TokenBucket, StartsFullAndSpendsBurstCredit) {
+  // 100 tokens/s, burst of 10: ten immediate takes, then dry.
+  TokenBucket b(100, 10);
+  b.Refill(0);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(b.CanTake(1)) << "burst take " << i;
+    b.Take(1);
+  }
+  EXPECT_FALSE(b.CanTake(1));
+  // One token accrues every 10 ms.
+  const sim::SimTime ready = b.WhenAdmissible(1, 0);
+  EXPECT_GE(ready, 10 * kMs);
+  EXPECT_LE(ready, 10 * kMs + 2);  // +1ns FP guard
+  b.Refill(ready);
+  EXPECT_TRUE(b.CanTake(1));
+}
+
+TEST(TokenBucket, RefillClampsAtCapacity) {
+  TokenBucket b(1000, 5);
+  b.Refill(0);
+  b.Take(5);
+  b.Refill(1 * kSec);  // would accrue 1000 tokens; clamps to 5
+  EXPECT_DOUBLE_EQ(b.tokens(), 5.0);
+  b.Take(5);
+  EXPECT_FALSE(b.CanTake(1));
+}
+
+TEST(TokenBucket, SustainedRateHoldsTheCeiling) {
+  // Spend the burst, then take exactly at the refill rate: each take is
+  // admissible precisely one period after the previous one.
+  TokenBucket b(1000, 4);  // 1 token per ms, 4 burst
+  sim::SimTime now = 0;
+  b.Refill(now);
+  b.Take(4);
+  for (int i = 0; i < 8; ++i) {
+    const sim::SimTime ready = b.WhenAdmissible(1, now);
+    EXPECT_GE(ready, now + 1 * kMs - 2 * kUs);
+    b.Refill(ready);
+    ASSERT_TRUE(b.CanTake(1));
+    b.Take(1);
+    now = ready;
+  }
+  // 8 paced takes after the burst: ~8 ms elapsed.
+  EXPECT_NEAR(static_cast<double>(now), 8.0 * kMs, 0.1 * kMs);
+}
+
+TEST(TokenBucket, OversizedCostAdmittedAtFullBucketOverdraws) {
+  // Cost beyond the whole capacity: admitted only when full, and the debt
+  // delays everything after it.
+  TokenBucket b(1000, 4);
+  b.Refill(0);
+  ASSERT_TRUE(b.CanTake(100));
+  b.Take(100);
+  EXPECT_LT(b.tokens(), 0);
+  EXPECT_FALSE(b.CanTake(1));
+  // Back above 1 token takes (96 + 1) / 1000 s.
+  const sim::SimTime ready = b.WhenAdmissible(1, 0);
+  EXPECT_GE(ready, 97 * kMs);
+  b.Refill(ready);
+  EXPECT_TRUE(b.CanTake(1));
+  // And another oversized take needs the bucket full again.
+  EXPECT_FALSE(b.CanTake(50));
+  const sim::SimTime full = b.WhenAdmissible(50, ready);
+  b.Refill(full);
+  EXPECT_TRUE(b.CanTake(50));
+}
+
+TEST(TokenBucket, WhenAdmissibleIsIdentityWhenAffordable) {
+  TokenBucket b(10, 10);
+  b.Refill(0);
+  EXPECT_EQ(b.WhenAdmissible(3, 42), 42u);
+}
+
+}  // namespace
+}  // namespace vde::qos

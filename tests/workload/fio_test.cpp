@@ -158,5 +158,119 @@ TEST(Fio, QueueDepthBoundsConcurrencyEffect) {
       << "QD16 should scale bandwidth well past QD1 at 4K";
 }
 
+TEST(Fio, InvalidConfigsAreRejectedUpFront) {
+  testutil::RunSim([]() -> sim::Task<void> {
+    auto cluster = co_await rados::Cluster::Create(TestCluster());
+    auto image = co_await MakeImage(**cluster, core::IvLayout::kNone);
+    CO_ASSERT_OK(image.status());
+
+    FioConfig zero_io;
+    zero_io.io_size = 0;
+    EXPECT_EQ(zero_io.Validate().code(), StatusCode::kInvalidArgument);
+    FioConfig zero_qd;
+    zero_qd.queue_depth = 0;
+    EXPECT_EQ(zero_qd.Validate().code(), StatusCode::kInvalidArgument);
+    FioConfig tiny_ws;
+    tiny_ws.io_size = 8192;
+    tiny_ws.working_set = 4096;
+    EXPECT_EQ(tiny_ws.Validate().code(), StatusCode::kInvalidArgument);
+    FioConfig bad_mix;
+    bad_mix.rw_mix_pct = 101;
+    EXPECT_EQ(bad_mix.Validate().code(), StatusCode::kInvalidArgument);
+    bad_mix.rw_mix_pct = -50;  // only -1 (sentinel) is a valid negative
+    EXPECT_EQ(bad_mix.Validate().code(), StatusCode::kInvalidArgument);
+    FioConfig bad_discard;
+    bad_discard.discard_pct = 101;
+    EXPECT_EQ(bad_discard.Validate().code(), StatusCode::kInvalidArgument);
+
+    // The runner reports the verdict instead of dividing by zero or
+    // spinning with no workers; both entry points refuse.
+    FioRunner runner(**image, zero_qd);
+    auto result = co_await runner.Run();
+    EXPECT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+    FioRunner runner2(**image, zero_io);
+    EXPECT_EQ((co_await runner2.Prefill()).code(),
+              StatusCode::kInvalidArgument);
+  });
+}
+
+TEST(Fio, RwMixDrivesBothDirectionsAndVerifies) {
+  testutil::RunSim([]() -> sim::Task<void> {
+    auto cluster = co_await rados::Cluster::Create(TestCluster());
+    auto image = co_await MakeImage(**cluster, core::IvLayout::kObjectEnd);
+    CO_ASSERT_OK(image.status());
+    FioConfig cfg;
+    cfg.rw_mix_pct = 50;
+    cfg.io_size = 4096;
+    cfg.queue_depth = 8;
+    cfg.total_ops = 128;
+    cfg.working_set = 4ull << 20;
+    cfg.verify = true;
+    FioRunner runner(**image, cfg);
+    CO_ASSERT_OK(co_await runner.Prefill());
+    auto result = co_await runner.Run();
+    CO_ASSERT_OK(result.status());
+    EXPECT_EQ(result->ops, 128u);
+    EXPECT_GT(result->read_ops, 16u);
+    EXPECT_GT(result->write_ops, 16u);
+    EXPECT_EQ(result->read_ops + result->write_ops, 128u);
+    // The per-image delta rode along for Summary consumers: it covers the
+    // run (measured + warmup) but not the prefill writes before it.
+    EXPECT_GE(result->image.writes, result->write_ops);
+    EXPECT_LT(result->image.writes, (*image)->stats().writes);
+  });
+}
+
+TEST(Fio, IsWriteStaysSugarForPureMixes) {
+  // is_write=true with the default rw_mix_pct=-1 must behave exactly like
+  // rw_mix_pct=100: identical op mix AND identical rng stream (same
+  // deterministic timings).
+  sim::SimTime dur_sugar = 0, dur_explicit = 0;
+  for (const bool use_explicit : {false, true}) {
+    testutil::RunSim(
+        [use_explicit, &dur_sugar, &dur_explicit]() -> sim::Task<void> {
+          auto cluster = co_await rados::Cluster::Create(TestCluster());
+          auto image = co_await MakeImage(**cluster, core::IvLayout::kNone);
+          CO_ASSERT_OK(image.status());
+          FioConfig cfg;
+          if (use_explicit) {
+            cfg.rw_mix_pct = 100;
+          } else {
+            cfg.is_write = true;
+          }
+          cfg.io_size = 4096;
+          cfg.queue_depth = 8;
+          cfg.total_ops = 64;
+          FioRunner runner(**image, cfg);
+          auto result = co_await runner.Run();
+          CO_ASSERT_OK(result.status());
+          EXPECT_EQ(result->write_ops, 64u);
+          EXPECT_EQ(result->read_ops, 0u);
+          (use_explicit ? dur_explicit : dur_sugar) = result->duration;
+        });
+  }
+  EXPECT_EQ(dur_sugar, dur_explicit);
+}
+
+TEST(Fio, SummarySurfacesWritebackCounters) {
+  testutil::RunSim([]() -> sim::Task<void> {
+    auto cluster = co_await rados::Cluster::Create(TestCluster());
+    auto image = co_await MakeImage(**cluster, core::IvLayout::kObjectEnd);
+    CO_ASSERT_OK(image.status());
+    FioConfig cfg = FioConfig::Db();  // 512 B stream: stages + coalesces
+    cfg.total_ops = 128;
+    cfg.working_set = 2ull << 20;
+    FioRunner runner(**image, cfg);
+    auto result = co_await runner.Run();
+    CO_ASSERT_OK(result.status());
+    EXPECT_GT(result->image.wb_hits, 0u);
+    const std::string summary = result->Summary();
+    EXPECT_NE(summary.find("wb["), std::string::npos) << summary;
+    EXPECT_NE(summary.find("writes="), std::string::npos) << summary;
+    CO_ASSERT_OK(co_await (*image)->Flush());
+  });
+}
+
 }  // namespace
 }  // namespace vde::workload
