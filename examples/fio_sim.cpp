@@ -1,6 +1,6 @@
 // fio-like CLI over the simulated cluster — run your own sweeps:
 //
-//   $ ./examples/fio_sim --rw=randwrite --bs=64k --layout=object-end \
+//   $ ./examples/fio_sim --rw=randwrite --bs=64k --layout=object-end
 //                        --ops=512 --qd=32
 //
 // Layouts: none (LUKS2 baseline), unaligned, object-end, omap.
@@ -12,6 +12,10 @@
 // QoS: --qos-iops=N / --qos-bw=BYTES_PER_SEC / --qos-depth=N attach the
 // image to a client-side qos::Scheduler with those ceilings — the summary
 // line then reports queueing and throttling counters.
+// IV cache: --iv-cache keeps random-IV metadata rows resident client-side
+// (reads of cached extents go data-only); --iv-cache-objects=N bounds the
+// LRU-by-object capacity. The summary reports hit/miss and fetch-byte
+// counters.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -41,6 +45,8 @@ struct Args {
   uint64_t qos_iops = 0;
   uint64_t qos_bw = 0;
   size_t qos_depth = 0;
+  bool iv_cache = false;
+  size_t iv_cache_objects = 64;
   core::EncryptionSpec spec;
 
   bool UseQos() const { return qos_iops > 0 || qos_bw > 0 || qos_depth > 0; }
@@ -102,6 +108,11 @@ bool Parse(int argc, char** argv, Args& args) {
       args.qos_bw = ParseSize(v);
     } else if (const char* v = value("--qos-depth=")) {
       args.qos_depth = std::stoul(v);
+    } else if (arg == "--iv-cache") {
+      args.iv_cache = true;
+    } else if (const char* v = value("--iv-cache-objects=")) {
+      args.iv_cache = true;
+      args.iv_cache_objects = std::stoul(v);
     } else if (const char* v = value("--ops=")) {
       args.ops = std::stoull(v);
     } else if (const char* v = value("--qd=")) {
@@ -165,6 +176,8 @@ sim::Task<void> Run(const Args& args, bool* ok) {
     options.qos.max_bps = args.qos_bw;
     options.qos.max_queue_depth = args.qos_depth;
   }
+  options.iv_cache.enabled = args.iv_cache;
+  options.iv_cache.max_objects = args.iv_cache_objects;
   auto image = co_await rbd::Image::Create(**cluster, "fio", "pw", options);
   if (!image.ok()) co_return;
 
@@ -233,6 +246,16 @@ sim::Task<void> Run(const Args& args, bool* ok) {
                 static_cast<unsigned long long>(is.qos_peak_queue),
                 static_cast<double>(is.qos_wait_ns) / 1e6);
   }
+  if (args.iv_cache) {
+    std::printf("  iv:    hits=%llu misses=%llu evictions=%llu "
+                "invalidations=%llu meta_saved=%llu meta_fetched=%llu\n",
+                static_cast<unsigned long long>(is.iv_hits),
+                static_cast<unsigned long long>(is.iv_misses),
+                static_cast<unsigned long long>(is.iv_evictions),
+                static_cast<unsigned long long>(is.iv_invalidations),
+                static_cast<unsigned long long>(is.iv_meta_bytes_saved),
+                static_cast<unsigned long long>(is.iv_meta_bytes_fetched));
+  }
   if (args.verify && !args.is_write) {
     std::printf("  verify: all reads matched\n");
   }
@@ -250,7 +273,8 @@ int main(int argc, char** argv) {
         "               [--ops=N] [--qd=N]\n"
         "               [--layout=none|unaligned|object-end|omap]\n"
         "               [--cipher=gcm|wide] [--integrity=hmac] [--verify]\n"
-        "               [--qos-iops=N] [--qos-bw=BYTES/S] [--qos-depth=N]\n");
+        "               [--qos-iops=N] [--qos-bw=BYTES/S] [--qos-depth=N]\n"
+        "               [--iv-cache] [--iv-cache-objects=N]\n");
     return 2;
   }
   sim::Scheduler sched;

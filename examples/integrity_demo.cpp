@@ -79,7 +79,7 @@ void Report(const char* label, const Outcome& out, bool expect_detected) {
   if (!out.read_ok) {
     verdict = "tampering DETECTED (read rejected)";
   } else if (out.data_intact) {
-    verdict = "data intact (??)";
+    verdict = "data intact (?)";
   } else {
     verdict = "tampering UNDETECTED - corrupted plaintext accepted!";
   }

@@ -83,8 +83,9 @@ class DeterministicFormat final : public EncryptionFormat {
   }
 
   Status MakeWrite(const ObjectExtent& ext, ByteSpan plain,
-                   Transaction& txn) override {
+                   Transaction& txn, IvRows* ivs_out) override {
     assert(plain.size() == ext.block_count * kBlockSize);
+    static_cast<void>(ivs_out);  // no per-sector metadata to report
     Bytes cipher(plain.size());
     for (size_t b = 0; b < ext.block_count; ++b) {
       CryptBlock(ext.image_block + b, plain.subspan(b * kBlockSize, kBlockSize),
@@ -107,7 +108,8 @@ class DeterministicFormat final : public EncryptionFormat {
 
   Status FinishRead(const ObjectExtent& ext,
                     const objstore::ReadResult& result,
-                    MutByteSpan out) override {
+                    MutByteSpan out, IvRows* ivs_out) override {
+    static_cast<void>(ivs_out);  // no per-sector metadata to report
     if (result.data.size() != ext.block_count * kBlockSize) {
       return Status::IoError("short read");
     }
@@ -190,7 +192,7 @@ class RandomIvFormat final : public EncryptionFormat {
   }
 
   Status MakeWrite(const ObjectExtent& ext, ByteSpan plain,
-                   Transaction& txn) override {
+                   Transaction& txn, IvRows* ivs_out) override {
     assert(plain.size() == ext.block_count * kBlockSize);
     const size_t meta = spec_.MetaPerBlock();
     // Per-block ciphertext and metadata.
@@ -201,6 +203,12 @@ class RandomIvFormat final : public EncryptionFormat {
                    plain.subspan(b * kBlockSize, kBlockSize),
                    MutByteSpan(cipher.data() + b * kBlockSize, kBlockSize),
                    MutByteSpan(metas.data() + b * meta, meta));
+    }
+    if (ivs_out != nullptr) {
+      for (size_t b = 0; b < ext.block_count; ++b) {
+        ivs_out->emplace_back(metas.begin() + static_cast<long>(b * meta),
+                              metas.begin() + static_cast<long>((b + 1) * meta));
+      }
     }
 
     switch (spec_.layout) {
@@ -294,9 +302,64 @@ class RandomIvFormat final : public EncryptionFormat {
     return 0;
   }
 
+  bool DataOnlyReadProfitable(const ObjectExtent& ext) const override {
+    switch (spec_.layout) {
+      case IvLayout::kUnaligned:
+        // Data-only must skip the inline IV after every block: one op per
+        // block, so the per-op OSD cost swamps the byte savings except for
+        // the single-block RMW edge reads.
+        return ext.block_count == 1;
+      case IvLayout::kObjectEnd:
+      case IvLayout::kOmap:
+        return true;  // drops the IV-region read / the OMAP lookup outright
+      case IvLayout::kNone:
+        break;
+    }
+    return false;
+  }
+
+  void MakeReadDataOnly(const ObjectExtent& ext,
+                        Transaction& txn) const override {
+    const size_t meta = spec_.MetaPerBlock();
+    switch (spec_.layout) {
+      case IvLayout::kUnaligned: {
+        // One data op per block at its stride position, skipping the
+        // interleaved IV bytes.
+        const size_t stride = kBlockSize + meta;
+        for (size_t b = 0; b < ext.block_count; ++b) {
+          txn.ops.push_back(
+              DataReadOp((ext.first_block + b) * stride, kBlockSize));
+        }
+        break;
+      }
+      case IvLayout::kObjectEnd:
+      case IvLayout::kOmap:
+        txn.ops.push_back(DataReadOp(ext.first_block * kBlockSize,
+                                     ext.block_count * kBlockSize));
+        break;
+      case IvLayout::kNone:
+        assert(false && "random IV requires a layout");
+    }
+  }
+
+  size_t MetaReadBytes(const ObjectExtent& ext) const override {
+    const size_t meta = spec_.MetaPerBlock();
+    switch (spec_.layout) {
+      case IvLayout::kUnaligned:
+      case IvLayout::kObjectEnd:
+        return ext.block_count * meta;
+      case IvLayout::kOmap:
+        // Rows come back as (8-byte block key, value) pairs.
+        return ext.block_count * (8 + meta);
+      case IvLayout::kNone:
+        break;
+    }
+    return 0;
+  }
+
   Status FinishRead(const ObjectExtent& ext,
                     const objstore::ReadResult& result,
-                    MutByteSpan out) override {
+                    MutByteSpan out, IvRows* ivs_out) override {
     const size_t meta = spec_.MetaPerBlock();
     const size_t n = ext.block_count;
     // Gather (ciphertext, metadata) per block from the layout. An empty
@@ -351,25 +414,35 @@ class RandomIvFormat final : public EncryptionFormat {
         return Status::InvalidArgument("random IV requires a layout");
     }
 
-    for (size_t b = 0; b < n; ++b) {
-      MutByteSpan dst = out.subspan(b * kBlockSize, kBlockSize);
-      // Cleared metadata (discard/write-zeroes) or an absent OMAP row means
-      // the block holds nothing; require the ciphertext to agree, so a lost
-      // IV for real data still surfaces as corruption. Like TRIM on real
-      // AEAD disks, the cleared marker itself is unauthenticated: zeroing a
-      // block's data AND metadata reads as legitimate discard even under
-      // HMAC/GCM (any other tamper is still detected).
-      if (ms[b].empty() || AllZero(ms[b])) {
-        if (!AllZero(cts[b])) {
-          return Status::Corruption("missing IV for non-empty block");
-        }
-        std::fill(dst.begin(), dst.end(), 0);
-        continue;
+    VDE_RETURN_IF_ERROR(DecryptGathered(ext, cts, ms, out));
+    if (ivs_out != nullptr) {
+      for (size_t b = 0; b < n; ++b) {
+        // Cleared/absent rows are reported empty — the cache layer treats
+        // them as "nothing to cache" (no negative caching of trims).
+        ivs_out->emplace_back(AllZero(ms[b]) ? Bytes{}
+                                             : Bytes(ms[b].begin(),
+                                                     ms[b].end()));
       }
-      VDE_RETURN_IF_ERROR(DecryptBlock(ext.image_block + b, cts[b], ms[b],
-                                       dst));
     }
     return Status::Ok();
+  }
+
+  Status FinishReadWithIvs(const ObjectExtent& ext,
+                           const objstore::ReadResult& result,
+                           const IvRows& ivs, MutByteSpan out) override {
+    const size_t n = ext.block_count;
+    if (ivs.size() != n) {
+      return Status::InvalidArgument("IV row count mismatch");
+    }
+    if (result.data.size() != n * kBlockSize) {
+      return Status::IoError("short data-only read");
+    }
+    std::vector<ByteSpan> cts(n), ms(n);
+    for (size_t b = 0; b < n; ++b) {
+      cts[b] = ByteSpan(result.data.data() + b * kBlockSize, kBlockSize);
+      ms[b] = ByteSpan(ivs[b]);
+    }
+    return DecryptGathered(ext, cts, ms, out);
   }
 
   void MakeDiscard(const ObjectExtent& ext, Transaction& txn) override {
@@ -417,6 +490,32 @@ class RandomIvFormat final : public EncryptionFormat {
   }
 
  private:
+  // Shared decrypt tail of FinishRead / FinishReadWithIvs: per-block
+  // (ciphertext, metadata) pairs to plaintext, with the cleared-marker
+  // semantics. Cleared metadata (discard/write-zeroes) or an absent OMAP
+  // row means the block holds nothing; require the ciphertext to agree, so
+  // a lost IV for real data still surfaces as corruption. Like TRIM on
+  // real AEAD disks, the cleared marker itself is unauthenticated: zeroing
+  // a block's data AND metadata reads as legitimate discard even under
+  // HMAC/GCM (any other tamper is still detected).
+  Status DecryptGathered(const ObjectExtent& ext,
+                         const std::vector<ByteSpan>& cts,
+                         const std::vector<ByteSpan>& ms, MutByteSpan out) {
+    for (size_t b = 0; b < ext.block_count; ++b) {
+      MutByteSpan dst = out.subspan(b * kBlockSize, kBlockSize);
+      if (ms[b].empty() || AllZero(ms[b])) {
+        if (!AllZero(cts[b])) {
+          return Status::Corruption("missing IV for non-empty block");
+        }
+        std::fill(dst.begin(), dst.end(), 0);
+        continue;
+      }
+      VDE_RETURN_IF_ERROR(DecryptBlock(ext.image_block + b, cts[b], ms[b],
+                                       dst));
+    }
+    return Status::Ok();
+  }
+
   // Replay-to-other-LBA defense: the effective XTS tweak binds the stored
   // random IV to the absolute block address (paper §2.2: "include the
   // sector number as part of the IV").
@@ -501,6 +600,27 @@ sim::SimTime EncryptionFormat::CryptoCost(size_t bytes) const {
   const double gbps = spec_.mode == CipherMode::kWideLba ? 0.9 : 2.5;
   return 2 * sim::kUs +
          static_cast<sim::SimTime>(static_cast<double>(bytes) / gbps);
+}
+
+// Defaults for formats without per-sector metadata: there is nothing a
+// cached IV row could skip.
+bool EncryptionFormat::DataOnlyReadProfitable(const ObjectExtent&) const {
+  return false;
+}
+
+void EncryptionFormat::MakeReadDataOnly(const ObjectExtent&,
+                                        objstore::Transaction&) const {
+  assert(false && "data-only read on a format without metadata");
+}
+
+size_t EncryptionFormat::MetaReadBytes(const ObjectExtent&) const {
+  return 0;
+}
+
+Status EncryptionFormat::FinishReadWithIvs(const ObjectExtent&,
+                                           const objstore::ReadResult&,
+                                           const IvRows&, MutByteSpan) {
+  return Status::InvalidArgument("format has no data-only read path");
 }
 
 std::string EncryptionSpec::Name() const {

@@ -37,18 +37,41 @@ struct ObjectExtent {
   uint64_t image_block = 0;  // absolute index of first block in the image
 };
 
+// Per-block persisted metadata rows (random IV [+ tag], or GCM nonce+tag)
+// in extent order. An empty row is the cleared marker: the block was
+// trimmed or never written and must read as zeros.
+using IvRows = std::vector<Bytes>;
+
 class EncryptionFormat {
  public:
   virtual ~EncryptionFormat() = default;
 
   // Encrypts `plain` (block_count * kBlockSize bytes) and appends the write
-  // ops (data + metadata) for `ext` to `txn`.
+  // ops (data + metadata) for `ext` to `txn`. When `ivs_out` is non-null,
+  // the per-block metadata rows this write persists are also appended to it
+  // (empty for formats without per-sector metadata) — the feed of the
+  // client-side IV cache.
   virtual Status MakeWrite(const ObjectExtent& ext, ByteSpan plain,
-                           objstore::Transaction& txn) = 0;
+                           objstore::Transaction& txn,
+                           IvRows* ivs_out = nullptr) = 0;
 
   // Appends the read ops for `ext` to `txn`.
   virtual void MakeRead(const ObjectExtent& ext,
                         objstore::Transaction& txn) const = 0;
+
+  // Whether reading only the data blocks of `ext` — the caller already
+  // holds the per-block metadata, e.g. from the client-side IV cache — is
+  // a win under this geometry. Object-end and OMAP layouts drop a whole
+  // metadata op; the interleaved layout must split into one data op per
+  // block, profitable only for single-block extents (the RMW edge reads).
+  // Formats without per-sector metadata have nothing to skip.
+  virtual bool DataOnlyReadProfitable(const ObjectExtent& ext) const;
+
+  // Appends read ops fetching ONLY the data blocks of `ext` (no persisted
+  // metadata). Only valid when DataOnlyReadProfitable(ext); decrypt the
+  // result with FinishReadWithIvs.
+  virtual void MakeReadDataOnly(const ObjectExtent& ext,
+                                objstore::Transaction& txn) const;
 
   // Bytes of kRead payload the ops appended by MakeRead(ext) produce.
   // Callers batching several extents into one read transaction (e.g. the
@@ -56,16 +79,34 @@ class EncryptionFormat {
   // result at these boundaries.
   virtual size_t ReadBytes(const ObjectExtent& ext) const = 0;
 
+  // Bytes of kRead payload the ops appended by MakeReadDataOnly(ext)
+  // produce: always the bare data blocks.
+  size_t DataOnlyReadBytes(const ObjectExtent& ext) const {
+    return ext.block_count * kBlockSize;
+  }
+
+  // Bytes of per-sector metadata a full MakeRead(ext) fetches — what a
+  // data-only read saves. Counts OMAP rows as key+value bytes.
+  virtual size_t MetaReadBytes(const ObjectExtent& ext) const;
+
   // Decrypts (and authenticates, if configured) the transaction results
   // into `out` (block_count * kBlockSize bytes). `result.data` must hold
   // exactly ReadBytes(ext); `result.omap_values` may hold a superset of the
   // extent's rows (matched by block key). Blocks whose ciphertext and
   // metadata carry the cleared marker (all zeros / absent) decrypt to
   // plaintext zeros: virtual disks read zeros for trimmed or never-written
-  // blocks.
+  // blocks. When `ivs_out` is non-null, the fetched per-block metadata rows
+  // are appended to it (an empty row per cleared/absent block).
   virtual Status FinishRead(const ObjectExtent& ext,
                             const objstore::ReadResult& result,
-                            MutByteSpan out) = 0;
+                            MutByteSpan out, IvRows* ivs_out = nullptr) = 0;
+
+  // Decrypts a MakeReadDataOnly result using caller-provided metadata rows
+  // (`ivs.size()` must equal `ext.block_count`; an empty row is the cleared
+  // marker). `result.data` must hold exactly DataOnlyReadBytes(ext).
+  virtual Status FinishReadWithIvs(const ObjectExtent& ext,
+                                   const objstore::ReadResult& result,
+                                   const IvRows& ivs, MutByteSpan out);
 
   // Appends discard ops for `ext` to `txn`: the data range is cleared with
   // kZero and any per-sector metadata (random IVs, tags) is cleared in the

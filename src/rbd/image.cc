@@ -109,6 +109,7 @@ class HeaderReader {
 Image::Image(rados::Cluster& cluster, std::string name, ImageOptions options)
     : cluster_(cluster), name_(std::move(name)), options_(std::move(options)) {
   writeback_ = std::make_unique<Writeback>(*this, options_.writeback);
+  iv_cache_ = std::make_unique<IvCache>(options_.iv_cache);
   if (options_.qos_scheduler) {
     qos_tenant_ = options_.qos_scheduler->Attach(options_.qos);
   }
@@ -122,6 +123,13 @@ Image::~Image() {
 
 ImageStats Image::stats() const {
   ImageStats s = stats_;
+  const IvCacheStats& iv = iv_cache_->stats();
+  s.iv_hits = iv.hits;
+  s.iv_misses = iv.misses;
+  s.iv_evictions = iv.evictions;
+  s.iv_invalidations = iv.invalidations;
+  s.iv_meta_bytes_saved = iv.meta_bytes_saved;
+  s.iv_meta_bytes_fetched = iv.meta_bytes_fetched;
   if (options_.qos_scheduler) {
     const qos::TenantStats& q = options_.qos_scheduler->stats(qos_tenant_);
     s.qos_submitted = q.submitted;
@@ -178,7 +186,8 @@ sim::Task<Result<std::shared_ptr<Image>>> Image::Create(
 sim::Task<Result<std::shared_ptr<Image>>> Image::Open(
     rados::Cluster& cluster, const std::string& name,
     const std::string& passphrase, WritebackConfig writeback,
-    std::shared_ptr<qos::Scheduler> qos_scheduler, qos::QosPolicy qos) {
+    std::shared_ptr<qos::Scheduler> qos_scheduler, qos::QosPolicy qos,
+    IvCacheConfig iv_cache) {
   auto io = cluster.ioctx();
   const std::string header_oid = "rbd_header." + name;
   auto raw = co_await io.Read(header_oid, 0, kHeaderFirstRead);
@@ -251,11 +260,12 @@ sim::Task<Result<std::shared_ptr<Image>>> Image::Open(
     co_return corrupt;
   }
 
-  // Write-back and QoS configuration are client-side runtime policy, not
-  // persisted metadata: the caller picks them per open.
+  // Write-back, QoS, and IV-cache configuration are client-side runtime
+  // policy, not persisted metadata: the caller picks them per open.
   options.writeback = writeback;
   options.qos_scheduler = std::move(qos_scheduler);
   options.qos = qos;
+  options.iv_cache = iv_cache;
   std::shared_ptr<Image> image(new Image(cluster, name, options));
   image->encrypted_ = encrypted;
   image->snaps_ = std::move(snaps);

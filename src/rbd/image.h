@@ -28,6 +28,7 @@
 #include "rados/cluster.h"
 #include "rbd/completion.h"
 #include "rbd/image_request.h"
+#include "rbd/iv_cache.h"
 #include "rbd/writeback.h"
 
 namespace vde::rbd {
@@ -38,6 +39,10 @@ struct ImageOptions {
   core::EncryptionSpec enc;
   core::LuksHeader::Params luks;
   WritebackConfig writeback;
+  // Client-side IV-metadata cache (not persisted): random-IV reads whose
+  // rows are resident issue data-only reads. No-op for formats without
+  // per-sector metadata; disabled = zero-overhead passthrough.
+  IvCacheConfig iv_cache;
   // Client-side QoS (not persisted): images sharing one scheduler are
   // tenants of one dispatch queue — the multi-tenant host serving many
   // virtual disks from one process. Null scheduler or a disabled policy is
@@ -60,6 +65,16 @@ struct ImageStats {
   uint64_t wb_hits = 0;        // writes absorbed into an existing stage
   uint64_t wb_stages = 0;      // staged-block creations
   uint64_t wb_flushes = 0;     // staged-block flush transactions
+  // IV-metadata cache counters, mirrored from the image's IvCache (all
+  // zero with the cache disabled or a metadata-free format).
+  uint64_t iv_hits = 0;          // extents read data-only off cached rows
+  uint64_t iv_misses = 0;        // extents that fetched their metadata
+  uint64_t iv_evictions = 0;     // objects evicted by LRU pressure
+  uint64_t iv_invalidations = 0; // rows dropped stale: trimmed (discard/
+                                 // write-zeroes/remove) or superseded by an
+                                 // overwrite (which re-caches fresh rows)
+  uint64_t iv_meta_bytes_saved = 0;    // metadata fetch bytes avoided
+  uint64_t iv_meta_bytes_fetched = 0;  // metadata bytes actually fetched
   // QoS dispatch counters, mirrored from the shared scheduler's per-tenant
   // stats (all zero without an enabled policy).
   uint64_t qos_submitted = 0;  // requests routed through the dispatch queue
@@ -78,15 +93,16 @@ class Image {
       const std::string& passphrase, const ImageOptions& options);
 
   // Opens an existing image, unlocking the header with `passphrase`.
-  // `writeback`, `qos_scheduler`, and `qos` are client-side runtime policy
-  // (not persisted): pass a custom write-back config to e.g. disable
-  // coalescing, and a shared qos::Scheduler + QosPolicy to make this open
-  // a tenant of a multi-image dispatch queue.
+  // `writeback`, `qos_scheduler`, `qos`, and `iv_cache` are client-side
+  // runtime policy (not persisted): pass a custom write-back config to
+  // e.g. disable coalescing, a shared qos::Scheduler + QosPolicy to make
+  // this open a tenant of a multi-image dispatch queue, and an IvCacheConfig
+  // to keep random-IV metadata rows resident client-side.
   static sim::Task<Result<std::shared_ptr<Image>>> Open(
       rados::Cluster& cluster, const std::string& name,
       const std::string& passphrase, WritebackConfig writeback = {},
       std::shared_ptr<qos::Scheduler> qos_scheduler = nullptr,
-      qos::QosPolicy qos = {});
+      qos::QosPolicy qos = {}, IvCacheConfig iv_cache = {});
 
   ~Image();
 
@@ -138,6 +154,7 @@ class Image {
   // the shared scheduler's per-tenant stats at call time.
   ImageStats stats() const;
   const Writeback& writeback() const { return *writeback_; }
+  const IvCache& iv_cache() const { return *iv_cache_; }
   qos::Scheduler* qos_scheduler() const {
     return options_.qos_scheduler.get();
   }
@@ -159,6 +176,13 @@ class Image {
   std::string HeaderObject() const { return "rbd_header." + name_; }
   objstore::SnapContext SnapContext() const;
 
+  // Where write paths should capture the metadata rows MakeWrite persists:
+  // `rows` when the IV cache wants them, null (skip the copy) otherwise.
+  core::IvRows* IvCapture(core::IvRows* rows) const {
+    return iv_cache_->enabled() && options_.enc.NeedsMetadata() ? rows
+                                                                : nullptr;
+  }
+
   // Flush ordering: write-class requests take a ticket at submit time and
   // retire it on completion; a flush barrier resolves once no ticket below
   // it is outstanding.
@@ -172,6 +196,7 @@ class Image {
   ImageOptions options_;
   std::unique_ptr<core::EncryptionFormat> format_;
   std::unique_ptr<Writeback> writeback_;
+  std::unique_ptr<IvCache> iv_cache_;
   core::LuksHeader luks_;
   bool encrypted_ = false;
   std::deque<std::pair<uint64_t, std::string>> snaps_;  // newest first

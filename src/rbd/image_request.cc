@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "rbd/image.h"
+#include "rbd/iv_cache.h"
 #include "sim/sync.h"
 
 namespace vde::rbd {
@@ -353,7 +354,13 @@ sim::Task<Status> ImageRequest::ReadChunk(size_t idx) {
   }
   if (!fully_staged) {
     objstore::Transaction txn;
-    fmt.MakeRead(chunk.cover, txn);
+    // A fully-cached extent reads data-only and decrypts with the resident
+    // IV rows; snapshot reads bypass the cache (rows describe the head).
+    CachedExtentRead plan(snap_ == objstore::kHeadSnap
+                              ? image_.iv_cache_.get()
+                              : nullptr,
+                          fmt, chunk.cover);
+    plan.AppendOps(txn);
     auto io = image_.cluster_.ioctx();
     auto got = co_await io.OperateRead(chunk.cover.oid, std::move(txn), snap_);
     if (got.status().IsNotFound()) {
@@ -362,7 +369,7 @@ sim::Task<Status> ImageRequest::ReadChunk(size_t idx) {
     } else if (!got.ok()) {
       co_return got.status();
     } else {
-      VDE_CO_RETURN_IF_ERROR(fmt.FinishRead(chunk.cover, *got, out));
+      VDE_CO_RETURN_IF_ERROR(plan.Finish(*got, out));
       read_decrypted_bytes_ += cover_bytes;
     }
   }
@@ -445,11 +452,18 @@ sim::Task<Status> ImageRequest::RmwReadEdges(const Chunk& chunk,
   image_.stats_.rmw_blocks += from_store.size();
 
   core::EncryptionFormat& fmt = *image_.format_;
-  // All RMW sub-reads of this object ride ONE read transaction; the format
-  // decides what a block read needs for its layout (data+IV range, IV
-  // region slice, OMAP rows).
+  // All RMW sub-reads of this object ride ONE read transaction; each edge
+  // plans against the IV cache independently (RMW edges are the hot
+  // single-block case where even the interleaved layout profits), and the
+  // format decides what a block read needs for its layout (data+IV range,
+  // IV region slice, OMAP rows).
   objstore::Transaction txn;
-  for (const auto& e : from_store) fmt.MakeRead(e.ext, txn);
+  std::vector<CachedExtentRead> plans;
+  plans.reserve(from_store.size());
+  for (const auto& e : from_store) {
+    plans.emplace_back(image_.iv_cache_.get(), fmt, e.ext);
+    plans.back().AppendOps(txn);
+  }
   auto io = image_.cluster_.ioctx();
   auto got =
       co_await io.OperateRead(chunk.cover.oid, std::move(txn),
@@ -458,8 +472,8 @@ sim::Task<Status> ImageRequest::RmwReadEdges(const Chunk& chunk,
   if (!got.ok()) co_return got.status();
 
   size_t data_off = 0;
-  for (const auto& e : from_store) {
-    const size_t nbytes = fmt.ReadBytes(e.ext);
+  for (size_t i = 0; i < from_store.size(); ++i) {
+    const size_t nbytes = plans[i].read_bytes();
     if (data_off + nbytes > got->data.size()) {
       co_return Status::IoError("short RMW read");
     }
@@ -468,7 +482,7 @@ sim::Task<Status> ImageRequest::RmwReadEdges(const Chunk& chunk,
                       got->data.begin() + static_cast<long>(data_off + nbytes));
     slice.omap_values = got->omap_values;  // formats match rows by block key
     data_off += nbytes;
-    VDE_CO_RETURN_IF_ERROR(fmt.FinishRead(e.ext, slice, e.out));
+    VDE_CO_RETURN_IF_ERROR(plans[i].Finish(slice, from_store[i].out));
   }
   co_await sim::Sleep{fmt.CryptoCost(from_store.size() * kBlockSize)};
   co_return Status::Ok();
@@ -515,17 +529,23 @@ sim::Task<Status> ImageRequest::WriteChunk(size_t idx) {
   const bool head_partial = chunk.byte_off % kBlockSize != 0;
   const bool tail_partial = (chunk.byte_off + chunk.byte_len) % kBlockSize != 0;
   objstore::Transaction txn;
+  core::IvRows ivs;
+  core::IvRows* const ivs_out = image_.IvCapture(&ivs);
   if (!head_partial && !tail_partial) {
     // Block-aligned chunk from one iovec segment: encrypt straight from
     // the caller's buffer, no staging copy.
     const ByteSpan direct = ContiguousSrc(chunk.buf_off, chunk.byte_len);
     if (!direct.empty()) {
-      VDE_CO_RETURN_IF_ERROR(fmt.MakeWrite(chunk.cover, direct, txn));
+      VDE_CO_RETURN_IF_ERROR(fmt.MakeWrite(chunk.cover, direct, txn, ivs_out));
       auto io = image_.cluster_.ioctx();
       VDE_CO_RETURN_IF_ERROR(co_await io.Operate(
           chunk.cover.oid, std::move(txn), image_.SnapContext()));
       // Any staged blocks under this cover are fully superseded.
       wb.DropRange(chunk.cover.object_no, chunk.cover.first_block, last_block);
+      if (ivs_out != nullptr) {
+        image_.iv_cache_->PutRange(chunk.cover.object_no,
+                                   chunk.cover.first_block, ivs);
+      }
       co_return Status::Ok();
     }
   }
@@ -543,13 +563,17 @@ sim::Task<Status> ImageRequest::WriteChunk(size_t idx) {
              MutByteSpan(scratch.data() + chunk.byte_off, chunk.byte_len));
   // Re-encrypt only the touched blocks; data + IV metadata ride one atomic
   // per-object transaction (§3.1).
-  VDE_CO_RETURN_IF_ERROR(fmt.MakeWrite(chunk.cover, scratch, txn));
+  VDE_CO_RETURN_IF_ERROR(fmt.MakeWrite(chunk.cover, scratch, txn, ivs_out));
   auto io = image_.cluster_.ioctx();
   VDE_CO_RETURN_IF_ERROR(co_await io.Operate(chunk.cover.oid, std::move(txn),
                                              image_.SnapContext()));
   // Staged edge content was folded in via RmwReadEdges; interior stages
   // are overwritten outright. Either way the buffer copy is superseded.
   wb.DropRange(chunk.cover.object_no, chunk.cover.first_block, last_block);
+  if (ivs_out != nullptr) {
+    image_.iv_cache_->PutRange(chunk.cover.object_no, chunk.cover.first_block,
+                               ivs);
+  }
   co_return Status::Ok();
 }
 
@@ -635,6 +659,7 @@ sim::Task<Status> ImageRequest::DiscardChunk(size_t idx) {
   }
   objstore::Transaction txn;
   size_t edge_blocks = 0;
+  core::IvRows head_ivs, tail_ivs;
   if (!head_buf.empty() || !tail_buf.empty()) {
     VDE_CO_RETURN_IF_ERROR(co_await RmwReadEdges(
         chunk, MutByteSpan(head_buf), MutByteSpan(tail_buf)));
@@ -645,7 +670,8 @@ sim::Task<Status> ImageRequest::DiscardChunk(size_t idx) {
                     static_cast<long>(std::min<uint64_t>(end, kBlockSize)),
                 0);
       VDE_CO_RETURN_IF_ERROR(fmt.MakeWrite(SubExtent(chunk.cover, 0, 1),
-                                           ByteSpan(head_buf), txn));
+                                           ByteSpan(head_buf), txn,
+                                           image_.IvCapture(&head_ivs)));
       edge_blocks++;
     }
     if (!tail_buf.empty()) {
@@ -656,7 +682,8 @@ sim::Task<Status> ImageRequest::DiscardChunk(size_t idx) {
                     static_cast<long>(end - last * uint64_t{kBlockSize}),
                 0);
       VDE_CO_RETURN_IF_ERROR(fmt.MakeWrite(SubExtent(chunk.cover, last, 1),
-                                           ByteSpan(tail_buf), txn));
+                                           ByteSpan(tail_buf), txn,
+                                           image_.IvCapture(&tail_ivs)));
       edge_blocks++;
     }
   }
@@ -670,9 +697,19 @@ sim::Task<Status> ImageRequest::DiscardChunk(size_t idx) {
   VDE_CO_RETURN_IF_ERROR(co_await io.Operate(chunk.cover.oid, std::move(txn),
                                              image_.SnapContext()));
   // Edge stages were folded into the zeroed blocks, interior stages are
-  // cleared in the store: every staged copy under the cover is superseded.
+  // cleared in the store: every staged copy under the cover is superseded
+  // (DropRange also invalidates the cleared blocks' cached IV rows — the
+  // re-encrypted edges get their fresh rows back right after).
   wb.DropRange(chunk.cover.object_no, chunk.cover.first_block,
                chunk.cover.first_block + chunk.cover.block_count - 1);
+  if (!head_ivs.empty()) {
+    image_.iv_cache_->PutRange(chunk.cover.object_no, chunk.cover.first_block,
+                               head_ivs);
+  }
+  if (!tail_ivs.empty()) {
+    image_.iv_cache_->PutRange(chunk.cover.object_no,
+                               chunk.cover.first_block + last, tail_ivs);
+  }
   co_return Status::Ok();
 }
 

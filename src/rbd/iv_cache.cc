@@ -1,0 +1,128 @@
+#include "rbd/iv_cache.h"
+
+namespace vde::rbd {
+
+bool IvCache::TryGetRange(uint64_t object_no, uint64_t first_block,
+                          size_t count, core::IvRows* rows) {
+  const auto it = objects_.find(object_no);
+  if (it == objects_.end()) return false;
+  ObjectRows& obj = it->second;
+  auto row = obj.rows.lower_bound(first_block);
+  for (size_t b = 0; b < count; ++b, ++row) {
+    if (row == obj.rows.end() || row->first != first_block + b) return false;
+  }
+  row = obj.rows.find(first_block);
+  for (size_t b = 0; b < count; ++b, ++row) rows->push_back(row->second);
+  Touch(obj);
+  return true;
+}
+
+void IvCache::PutRange(uint64_t object_no, uint64_t first_block,
+                       const core::IvRows& rows) {
+  if (!retains()) return;  // zero capacity retains nothing
+  decltype(objects_)::iterator obj = objects_.end();
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (rows[i].empty()) continue;  // cleared marker: no negative caching
+    if (obj == objects_.end()) {
+      bool created = false;
+      std::tie(obj, created) = objects_.try_emplace(object_no);
+      if (created) {
+        lru_.push_front(object_no);
+        obj->second.lru_it = lru_.begin();
+      }
+    }
+    auto [row, created] =
+        obj->second.rows.insert_or_assign(first_block + i, rows[i]);
+    static_cast<void>(row);
+    if (created) cached_rows_++;
+  }
+  if (obj == objects_.end()) return;
+  Touch(obj->second);
+  EvictToCapacity();
+}
+
+void IvCache::InvalidateRange(uint64_t object_no, uint64_t first_block,
+                              uint64_t last_block) {
+  const auto it = objects_.find(object_no);
+  if (it == objects_.end()) return;
+  ObjectRows& obj = it->second;
+  auto row = obj.rows.lower_bound(first_block);
+  while (row != obj.rows.end() && row->first <= last_block) {
+    row = obj.rows.erase(row);
+    cached_rows_--;
+    stats_.invalidations++;
+  }
+  if (obj.rows.empty()) {
+    lru_.erase(obj.lru_it);
+    objects_.erase(it);
+  }
+}
+
+void IvCache::Clear() {
+  objects_.clear();
+  lru_.clear();
+  cached_rows_ = 0;
+}
+
+void IvCache::Touch(ObjectRows& obj) {
+  lru_.splice(lru_.begin(), lru_, obj.lru_it);
+}
+
+void IvCache::EvictToCapacity() {
+  while (objects_.size() > config_.max_objects) {
+    const uint64_t victim = lru_.back();
+    lru_.pop_back();
+    const auto it = objects_.find(victim);
+    cached_rows_ -= it->second.rows.size();
+    objects_.erase(it);
+    stats_.evictions++;
+  }
+}
+
+CachedExtentRead::CachedExtentRead(IvCache* cache,
+                                   core::EncryptionFormat& fmt,
+                                   const core::ObjectExtent& ext)
+    : cache_(cache), fmt_(fmt), ext_(ext) {
+  if (cache_ != nullptr &&
+      (!cache_->enabled() || !fmt_.spec().NeedsMetadata())) {
+    cache_ = nullptr;
+  }
+  if (cache_ != nullptr && fmt_.DataOnlyReadProfitable(ext_) &&
+      cache_->TryGetRange(ext_.object_no, ext_.first_block, ext_.block_count,
+                          &rows_)) {
+    hit_ = true;
+  }
+  read_bytes_ = hit_ ? fmt_.DataOnlyReadBytes(ext_) : fmt_.ReadBytes(ext_);
+}
+
+void CachedExtentRead::AppendOps(objstore::Transaction& txn) const {
+  if (hit_) {
+    fmt_.MakeReadDataOnly(ext_, txn);
+  } else {
+    fmt_.MakeRead(ext_, txn);
+  }
+}
+
+Status CachedExtentRead::Finish(const objstore::ReadResult& result,
+                                MutByteSpan out) {
+  // Accounting happens here, not at plan time: an extent whose object
+  // turned out to be absent (NotFound reads as zeros, Finish never runs)
+  // fetched no metadata and must not count.
+  if (hit_) {
+    VDE_RETURN_IF_ERROR(fmt_.FinishReadWithIvs(ext_, result, rows_, out));
+    cache_->AccountHit(fmt_.MetaReadBytes(ext_));
+    return Status::Ok();
+  }
+  // Capture the fetched rows only when the cache can actually retain them
+  // (a zero-capacity cache still counts the fetch, but skips the copies).
+  const bool keep = cache_ != nullptr && cache_->retains();
+  VDE_RETURN_IF_ERROR(
+      fmt_.FinishRead(ext_, result, out, keep ? &rows_ : nullptr));
+  if (cache_ != nullptr) {
+    cache_->AccountMiss(fmt_.MetaReadBytes(ext_));
+    if (keep) cache_->PutRange(ext_.object_no, ext_.first_block, rows_);
+  }
+  return Status::Ok();
+}
+
+}  // namespace vde::rbd

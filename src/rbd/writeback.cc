@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "rbd/image.h"
+#include "rbd/iv_cache.h"
 
 namespace vde::rbd {
 
@@ -95,7 +96,10 @@ sim::Task<Status> Writeback::ReadBlock(uint64_t object_no, uint64_t block,
   core::EncryptionFormat& fmt = *image_.format_;
   const core::ObjectExtent ext = BlockExtent(object_no, block);
   objstore::Transaction txn;
-  fmt.MakeRead(ext, txn);
+  // Single-block RMW read: the IV-cache sweet spot — every layout profits
+  // from skipping the metadata fetch here, including the interleaved one.
+  CachedExtentRead plan(image_.iv_cache_.get(), fmt, ext);
+  plan.AppendOps(txn);
   auto io = image_.cluster_.ioctx();
   auto got = co_await io.OperateRead(ext.oid, std::move(txn),
                                      objstore::kHeadSnap);
@@ -105,7 +109,7 @@ sim::Task<Status> Writeback::ReadBlock(uint64_t object_no, uint64_t block,
     co_return Status::Ok();
   }
   if (!got.ok()) co_return got.status();
-  VDE_CO_RETURN_IF_ERROR(fmt.FinishRead(ext, *got, out));
+  VDE_CO_RETURN_IF_ERROR(plan.Finish(*got, out));
   co_await sim::Sleep{fmt.CryptoCost(kBlockSize)};
   co_return Status::Ok();
 }
@@ -200,6 +204,11 @@ sim::Task<Status> Writeback::StageWrite(uint64_t object_no, uint64_t block,
 
 void Writeback::DropRange(uint64_t object_no, uint64_t first_block,
                           uint64_t last_block) {
+  // The store content of these blocks was superseded (overwrite) or
+  // trimmed (discard/write-zeroes/remove): cached IV rows go stale with
+  // the staged copies and ride the same invalidation. Overwrite paths put
+  // their fresh rows back right after the transaction commits.
+  image_.iv_cache_->InvalidateRange(object_no, first_block, last_block);
   auto it = objects_.find(object_no);
   if (it == objects_.end()) return;
   auto& stages = it->second.stages;
@@ -230,12 +239,21 @@ sim::Task<Status> Writeback::WriteOutStage(uint64_t object_no, uint64_t block,
                                            const Stage& stage) {
   core::EncryptionFormat& fmt = *image_.format_;
   objstore::Transaction txn;
+  core::IvRows ivs;
+  core::IvRows* const ivs_out = image_.IvCapture(&ivs);
   VDE_CO_RETURN_IF_ERROR(
-      fmt.MakeWrite(BlockExtent(object_no, block), stage.data, txn));
+      fmt.MakeWrite(BlockExtent(object_no, block), stage.data, txn, ivs_out));
   co_await sim::Sleep{fmt.CryptoCost(kBlockSize)};
   auto io = image_.cluster_.ioctx();
-  co_return co_await io.Operate(image_.ObjectName(object_no), std::move(txn),
-                                image_.SnapContext());
+  Status applied = co_await io.Operate(image_.ObjectName(object_no),
+                                       std::move(txn), image_.SnapContext());
+  // Flush and snapshot drains funnel through here: the freshly persisted
+  // IV replaces the stale cached row in the same breath, so a barrier
+  // never leaves a row pointing at overwritten ciphertext.
+  if (applied.ok() && ivs_out != nullptr) {
+    image_.iv_cache_->PutRange(object_no, block, ivs);
+  }
+  co_return applied;
 }
 
 sim::Task<Status> Writeback::FlushLocked(uint64_t object_no, uint64_t block) {

@@ -29,6 +29,13 @@ rbd::ImageStats StatsDelta(const rbd::ImageStats& after,
   d.wb_hits = after.wb_hits - before.wb_hits;
   d.wb_stages = after.wb_stages - before.wb_stages;
   d.wb_flushes = after.wb_flushes - before.wb_flushes;
+  d.iv_hits = after.iv_hits - before.iv_hits;
+  d.iv_misses = after.iv_misses - before.iv_misses;
+  d.iv_evictions = after.iv_evictions - before.iv_evictions;
+  d.iv_invalidations = after.iv_invalidations - before.iv_invalidations;
+  d.iv_meta_bytes_saved = after.iv_meta_bytes_saved - before.iv_meta_bytes_saved;
+  d.iv_meta_bytes_fetched =
+      after.iv_meta_bytes_fetched - before.iv_meta_bytes_fetched;
   d.qos_submitted = after.qos_submitted - before.qos_submitted;
   d.qos_queued = after.qos_queued - before.qos_queued;
   d.qos_throttled = after.qos_throttled - before.qos_throttled;
@@ -80,6 +87,16 @@ std::string FioResult::Summary() const {
                   static_cast<unsigned long long>(image.wb_hits),
                   static_cast<unsigned long long>(image.wb_flushes),
                   static_cast<unsigned long long>(image.rmw_merged));
+    out += buf;
+  }
+  if (image.iv_hits + image.iv_misses > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  " iv[hits=%llu misses=%llu meta_saved=%llu "
+                  "meta_fetched=%llu]",
+                  static_cast<unsigned long long>(image.iv_hits),
+                  static_cast<unsigned long long>(image.iv_misses),
+                  static_cast<unsigned long long>(image.iv_meta_bytes_saved),
+                  static_cast<unsigned long long>(image.iv_meta_bytes_fetched));
     out += buf;
   }
   if (image.qos_submitted > 0) {
