@@ -16,6 +16,11 @@
 // (reads of cached extents go data-only); --iv-cache-objects=N bounds the
 // LRU-by-object capacity. The summary reports hit/miss and fetch-byte
 // counters.
+// Discard pipeline: TRIMs are tracked (store capacity is really
+// reclaimed) and authenticated under --integrity=hmac / --cipher=gcm.
+// Runs with --discard report a trim[...] segment (client-side zero-fill
+// reads, bitmap updates/loads) and a store[...] segment (cluster free and
+// punched capacity, fragment counts) in the summary line.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>

@@ -1,0 +1,67 @@
+#include "core/discard_bitmap.h"
+
+#include <cassert>
+
+namespace vde::core {
+
+DiscardBitmap DiscardBitmap::AllSet(size_t nbits) {
+  DiscardBitmap b;
+  b.nbits_ = nbits;
+  b.bytes_.assign(ByteLength(nbits), 0xFF);
+  // Keep padding bits clear so serialized images are canonical.
+  if (nbits % 8 != 0 && !b.bytes_.empty()) {
+    b.bytes_.back() = static_cast<uint8_t>((1u << (nbits % 8)) - 1);
+  }
+  return b;
+}
+
+Result<DiscardBitmap> DiscardBitmap::FromBytes(ByteSpan raw, size_t nbits) {
+  if (raw.size() != ByteLength(nbits)) {
+    return Status::Corruption("discard bitmap size mismatch");
+  }
+  if (nbits % 8 != 0 && !raw.empty() &&
+      (raw[raw.size() - 1] & ~((1u << (nbits % 8)) - 1)) != 0) {
+    return Status::Corruption("discard bitmap padding bits set");
+  }
+  DiscardBitmap b;
+  b.nbits_ = nbits;
+  b.bytes_.assign(raw.begin(), raw.end());
+  return b;
+}
+
+bool DiscardBitmap::Test(uint64_t bit) const {
+  assert(bit < nbits_);
+  return (bytes_[bit / 8] >> (bit % 8)) & 1;
+}
+
+void DiscardBitmap::SetRange(uint64_t first, size_t count) {
+  assert(first + count <= nbits_);
+  for (uint64_t b = first; b < first + count; ++b) {
+    bytes_[b / 8] |= static_cast<uint8_t>(1u << (b % 8));
+  }
+}
+
+void DiscardBitmap::ClearRange(uint64_t first, size_t count) {
+  assert(first + count <= nbits_);
+  for (uint64_t b = first; b < first + count; ++b) {
+    bytes_[b / 8] &= static_cast<uint8_t>(~(1u << (b % 8)));
+  }
+}
+
+bool DiscardBitmap::AllSetRange(uint64_t first, size_t count) const {
+  assert(first + count <= nbits_);
+  for (uint64_t b = first; b < first + count; ++b) {
+    if (!Test(b)) return false;
+  }
+  return true;
+}
+
+bool DiscardBitmap::AnySetRange(uint64_t first, size_t count) const {
+  assert(first + count <= nbits_);
+  for (uint64_t b = first; b < first + count; ++b) {
+    if (Test(b)) return true;
+  }
+  return false;
+}
+
+}  // namespace vde::core

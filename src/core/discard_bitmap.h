@@ -1,0 +1,51 @@
+// Per-object discard bitmap: which blocks legitimately read as zeros.
+//
+// Bit set = the block was never written or was explicitly trimmed, so an
+// all-zero ciphertext + cleared metadata there is an authentic discard.
+// Bit clear = the block holds live data — a cleared marker there is an
+// attacker zeroing ciphertext to forge a discard (the erase channel), and
+// authenticating formats must fail the read.
+//
+// The bitmap itself is sealed with a MAC by the encryption format
+// (EncryptionFormat::SealBitmap/OpenBitmap) and stored with the object's
+// metadata geometry; this class is just the bit arithmetic.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace vde::core {
+
+class DiscardBitmap {
+ public:
+  DiscardBitmap() = default;
+
+  // A fresh object's state: every block legitimately reads as zeros.
+  static DiscardBitmap AllSet(size_t nbits);
+
+  // Deserializes `raw` (ByteLength(nbits) bytes); rejects size mismatches
+  // and set bits in the trailing padding (a forged tail would otherwise
+  // survive reserialization unnoticed).
+  static Result<DiscardBitmap> FromBytes(ByteSpan raw, size_t nbits);
+
+  static size_t ByteLength(size_t nbits) { return (nbits + 7) / 8; }
+
+  size_t bits() const { return nbits_; }
+  const Bytes& bytes() const { return bytes_; }
+
+  bool Test(uint64_t bit) const;
+  void SetRange(uint64_t first, size_t count);
+  void ClearRange(uint64_t first, size_t count);
+  bool AllSetRange(uint64_t first, size_t count) const;
+  bool AnySetRange(uint64_t first, size_t count) const;
+
+  bool operator==(const DiscardBitmap& other) const = default;
+
+ private:
+  size_t nbits_ = 0;
+  Bytes bytes_;  // LSB-first within each byte
+};
+
+}  // namespace vde::core

@@ -43,12 +43,24 @@ Bytes BlockKey(uint64_t block_in_object) {
   return key;
 }
 
-OsdOp ZeroOp(uint64_t offset, uint64_t length) {
+// Tracked discard: the store releases the backing sectors and serves reads
+// of the range from its trimmed-extent map.
+OsdOp TrimOp(uint64_t offset, uint64_t length) {
   OsdOp op;
-  op.type = OsdOp::Type::kZero;
+  op.type = OsdOp::Type::kTrim;
   op.offset = offset;
   op.length = length;
   return op;
+}
+
+constexpr size_t kBitmapMacSize = 32;  // HMAC-SHA256 over (bitmap, object)
+
+// Reserved OMAP row for the sealed discard bitmap. Block keys are 8-byte
+// big-endian block numbers (first byte 0x00 for any realistic object), so
+// this one-byte key never collides and sorts outside every block range.
+const Bytes& BitmapOmapKey() {
+  static const Bytes key{uint8_t{'B'}};
+  return key;
 }
 
 bool AllZero(ByteSpan data) {
@@ -108,8 +120,10 @@ class DeterministicFormat final : public EncryptionFormat {
 
   Status FinishRead(const ObjectExtent& ext,
                     const objstore::ReadResult& result,
-                    MutByteSpan out, IvRows* ivs_out) override {
+                    MutByteSpan out, IvRows* ivs_out,
+                    const DiscardBitmap* zeros) override {
     static_cast<void>(ivs_out);  // no per-sector metadata to report
+    static_cast<void>(zeros);    // no authentication: legacy marker only
     if (result.data.size() != ext.block_count * kBlockSize) {
       return Status::IoError("short read");
     }
@@ -128,7 +142,7 @@ class DeterministicFormat final : public EncryptionFormat {
   }
 
   void MakeDiscard(const ObjectExtent& ext, Transaction& txn) override {
-    txn.ops.push_back(ZeroOp(ext.first_block * kBlockSize,
+    txn.ops.push_back(TrimOp(ext.first_block * kBlockSize,
                              ext.block_count * kBlockSize));
   }
 
@@ -188,6 +202,9 @@ class RandomIvFormat final : public EncryptionFormat {
       if (spec_.integrity == Integrity::kHmac) {
         hmac_key_ = DeriveSubkey(master_key, "integrity", 32);
       }
+    }
+    if (AuthenticatedTrim()) {
+      trim_key_ = DeriveSubkey(master_key, "discard-bitmap", 32);
     }
   }
 
@@ -359,7 +376,8 @@ class RandomIvFormat final : public EncryptionFormat {
 
   Status FinishRead(const ObjectExtent& ext,
                     const objstore::ReadResult& result,
-                    MutByteSpan out, IvRows* ivs_out) override {
+                    MutByteSpan out, IvRows* ivs_out,
+                    const DiscardBitmap* zeros) override {
     const size_t meta = spec_.MetaPerBlock();
     const size_t n = ext.block_count;
     // Gather (ciphertext, metadata) per block from the layout. An empty
@@ -414,7 +432,7 @@ class RandomIvFormat final : public EncryptionFormat {
         return Status::InvalidArgument("random IV requires a layout");
     }
 
-    VDE_RETURN_IF_ERROR(DecryptGathered(ext, cts, ms, out));
+    VDE_RETURN_IF_ERROR(DecryptGathered(ext, cts, ms, out, zeros));
     if (ivs_out != nullptr) {
       for (size_t b = 0; b < n; ++b) {
         // Cleared/absent rows are reported empty — the cache layer treats
@@ -429,7 +447,8 @@ class RandomIvFormat final : public EncryptionFormat {
 
   Status FinishReadWithIvs(const ObjectExtent& ext,
                            const objstore::ReadResult& result,
-                           const IvRows& ivs, MutByteSpan out) override {
+                           const IvRows& ivs, MutByteSpan out,
+                           const DiscardBitmap* zeros) override {
     const size_t n = ext.block_count;
     if (ivs.size() != n) {
       return Status::InvalidArgument("IV row count mismatch");
@@ -442,29 +461,29 @@ class RandomIvFormat final : public EncryptionFormat {
       cts[b] = ByteSpan(result.data.data() + b * kBlockSize, kBlockSize);
       ms[b] = ByteSpan(ivs[b]);
     }
-    return DecryptGathered(ext, cts, ms, out);
+    return DecryptGathered(ext, cts, ms, out, zeros);
   }
 
   void MakeDiscard(const ObjectExtent& ext, Transaction& txn) override {
     const size_t meta = spec_.MetaPerBlock();
     switch (spec_.layout) {
       case IvLayout::kUnaligned: {
-        // Interleaved data+IV clear in one range — inherently atomic.
+        // Interleaved data+IV release in one range — inherently atomic.
         const size_t stride = kBlockSize + meta;
         txn.ops.push_back(
-            ZeroOp(ext.first_block * stride, ext.block_count * stride));
+            TrimOp(ext.first_block * stride, ext.block_count * stride));
         break;
       }
       case IvLayout::kObjectEnd: {
-        // Data clear + IV-region clear ride ONE transaction (§3.1).
-        txn.ops.push_back(ZeroOp(ext.first_block * kBlockSize,
+        // Data release + IV-region release ride ONE transaction (§3.1).
+        txn.ops.push_back(TrimOp(ext.first_block * kBlockSize,
                                  ext.block_count * kBlockSize));
-        txn.ops.push_back(ZeroOp(object_size_ + ext.first_block * meta,
+        txn.ops.push_back(TrimOp(object_size_ + ext.first_block * meta,
                                  ext.block_count * meta));
         break;
       }
       case IvLayout::kOmap: {
-        txn.ops.push_back(ZeroOp(ext.first_block * kBlockSize,
+        txn.ops.push_back(TrimOp(ext.first_block * kBlockSize,
                                  ext.block_count * kBlockSize));
         // Empty row value = cleared marker (a deleted row is
         // indistinguishable from "IV lost" for snapshots, so keep the key).
@@ -482,6 +501,101 @@ class RandomIvFormat final : public EncryptionFormat {
     }
   }
 
+  // --- Authenticated discard bitmap (HMAC/GCM formats) ---
+
+  bool AuthenticatedTrim() const override {
+    return spec_.mode == CipherMode::kGcmRandom ||
+           spec_.integrity == Integrity::kHmac;
+  }
+
+  size_t BitmapRecordBytes() const override {
+    return DiscardBitmap::ByteLength(BlocksPerObject()) + kBitmapMacSize;
+  }
+
+  Bytes SealBitmap(uint64_t object_no,
+                   const DiscardBitmap& bitmap) const override {
+    assert(AuthenticatedTrim());
+    assert(bitmap.bits() == BlocksPerObject());
+    Bytes out = bitmap.bytes();
+    const auto tag = BitmapMac(object_no, bitmap.bytes());
+    out.insert(out.end(), tag.begin(), tag.begin() + kBitmapMacSize);
+    return out;
+  }
+
+  Status OpenBitmap(uint64_t object_no, ByteSpan raw,
+                    DiscardBitmap* out) const override {
+    assert(AuthenticatedTrim());
+    if (raw.size() != BitmapRecordBytes()) {
+      return Status::Corruption("discard bitmap record size mismatch");
+    }
+    const ByteSpan bits = raw.subspan(0, raw.size() - kBitmapMacSize);
+    const ByteSpan mac = raw.subspan(raw.size() - kBitmapMacSize);
+    if (AllZero(raw)) {
+      // The store pads reads with zeros: an all-zero record is a bitmap
+      // that was never persisted — or was wiped to forge discards.
+      return Status::Corruption("discard bitmap missing or zeroed");
+    }
+    const auto tag = BitmapMac(object_no, bits);
+    if (!ConstantTimeEqual(ByteSpan(tag.data(), kBitmapMacSize), mac)) {
+      return Status::Corruption("discard bitmap authentication failed");
+    }
+    auto bitmap = DiscardBitmap::FromBytes(bits, BlocksPerObject());
+    if (!bitmap.ok()) return bitmap.status();
+    *out = std::move(bitmap).value();
+    return Status::Ok();
+  }
+
+  void MakeBitmapWrite(uint64_t object_no, Bytes sealed,
+                       Transaction& txn) const override {
+    static_cast<void>(object_no);
+    assert(sealed.size() == BitmapRecordBytes());
+    if (spec_.layout == IvLayout::kOmap) {
+      OsdOp op;
+      op.type = OsdOp::Type::kOmapSet;
+      op.omap_kvs.emplace_back(BitmapOmapKey(), std::move(sealed));
+      txn.ops.push_back(std::move(op));
+      return;
+    }
+    txn.ops.push_back(DataWriteOp(BitmapOffset(), std::move(sealed)));
+  }
+
+  void MakeBitmapRead(Transaction& txn) const override {
+    if (spec_.layout == IvLayout::kOmap) {
+      // OMAP reads succeed on absent objects, which would make a wiped
+      // bitmap row indistinguishable from a fresh object. A 1-byte kRead
+      // existence probe rides the same transaction: a missing OBJECT
+      // surfaces as NotFound, so Ok + no row can only mean the row was
+      // wiped — corruption, exactly like the region geometries.
+      txn.ops.push_back(DataReadOp(0, 1));
+      OsdOp op;
+      op.type = OsdOp::Type::kOmapGetRange;
+      op.omap_start = BitmapOmapKey();
+      op.omap_end = BitmapOmapKey();
+      op.omap_end.push_back(0);  // half-open: exactly the bitmap row
+      txn.ops.push_back(std::move(op));
+      return;
+    }
+    txn.ops.push_back(DataReadOp(BitmapOffset(), BitmapRecordBytes()));
+  }
+
+  Result<Bytes> FinishBitmapRead(
+      const objstore::ReadResult& result) const override {
+    if (spec_.layout == IvLayout::kOmap) {
+      if (result.data.size() != 1) {  // the existence probe's byte
+        return Status::IoError("short discard-bitmap probe");
+      }
+      for (const auto& [k, v] : result.omap_values) {
+        if (k == BitmapOmapKey()) return Bytes(v);
+      }
+      return Bytes{};  // row absent on an EXISTING object: wiped
+    }
+    if (result.data.size() != BitmapRecordBytes()) {
+      return Status::IoError("short discard-bitmap read");
+    }
+    if (AllZero(result.data)) return Bytes{};  // zero padding: no record
+    return result.data;
+  }
+
   sim::SimTime CryptoCost(size_t bytes) const override {
     // GCM pays GHASH on top of the block cipher.
     const double gbps = spec_.mode == CipherMode::kGcmRandom ? 1.3 : 2.5;
@@ -490,22 +604,51 @@ class RandomIvFormat final : public EncryptionFormat {
   }
 
  private:
+  size_t BlocksPerObject() const { return object_size_ / kBlockSize; }
+
+  // Bitmap home for the region layouts: past the stride area (unaligned)
+  // or past the IV region (object-end) — inside the per-object allocation
+  // slack either way, and covered by the same clone machinery as the data.
+  uint64_t BitmapOffset() const {
+    const size_t meta = spec_.MetaPerBlock();
+    return spec_.layout == IvLayout::kUnaligned
+               ? BlocksPerObject() * (kBlockSize + meta)
+               : object_size_ + BlocksPerObject() * meta;
+  }
+
+  std::array<uint8_t, 32> BitmapMac(uint64_t object_no, ByteSpan bits) const {
+    crypto::HmacSha256Stream mac(trim_key_);
+    mac.Update(bits);
+    uint8_t no_le[8];
+    StoreU64Le(no_le, object_no);
+    mac.Update(ByteSpan(no_le, 8));
+    return mac.Finish();
+  }
+
   // Shared decrypt tail of FinishRead / FinishReadWithIvs: per-block
   // (ciphertext, metadata) pairs to plaintext, with the cleared-marker
   // semantics. Cleared metadata (discard/write-zeroes) or an absent OMAP
   // row means the block holds nothing; require the ciphertext to agree, so
-  // a lost IV for real data still surfaces as corruption. Like TRIM on
-  // real AEAD disks, the cleared marker itself is unauthenticated: zeroing
-  // a block's data AND metadata reads as legitimate discard even under
-  // HMAC/GCM (any other tamper is still detected).
+  // a lost IV for real data still surfaces as corruption. With `zeros`
+  // (the object's verified discard bitmap) the marker itself is
+  // authenticated: a cleared block whose bit is not set is an attacker
+  // zeroing ciphertext+metadata to forge a discard, and the read fails.
+  // Without `zeros` (formats below HMAC/GCM, or stateless callers) the
+  // marker stays unauthenticated, like TRIM on real AEAD disks.
   Status DecryptGathered(const ObjectExtent& ext,
                          const std::vector<ByteSpan>& cts,
-                         const std::vector<ByteSpan>& ms, MutByteSpan out) {
+                         const std::vector<ByteSpan>& ms, MutByteSpan out,
+                         const DiscardBitmap* zeros) {
     for (size_t b = 0; b < ext.block_count; ++b) {
       MutByteSpan dst = out.subspan(b * kBlockSize, kBlockSize);
       if (ms[b].empty() || AllZero(ms[b])) {
         if (!AllZero(cts[b])) {
           return Status::Corruption("missing IV for non-empty block");
+        }
+        if (zeros != nullptr && AuthenticatedTrim() &&
+            !zeros->Test(ext.first_block + b)) {
+          return Status::Corruption(
+              "cleared block without authentic discard (erase channel)");
         }
         std::fill(dst.begin(), dst.end(), 0);
         continue;
@@ -591,6 +734,7 @@ class RandomIvFormat final : public EncryptionFormat {
   std::optional<crypto::XtsCipher> xts_;
   std::optional<crypto::GcmCipher> gcm_;
   Bytes hmac_key_;
+  Bytes trim_key_;  // discard-bitmap MAC subkey (AuthenticatedTrim only)
 };
 
 }  // namespace
@@ -619,8 +763,36 @@ size_t EncryptionFormat::MetaReadBytes(const ObjectExtent&) const {
 
 Status EncryptionFormat::FinishReadWithIvs(const ObjectExtent&,
                                            const objstore::ReadResult&,
-                                           const IvRows&, MutByteSpan) {
+                                           const IvRows&, MutByteSpan,
+                                           const DiscardBitmap*) {
   return Status::InvalidArgument("format has no data-only read path");
+}
+
+// Defaults for formats without ciphertext authentication: no bitmap to
+// seal, store, or verify — AuthenticatedTrim() is false and the image
+// layer never calls these.
+Bytes EncryptionFormat::SealBitmap(uint64_t, const DiscardBitmap&) const {
+  assert(false && "format has no discard bitmap");
+  return {};
+}
+
+Status EncryptionFormat::OpenBitmap(uint64_t, ByteSpan,
+                                    DiscardBitmap*) const {
+  return Status::InvalidArgument("format has no discard bitmap");
+}
+
+void EncryptionFormat::MakeBitmapWrite(uint64_t, Bytes,
+                                       objstore::Transaction&) const {
+  assert(false && "format has no discard bitmap");
+}
+
+void EncryptionFormat::MakeBitmapRead(objstore::Transaction&) const {
+  assert(false && "format has no discard bitmap");
+}
+
+Result<Bytes> EncryptionFormat::FinishBitmapRead(
+    const objstore::ReadResult&) const {
+  return Status::InvalidArgument("format has no discard bitmap");
 }
 
 std::string EncryptionSpec::Name() const {

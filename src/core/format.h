@@ -15,6 +15,7 @@
 
 #include <memory>
 
+#include "core/discard_bitmap.h"
 #include "core/types.h"
 #include "crypto/essiv.h"
 #include "crypto/gcm.h"
@@ -97,23 +98,76 @@ class EncryptionFormat {
   // plaintext zeros: virtual disks read zeros for trimmed or never-written
   // blocks. When `ivs_out` is non-null, the fetched per-block metadata rows
   // are appended to it (an empty row per cleared/absent block).
+  //
+  // `zeros` is the object's verified discard bitmap (AuthenticatedTrim
+  // formats): a cleared-marker block whose bit is NOT set fails with
+  // Corruption — an attacker zeroing ciphertext+metadata cannot forge a
+  // discard. Null `zeros` keeps the legacy unauthenticated-marker
+  // semantics (formats without AuthenticatedTrim, and direct format tests
+  // that carry no per-object state).
   virtual Status FinishRead(const ObjectExtent& ext,
                             const objstore::ReadResult& result,
-                            MutByteSpan out, IvRows* ivs_out = nullptr) = 0;
+                            MutByteSpan out, IvRows* ivs_out = nullptr,
+                            const DiscardBitmap* zeros = nullptr) = 0;
 
   // Decrypts a MakeReadDataOnly result using caller-provided metadata rows
   // (`ivs.size()` must equal `ext.block_count`; an empty row is the cleared
   // marker). `result.data` must hold exactly DataOnlyReadBytes(ext).
+  // `zeros` as in FinishRead.
   virtual Status FinishReadWithIvs(const ObjectExtent& ext,
                                    const objstore::ReadResult& result,
-                                   const IvRows& ivs, MutByteSpan out);
+                                   const IvRows& ivs, MutByteSpan out,
+                                   const DiscardBitmap* zeros = nullptr);
 
-  // Appends discard ops for `ext` to `txn`: the data range is cleared with
-  // kZero and any per-sector metadata (random IVs, tags) is cleared in the
-  // SAME transaction, so data and IV state stay consistent (§3.1) and a
-  // later FinishRead sees the cleared marker and returns zeros.
+  // Appends discard ops for `ext` to `txn`: the data range is released
+  // with the tracked kTrim op (the store frees the backing sectors and
+  // serves reads of the range from its trimmed-extent map) and any
+  // per-sector metadata (random IVs, tags) is cleared in the SAME
+  // transaction, so data and IV state stay consistent (§3.1) and a later
+  // FinishRead sees the cleared marker and returns zeros.
   virtual void MakeDiscard(const ObjectExtent& ext,
                            objstore::Transaction& txn) = 0;
+
+  // --- Authenticated discard state (HMAC/GCM formats) ---
+  //
+  // Formats with ciphertext authentication close the erase channel with a
+  // per-object MAC'd discard bitmap (bit set = block legitimately reads
+  // zeros), stored with the object's metadata geometry and passed back
+  // into FinishRead as `zeros`. Formats without authentication keep the
+  // legacy all-zero marker (there is no integrity to protect) and report
+  // AuthenticatedTrim() == false; the other hooks must not be called.
+
+  // Whether this format maintains the MAC'd discard bitmap.
+  virtual bool AuthenticatedTrim() const { return false; }
+
+  // Serialized bitmap record size: bitmap bytes + MAC tag.
+  virtual size_t BitmapRecordBytes() const { return 0; }
+
+  // Serializes + MACs `bitmap` for `object_no` (the MAC binds the object
+  // number, so a record cannot be replayed onto another object).
+  virtual Bytes SealBitmap(uint64_t object_no,
+                           const DiscardBitmap& bitmap) const;
+
+  // Verifies + deserializes a SealBitmap record. An all-zero or
+  // MAC-mismatching record fails with Corruption.
+  virtual Status OpenBitmap(uint64_t object_no, ByteSpan raw,
+                            DiscardBitmap* out) const;
+
+  // Appends the write op persisting `sealed` at the bitmap's home for this
+  // geometry (past the IV region / stride area, or a reserved OMAP row) —
+  // meant to ride the same atomic transaction as the data ops it covers.
+  virtual void MakeBitmapWrite(uint64_t object_no, Bytes sealed,
+                               objstore::Transaction& txn) const;
+
+  // Appends the read ops fetching the bitmap record, and extracts it from
+  // the result. Every geometry reads through at least one kRead op (the
+  // OMAP geometry adds a 1-byte existence probe), so a missing OBJECT
+  // surfaces as NotFound; Ok + empty bytes therefore always means an
+  // existing object whose record was wiped or zeroed — the caller must
+  // treat it as corruption, never as a fresh object.
+  virtual void MakeBitmapRead(objstore::Transaction& txn) const;
+  virtual Result<Bytes> FinishBitmapRead(
+      const objstore::ReadResult& result) const;
 
   // Modeled client CPU time for encrypting/decrypting `bytes`.
   virtual sim::SimTime CryptoCost(size_t bytes) const;

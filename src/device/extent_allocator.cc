@@ -1,5 +1,6 @@
 #include "device/extent_allocator.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace vde::dev {
@@ -13,7 +14,8 @@ ExtentAllocator::ExtentAllocator(uint64_t size, uint32_t alignment)
 Result<uint64_t> ExtentAllocator::Allocate(uint64_t length) {
   if (length == 0) return Status::InvalidArgument("zero-length allocation");
   const uint64_t need = RoundUp(length);
-  // First fit.
+  // First fit over the general pool only: punched holes belong to live
+  // allocations and must stay reclaimable by their owner's Restore.
   for (auto it = free_.begin(); it != free_.end(); ++it) {
     if (it->second >= need) {
       const uint64_t offset = it->first;
@@ -31,6 +33,10 @@ void ExtentAllocator::Free(uint64_t offset, uint64_t length) {
   const uint64_t len = RoundUp(length);
   assert(offset % alignment_ == 0);
   assert(offset + len <= size_);
+  // Absorb punched sub-ranges of this extent: they are rejoining the
+  // general pool as part of the whole extent, so their separate accounting
+  // ends here (otherwise the capacity would count twice).
+  punched_bytes_ -= IntervalMapRemove(punched_, offset, len);
   free_bytes_ += len;
 
   auto next = free_.lower_bound(offset);
@@ -52,6 +58,31 @@ void ExtentAllocator::Free(uint64_t offset, uint64_t length) {
     free_.erase(next);
   }
   free_[new_off] = new_len;
+}
+
+uint64_t ExtentAllocator::Punch(uint64_t offset, uint64_t length) {
+  // Only sectors fully inside the range can be released; partial edge
+  // sectors stay backed (the data plane zero-fills them instead).
+  const uint64_t lo = RoundUp(offset);
+  const uint64_t hi = RoundDown(offset + length);
+  if (lo >= hi) return 0;
+  assert(hi <= size_);
+  // IntervalMapAdd reports only the NEWLY covered bytes, so re-punching a
+  // range (trim of an already-trimmed block) is a no-op.
+  const uint64_t released = IntervalMapAdd(punched_, lo, hi - lo);
+  punched_bytes_ += released;
+  return released;
+}
+
+uint64_t ExtentAllocator::Restore(uint64_t offset, uint64_t length) {
+  if (length == 0) return 0;
+  // A write touching any byte of a sector re-backs the whole sector;
+  // never-punched parts of the cover are skipped.
+  const uint64_t lo = RoundDown(offset);
+  const uint64_t hi = RoundUp(offset + length);
+  const uint64_t restored = IntervalMapRemove(punched_, lo, hi - lo);
+  punched_bytes_ -= restored;
+  return restored;
 }
 
 }  // namespace vde::dev

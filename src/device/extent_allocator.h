@@ -3,11 +3,21 @@
 // Used by the object store for object data and by the KV store for
 // SSTables. First-fit over an ordered free map; adjacent free extents merge
 // on Free, so long-running workloads do not fragment unboundedly.
+//
+// TRIM support: a live allocation can release sector-aligned sub-ranges
+// back to the allocator with Punch (free_bytes grows — the capacity is
+// really reclaimable, the store's data plane drops the pages) and re-back
+// them with Restore when the owner rewrites the trimmed range. Punched
+// capacity lives in its own pool: general Allocate never places a new
+// extent inside a live object's punched hole, so an owner's Restore cannot
+// collide with a foreign allocation. Free absorbs any punched sub-ranges
+// of the extent being freed, so whole-object removal stays a single call.
 #pragma once
 
 #include <cstdint>
 #include <map>
 
+#include "util/interval_map.h"
 #include "util/status.h"
 
 namespace vde::dev {
@@ -21,22 +31,43 @@ class ExtentAllocator {
   Result<uint64_t> Allocate(uint64_t length);
 
   // Returns an extent previously obtained from Allocate. `length` must match
-  // the original request (it is re-rounded internally).
+  // the original request (it is re-rounded internally). Punched sub-ranges
+  // of the extent are absorbed back first, so the whole range ends up in
+  // the general free pool exactly once.
   void Free(uint64_t offset, uint64_t length);
 
-  uint64_t free_bytes() const { return free_bytes_; }
+  // TRIM: releases the sectors fully covered by [offset, offset + length)
+  // into the punched pool. Sub-ranges that are already punched are skipped
+  // (idempotent), so callers can punch the same logical range twice.
+  // Returns the number of bytes newly released.
+  uint64_t Punch(uint64_t offset, uint64_t length);
+
+  // Re-backs the sectors covering [offset, offset + length): every punched
+  // sub-range inside the sector-aligned cover is moved back into the live
+  // allocation. Ranges that are not punched are skipped (a plain overwrite
+  // restores nothing), so the write path can call this unconditionally.
+  // Returns the number of bytes re-backed.
+  uint64_t Restore(uint64_t offset, uint64_t length);
+
+  // General free capacity plus punched (TRIMmed) capacity.
+  uint64_t free_bytes() const { return free_bytes_ + punched_bytes_; }
+  uint64_t punched_bytes() const { return punched_bytes_; }
   uint64_t total_bytes() const { return size_; }
   size_t fragments() const { return free_.size(); }
+  size_t punched_fragments() const { return punched_.size(); }
 
  private:
   uint64_t RoundUp(uint64_t v) const {
     return (v + alignment_ - 1) / alignment_ * alignment_;
   }
+  uint64_t RoundDown(uint64_t v) const { return v / alignment_ * alignment_; }
 
   uint64_t size_;
   uint32_t alignment_;
   uint64_t free_bytes_;
-  std::map<uint64_t, uint64_t> free_;  // offset -> length
+  uint64_t punched_bytes_ = 0;
+  std::map<uint64_t, uint64_t> free_;  // offset -> length, general pool
+  IntervalMap punched_;                // TRIMmed holes (disjoint, coalesced)
 };
 
 }  // namespace vde::dev

@@ -37,6 +37,7 @@ bool IsWriteClass(OsdOp::Type t) {
     case OsdOp::Type::kWrite:
     case OsdOp::Type::kWriteFull:
     case OsdOp::Type::kZero:
+    case OsdOp::Type::kTrim:
     case OsdOp::Type::kOmapSet:
     case OsdOp::Type::kCreate:
     case OsdOp::Type::kRemove:
@@ -96,6 +97,45 @@ uint64_t ObjectStore::ObjectSize(const std::string& oid) const {
 size_t ObjectStore::CloneCount(const std::string& oid) const {
   const auto it = objects_.find(oid);
   return it == objects_.end() ? 0 : it->second.clones.size();
+}
+
+uint64_t ObjectStore::TrimmedBytes(const std::string& oid) const {
+  const auto it = objects_.find(oid);
+  if (it == objects_.end()) return 0;
+  uint64_t total = 0;
+  for (const auto& [off, len] : it->second.trimmed) total += len;
+  return total;
+}
+
+StoreSpace ObjectStore::space() const {
+  StoreSpace s;
+  s.total_bytes = alloc_->total_bytes();
+  s.free_bytes = alloc_->free_bytes();
+  s.punched_bytes = alloc_->punched_bytes();
+  s.fragments = alloc_->fragments();
+  s.punched_fragments = alloc_->punched_fragments();
+  return s;
+}
+
+Status ObjectStore::TamperObjectData(const std::string& oid, uint64_t offset,
+                                     ByteSpan data) {
+  const auto it = objects_.find(oid);
+  if (it == objects_.end()) return Status::NotFound(oid);
+  if (offset + data.size() > config_.max_object_size) {
+    return Status::InvalidArgument("tamper beyond object extent");
+  }
+  // Raw tampering bypasses the transaction path on purpose: no journal,
+  // no trimmed-map bookkeeping — the attacker reaches the bytes, not the
+  // onode metadata.
+  device_->PokeWrite(data_base_ + it->second.base + offset, data);
+  return Status::Ok();
+}
+
+sim::Task<Status> ObjectStore::TamperOmapRow(const std::string& oid,
+                                             ByteSpan key, Bytes value) {
+  kv::WriteBatch batch;
+  batch.Put(OmapKey(oid, kHeadSnap, key), std::move(value));
+  co_return co_await kv_->Write(std::move(batch));
 }
 
 Result<ObjectStore::Onode*> ObjectStore::GetOrCreate(const std::string& oid) {
@@ -173,11 +213,24 @@ sim::Task<Status> ObjectStore::MaybeClone(const std::string& oid, Onode& node,
   // Preserve current head data for snapshots in (old_seq, snapc.seq].
   auto extent = alloc_->Allocate(std::max<uint64_t>(node.size, 1));
   if (!extent.ok()) co_return extent.status();
-  Clone clone{snapc.seq, *extent, node.size};
+  Clone clone{snapc.seq, *extent, node.size, node.trimmed};
   if (node.size > 0) {
-    Bytes data(node.size);
-    device_->PeekRead(data_base_ + node.base, data);
-    device_->PokeWrite(data_base_ + clone.base, data);
+    // Copy only the live runs: trimmed ranges read zeros through the
+    // clone's own trimmed map, so materializing zero pages for them would
+    // waste the sparseness TRIM just bought.
+    uint64_t pos = 0;
+    Bytes run;
+    for (auto it = node.trimmed.begin(); pos < node.size; ++it) {
+      const uint64_t run_end =
+          it == node.trimmed.end() ? node.size : std::min(it->first, node.size);
+      if (pos < run_end) {
+        run.resize(run_end - pos);
+        device_->PeekRead(data_base_ + node.base + pos, run);
+        device_->PokeWrite(data_base_ + clone.base + pos, run);
+      }
+      if (it == node.trimmed.end()) break;
+      pos = it->first + it->second;
+    }
     // Charge the copy in the background (Ceph clones lazily; we charge the
     // full copy up front in background time).
     appliers_.Add(2);
@@ -286,7 +339,9 @@ sim::Task<Status> ObjectStore::ApplyLocked(const Transaction& txn,
   if (objects_.find(txn.oid) == objects_.end()) {
     bool discard_only = true;
     for (const auto& op : txn.ops) {
-      if (op.type == OsdOp::Type::kZero) continue;
+      if (op.type == OsdOp::Type::kZero || op.type == OsdOp::Type::kTrim) {
+        continue;
+      }
       if (op.type == OsdOp::Type::kOmapSet &&
           std::all_of(op.omap_kvs.begin(), op.omap_kvs.end(),
                       [](const auto& kv) { return kv.second.empty(); })) {
@@ -308,12 +363,15 @@ sim::Task<Status> ObjectStore::ApplyLocked(const Transaction& txn,
   for (const auto& op : txn.ops) {
     // Software cost of the data-op apply path (sync, per DESIGN.md §5).
     if (op.type == OsdOp::Type::kWrite || op.type == OsdOp::Type::kWriteFull ||
-        op.type == OsdOp::Type::kZero) {
+        op.type == OsdOp::Type::kZero || op.type == OsdOp::Type::kTrim) {
       const uint64_t len =
           op.type == OsdOp::Type::kWriteFull ? op.data.size() : op.length;
       const uint64_t off = op.type == OsdOp::Type::kWriteFull ? 0 : op.offset;
       sim::SimTime cost = config_.write_op_apply_cost;
-      if (len < sector) {
+      if (op.type == OsdOp::Type::kTrim) {
+        // Tracked discard is metadata-only (extent-map + allocator update):
+        // no payload to defer or re-align, so no size penalties.
+      } else if (len < sector) {
         // Sub-sector op: deferred-write bookkeeping only.
         cost += config_.small_write_penalty;
       } else if (off % sector != 0 || len % sector != 0) {
@@ -329,6 +387,11 @@ sim::Task<Status> ObjectStore::ApplyLocked(const Transaction& txn,
         if (op.offset + op.data.size() > config_.max_object_size) {
           co_return Status::InvalidArgument("write beyond max object size");
         }
+        // Rewriting a trimmed range re-backs its punched sectors and takes
+        // the range out of the trimmed-extent map (idempotent otherwise).
+        stats_.bytes_restored += alloc_->Restore(node.base + op.offset,
+                                                 op.data.size());
+        IntervalMapRemove(node.trimmed, op.offset, op.data.size());
         device_->PokeWrite(data_base_ + node.base + op.offset, op.data);
         node.size = std::max(node.size, op.offset + op.data.size());
         appliers_.Add(1);
@@ -341,6 +404,8 @@ sim::Task<Status> ObjectStore::ApplyLocked(const Transaction& txn,
         if (op.data.size() > config_.max_object_size) {
           co_return Status::InvalidArgument("writefull beyond max size");
         }
+        stats_.bytes_restored += alloc_->Restore(node.base, op.data.size());
+        node.trimmed.clear();
         device_->PokeWrite(data_base_ + node.base, op.data);
         node.size = op.data.size();
         appliers_.Add(1);
@@ -358,6 +423,21 @@ sim::Task<Status> ObjectStore::ApplyLocked(const Transaction& txn,
         // metadata-only — no final-location device write to charge (the
         // per-op software cost above still applies).
         device_->PokeTrim(data_base_ + node.base + op.offset, op.length);
+        break;
+      }
+      case OsdOp::Type::kTrim: {
+        if (op.offset + op.length > config_.max_object_size) {
+          co_return Status::InvalidArgument("trim beyond max object size");
+        }
+        // Tracked discard: the range enters the trimmed-extent map (reads
+        // inside it never touch the device), the data plane drops the
+        // pages, and fully covered sectors return to the allocator — TRIM
+        // actually grows free capacity instead of writing a zero pattern.
+        device_->PokeTrim(data_base_ + node.base + op.offset, op.length);
+        stats_.bytes_trimmed += IntervalMapAdd(node.trimmed, op.offset,
+                                               op.length);
+        alloc_->Punch(node.base + op.offset, op.length);
+        stats_.trim_ops++;
         break;
       }
       case OsdOp::Type::kOmapSet: {
@@ -399,15 +479,17 @@ sim::Task<Result<ReadResult>> ObjectStore::ExecuteReadLocked(
   ReadResult result;
   const auto it = objects_.find(txn.oid);
 
-  // Resolve which data extent / omap namespace serves `snap`.
+  // Resolve which data extent / omap namespace / trimmed map serves `snap`.
   uint64_t base = 0, size = 0;
   SnapId omap_ns = kHeadSnap;
   bool exists = false;
+  const TrimmedMap* trimmed = nullptr;
   if (it != objects_.end()) {
     const Onode& node = it->second;
     if (snap == kHeadSnap) {
       base = node.base;
       size = node.size;
+      trimmed = &node.trimmed;
       exists = true;
     } else {
       // Oldest clone that still covers `snap`; else the head.
@@ -422,9 +504,11 @@ sim::Task<Result<ReadResult>> ObjectStore::ExecuteReadLocked(
         base = chosen->base;
         size = chosen->size;
         omap_ns = chosen->covers_up_to;
+        trimmed = &chosen->trimmed;
       } else {
         base = node.base;
         size = node.size;
+        trimmed = &node.trimmed;
       }
       exists = true;
     }
@@ -443,6 +527,15 @@ sim::Task<Result<ReadResult>> ObjectStore::ExecuteReadLocked(
     if (op.type == OsdOp::Type::kRead) {
       if (!exists) {
         co_return Status::NotFound(txn.oid);
+      }
+      // Trimmed-read fast path: a range fully inside the trimmed-extent
+      // map is zeros by definition — no device IO, no device-time charge.
+      if (trimmed != nullptr &&
+          IntervalMapCovers(*trimmed, op.offset, op.length)) {
+        outs[i].data.assign(op.length, 0);
+        outs[i].status = Status::Ok();
+        stats_.trimmed_reads++;
+        continue;
       }
       tasks.push_back([](ObjectStore* self, const OsdOp* op, uint64_t base,
                          OpOut* out) -> sim::Task<void> {

@@ -29,6 +29,7 @@
 #include "kv/wal.h"
 #include "objstore/types.h"
 #include "sim/sync.h"
+#include "util/interval_map.h"
 
 namespace vde::objstore {
 
@@ -62,6 +63,22 @@ struct StoreStats {
   uint64_t apply_sectors_written = 0;  // final-location data-path sectors
   uint64_t clones = 0;
   uint64_t objects_created = 0;
+  // Discard pipeline (kTrim): tracked trims, capacity movement, and reads
+  // served from the trimmed-extent map without touching the device.
+  uint64_t trim_ops = 0;         // kTrim ops applied
+  uint64_t bytes_trimmed = 0;    // logical bytes newly entered the map
+  uint64_t bytes_restored = 0;   // punched bytes re-backed by later writes
+  uint64_t trimmed_reads = 0;    // kRead ops served entirely from the map
+};
+
+// Allocator capacity gauges (point-in-time, not counters): what a TRIM
+// actually reclaimed and how fragmented the pools are.
+struct StoreSpace {
+  uint64_t total_bytes = 0;
+  uint64_t free_bytes = 0;     // general pool + punched (TRIMmed) capacity
+  uint64_t punched_bytes = 0;  // capacity released by kTrim, owner-reclaimable
+  uint64_t fragments = 0;          // general free-pool extents
+  uint64_t punched_fragments = 0;  // punched-pool extents
 };
 
 class ObjectStore : public std::enable_shared_from_this<ObjectStore> {
@@ -83,6 +100,22 @@ class ObjectStore : public std::enable_shared_from_this<ObjectStore> {
   bool ObjectExists(const std::string& oid) const;
   uint64_t ObjectSize(const std::string& oid) const;
   size_t CloneCount(const std::string& oid) const;
+  // Bytes of `oid` currently in the trimmed-extent map (tests/benches).
+  uint64_t TrimmedBytes(const std::string& oid) const;
+
+  // Capacity gauges for the object-data allocator.
+  StoreSpace space() const;
+
+  // --- Attack-surface hooks (tests/benches only) ---
+  //
+  // Model an attacker with raw access to the backing store: overwrite a
+  // byte range of the live object's data extent, or replace an OMAP row,
+  // WITHOUT going through the transaction path (no journal, no trimmed-map
+  // bookkeeping — exactly what tampering below the client looks like).
+  Status TamperObjectData(const std::string& oid, uint64_t offset,
+                          ByteSpan data);
+  sim::Task<Status> TamperOmapRow(const std::string& oid, ByteSpan key,
+                                  Bytes value);
 
   // Waits until all background appliers finished (test determinism).
   sim::Task<void> Drain();
@@ -92,10 +125,15 @@ class ObjectStore : public std::enable_shared_from_this<ObjectStore> {
   kv::KvStore& kv_store() { return *kv_; }
 
  private:
+  // Trimmed-extent map: object-relative byte ranges that read as zeros
+  // without device IO (util/interval_map.h keeps it disjoint/coalesced).
+  using TrimmedMap = IntervalMap;
+
   struct Clone {
     SnapId covers_up_to;  // newest snap id this clone serves
     uint64_t base;        // data extent base (data-region relative)
     uint64_t size;        // logical bytes captured
+    TrimmedMap trimmed;   // trimmed state frozen at clone time
   };
 
   struct Onode {
@@ -103,6 +141,7 @@ class ObjectStore : public std::enable_shared_from_this<ObjectStore> {
     uint64_t size = 0;       // logical object size (highest written byte)
     uint64_t head_seq = 0;   // snapc.seq at last write
     std::vector<Clone> clones;  // sorted by covers_up_to ascending
+    TrimmedMap trimmed;      // ranges discarded via kTrim
   };
 
   ObjectStore(std::shared_ptr<dev::NvmeDevice> device, StoreConfig config);

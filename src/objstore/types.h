@@ -32,12 +32,16 @@ struct OsdOp {
   enum class Type : uint8_t {
     kWrite,         // offset/length + data
     kWriteFull,     // replace object content with data
-    kZero,          // offset/length
+    kZero,          // offset/length (reads as zeros; backing untouched)
     kRead,          // offset/length -> data (usable inside read ops)
     kOmapSet,       // omap_kvs
     kOmapGetRange,  // omap_start/omap_end (end empty = prefix-unbounded)
     kCreate,
     kRemove,
+    kTrim,          // offset/length: tracked discard — the range enters the
+                    // onode's trimmed-extent map, fully covered sectors are
+                    // released to the allocator (free capacity grows), and
+                    // reads inside the map are served without device IO
   };
 
   Type type = Type::kWrite;

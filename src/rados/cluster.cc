@@ -195,6 +195,37 @@ sim::Task<void> Cluster::Drain() {
   }
 }
 
+objstore::StoreStats Cluster::TotalStoreStats() const {
+  objstore::StoreStats total;
+  for (const auto& osd : osds_) {
+    const auto& s = osd->store().stats();
+    total.transactions += s.transactions;
+    total.journal_bytes += s.journal_bytes;
+    total.rmw_sectors += s.rmw_sectors;
+    total.apply_sectors_written += s.apply_sectors_written;
+    total.clones += s.clones;
+    total.objects_created += s.objects_created;
+    total.trim_ops += s.trim_ops;
+    total.bytes_trimmed += s.bytes_trimmed;
+    total.bytes_restored += s.bytes_restored;
+    total.trimmed_reads += s.trimmed_reads;
+  }
+  return total;
+}
+
+objstore::StoreSpace Cluster::TotalStoreSpace() const {
+  objstore::StoreSpace total;
+  for (const auto& osd : osds_) {
+    const objstore::StoreSpace s = osd->store().space();
+    total.total_bytes += s.total_bytes;
+    total.free_bytes += s.free_bytes;
+    total.punched_bytes += s.punched_bytes;
+    total.fragments += s.fragments;
+    total.punched_fragments += s.punched_fragments;
+  }
+  return total;
+}
+
 dev::DeviceStats Cluster::TotalDeviceStats() const {
   dev::DeviceStats total;
   for (const auto& osd : osds_) {

@@ -131,6 +131,11 @@ class Cluster {
   // Aggregate device stats across all OSDs (Manager role).
   dev::DeviceStats TotalDeviceStats() const;
 
+  // Aggregate object-store counters and allocator capacity across all
+  // OSDs (what `ceph df` reports): benches assert TRIM reclamation here.
+  objstore::StoreStats TotalStoreStats() const;
+  objstore::StoreSpace TotalStoreSpace() const;
+
  private:
   explicit Cluster(ClusterConfig config);
 

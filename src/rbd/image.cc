@@ -110,6 +110,7 @@ Image::Image(rados::Cluster& cluster, std::string name, ImageOptions options)
     : cluster_(cluster), name_(std::move(name)), options_(std::move(options)) {
   writeback_ = std::make_unique<Writeback>(*this, options_.writeback);
   iv_cache_ = std::make_unique<IvCache>(options_.iv_cache);
+  trim_state_ = std::make_unique<TrimState>(*this);
   if (options_.qos_scheduler) {
     qos_tenant_ = options_.qos_scheduler->Attach(options_.qos);
   }
@@ -130,6 +131,10 @@ ImageStats Image::stats() const {
   s.iv_invalidations = iv.invalidations;
   s.iv_meta_bytes_saved = iv.meta_bytes_saved;
   s.iv_meta_bytes_fetched = iv.meta_bytes_fetched;
+  s.trim_zero_reads = iv.trim_hits;
+  const TrimStateStats& ts = trim_state_->stats();
+  s.trim_state_loads = ts.loads;
+  s.trim_bitmap_updates = ts.bitmap_updates;
   if (options_.qos_scheduler) {
     const qos::TenantStats& q = options_.qos_scheduler->stats(qos_tenant_);
     s.qos_submitted = q.submitted;

@@ -29,6 +29,7 @@
 #include "rbd/completion.h"
 #include "rbd/image_request.h"
 #include "rbd/iv_cache.h"
+#include "rbd/trim_state.h"
 #include "rbd/writeback.h"
 
 namespace vde::rbd {
@@ -75,6 +76,12 @@ struct ImageStats {
                                  // overwrite (which re-caches fresh rows)
   uint64_t iv_meta_bytes_saved = 0;    // metadata fetch bytes avoided
   uint64_t iv_meta_bytes_fetched = 0;  // metadata bytes actually fetched
+  // Discard-pipeline counters: reads served client-side from cleared
+  // markers (no store IO at all), authenticated-bitmap loads (once per
+  // object), and transactions that carried a bitmap update op.
+  uint64_t trim_zero_reads = 0;
+  uint64_t trim_state_loads = 0;
+  uint64_t trim_bitmap_updates = 0;
   // QoS dispatch counters, mirrored from the shared scheduler's per-tenant
   // stats (all zero without an enabled policy).
   uint64_t qos_submitted = 0;  // requests routed through the dispatch queue
@@ -155,6 +162,8 @@ class Image {
   ImageStats stats() const;
   const Writeback& writeback() const { return *writeback_; }
   const IvCache& iv_cache() const { return *iv_cache_; }
+  const TrimState& trim_state() const { return *trim_state_; }
+  rados::Cluster& cluster() const { return cluster_; }
   qos::Scheduler* qos_scheduler() const {
     return options_.qos_scheduler.get();
   }
@@ -169,6 +178,7 @@ class Image {
  private:
   friend class ImageRequest;
   friend class Writeback;
+  friend class TrimState;
 
   Image(rados::Cluster& cluster, std::string name, ImageOptions options);
 
@@ -197,6 +207,7 @@ class Image {
   std::unique_ptr<core::EncryptionFormat> format_;
   std::unique_ptr<Writeback> writeback_;
   std::unique_ptr<IvCache> iv_cache_;
+  std::unique_ptr<TrimState> trim_state_;
   core::LuksHeader luks_;
   bool encrypted_ = false;
   std::deque<std::pair<uint64_t, std::string>> snaps_;  // newest first

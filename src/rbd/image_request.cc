@@ -353,24 +353,39 @@ sim::Task<Status> ImageRequest::ReadChunk(size_t idx) {
     }
   }
   if (!fully_staged) {
+    // Head reads on an authenticating format carry the object's verified
+    // discard bitmap into FinishRead (the erase-channel check); snapshot
+    // reads carry none — a clone's cleared blocks keep legacy semantics.
+    const bool head = snap_ == objstore::kHeadSnap;
+    const core::DiscardBitmap* zeros = nullptr;
+    if (head && image_.trim_state_->enabled()) {
+      VDE_CO_RETURN_IF_ERROR(
+          co_await image_.trim_state_->Ensure(chunk.cover.object_no));
+      zeros = image_.trim_state_->Lookup(chunk.cover.object_no);
+    }
     objstore::Transaction txn;
     // A fully-cached extent reads data-only and decrypts with the resident
     // IV rows; snapshot reads bypass the cache (rows describe the head).
-    CachedExtentRead plan(snap_ == objstore::kHeadSnap
-                              ? image_.iv_cache_.get()
-                              : nullptr,
-                          fmt, chunk.cover);
+    CachedExtentRead plan(head ? image_.iv_cache_.get() : nullptr, fmt,
+                          chunk.cover, zeros);
     plan.AppendOps(txn);
-    auto io = image_.cluster_.ioctx();
-    auto got = co_await io.OperateRead(chunk.cover.oid, std::move(txn), snap_);
-    if (got.status().IsNotFound()) {
-      // Never-written object: virtual disks read zeros.
-      std::fill(out.begin(), out.end(), 0);
-    } else if (!got.ok()) {
-      co_return got.status();
+    if (plan.zero_fill()) {
+      // Every block is a resident cleared marker: the extent is TRIMmed
+      // end to end and reads zeros without any store round-trip.
+      VDE_CO_RETURN_IF_ERROR(plan.Finish(objstore::ReadResult{}, out));
     } else {
-      VDE_CO_RETURN_IF_ERROR(plan.Finish(*got, out));
-      read_decrypted_bytes_ += cover_bytes;
+      auto io = image_.cluster_.ioctx();
+      auto got =
+          co_await io.OperateRead(chunk.cover.oid, std::move(txn), snap_);
+      if (got.status().IsNotFound()) {
+        // Never-written object: virtual disks read zeros.
+        std::fill(out.begin(), out.end(), 0);
+      } else if (!got.ok()) {
+        co_return got.status();
+      } else {
+        VDE_CO_RETURN_IF_ERROR(plan.Finish(*got, out));
+        read_decrypted_bytes_ += cover_bytes;
+      }
     }
   }
   if (overlay) {
@@ -452,39 +467,57 @@ sim::Task<Status> ImageRequest::RmwReadEdges(const Chunk& chunk,
   image_.stats_.rmw_blocks += from_store.size();
 
   core::EncryptionFormat& fmt = *image_.format_;
+  // RMW reads merge into the head: load + thread the discard bitmap.
+  const core::DiscardBitmap* zeros = nullptr;
+  if (image_.trim_state_->enabled()) {
+    VDE_CO_RETURN_IF_ERROR(
+        co_await image_.trim_state_->Ensure(chunk.cover.object_no));
+    zeros = image_.trim_state_->Lookup(chunk.cover.object_no);
+  }
   // All RMW sub-reads of this object ride ONE read transaction; each edge
   // plans against the IV cache independently (RMW edges are the hot
   // single-block case where even the interleaved layout profits), and the
   // format decides what a block read needs for its layout (data+IV range,
-  // IV region slice, OMAP rows).
+  // IV region slice, OMAP rows). Edges resting on cleared markers plan a
+  // zero-fill and consume nothing from the result — when EVERY edge does,
+  // the store round-trip is skipped outright.
   objstore::Transaction txn;
   std::vector<CachedExtentRead> plans;
   plans.reserve(from_store.size());
   for (const auto& e : from_store) {
-    plans.emplace_back(image_.iv_cache_.get(), fmt, e.ext);
+    plans.emplace_back(image_.iv_cache_.get(), fmt, e.ext, zeros);
     plans.back().AppendOps(txn);
   }
-  auto io = image_.cluster_.ioctx();
-  auto got =
-      co_await io.OperateRead(chunk.cover.oid, std::move(txn),
-                              objstore::kHeadSnap);
-  if (got.status().IsNotFound()) co_return Status::Ok();  // reads as zeros
-  if (!got.ok()) co_return got.status();
+  objstore::ReadResult fetched;
+  if (!txn.ops.empty()) {
+    auto io = image_.cluster_.ioctx();
+    auto got =
+        co_await io.OperateRead(chunk.cover.oid, std::move(txn),
+                                objstore::kHeadSnap);
+    if (got.status().IsNotFound()) co_return Status::Ok();  // reads as zeros
+    if (!got.ok()) co_return got.status();
+    fetched = std::move(*got);
+  }
 
   size_t data_off = 0;
+  size_t decrypted_blocks = 0;
   for (size_t i = 0; i < from_store.size(); ++i) {
     const size_t nbytes = plans[i].read_bytes();
-    if (data_off + nbytes > got->data.size()) {
+    if (data_off + nbytes > fetched.data.size()) {
       co_return Status::IoError("short RMW read");
     }
     objstore::ReadResult slice;
-    slice.data.assign(got->data.begin() + static_cast<long>(data_off),
-                      got->data.begin() + static_cast<long>(data_off + nbytes));
-    slice.omap_values = got->omap_values;  // formats match rows by block key
+    slice.data.assign(
+        fetched.data.begin() + static_cast<long>(data_off),
+        fetched.data.begin() + static_cast<long>(data_off + nbytes));
+    slice.omap_values = fetched.omap_values;  // formats match rows by key
     data_off += nbytes;
     VDE_CO_RETURN_IF_ERROR(plans[i].Finish(slice, from_store[i].out));
+    if (!plans[i].zero_fill()) decrypted_blocks++;
   }
-  co_await sim::Sleep{fmt.CryptoCost(from_store.size() * kBlockSize)};
+  if (decrypted_blocks > 0) {
+    co_await sim::Sleep{fmt.CryptoCost(decrypted_blocks * kBlockSize)};
+  }
   co_return Status::Ok();
 }
 
@@ -523,11 +556,18 @@ sim::Task<Status> ImageRequest::WriteChunk(size_t idx) {
   }
 
   core::EncryptionFormat& fmt = *image_.format_;
+  TrimState& ts = *image_.trim_state_;
   const uint64_t last_block =
       chunk.cover.first_block + chunk.cover.block_count - 1;
   const size_t cover_bytes = chunk.cover.block_count * kBlockSize;
   const bool head_partial = chunk.byte_off % kBlockSize != 0;
   const bool tail_partial = (chunk.byte_off + chunk.byte_len) % kBlockSize != 0;
+  // Writing makes these blocks live: if any was marked zero-legit in the
+  // discard bitmap, the SAME transaction carries the updated MAC'd bitmap
+  // (steady-state overwrites of live blocks stage nothing).
+  const std::vector<std::pair<uint64_t, size_t>> written_range{
+      {chunk.cover.first_block, chunk.cover.block_count}};
+  VDE_CO_RETURN_IF_ERROR(co_await ts.Ensure(chunk.cover.object_no));
   objstore::Transaction txn;
   core::IvRows ivs;
   core::IvRows* const ivs_out = image_.IvCapture(&ivs);
@@ -537,9 +577,13 @@ sim::Task<Status> ImageRequest::WriteChunk(size_t idx) {
     const ByteSpan direct = ContiguousSrc(chunk.buf_off, chunk.byte_len);
     if (!direct.empty()) {
       VDE_CO_RETURN_IF_ERROR(fmt.MakeWrite(chunk.cover, direct, txn, ivs_out));
+      auto update =
+          co_await ts.Stage(chunk.cover.object_no, written_range, {}, txn);
+      VDE_CO_RETURN_IF_ERROR(update.status());
       auto io = image_.cluster_.ioctx();
       VDE_CO_RETURN_IF_ERROR(co_await io.Operate(
           chunk.cover.oid, std::move(txn), image_.SnapContext()));
+      ts.Commit(std::move(*update));
       // Any staged blocks under this cover are fully superseded.
       wb.DropRange(chunk.cover.object_no, chunk.cover.first_block, last_block);
       if (ivs_out != nullptr) {
@@ -561,12 +605,17 @@ sim::Task<Status> ImageRequest::WriteChunk(size_t idx) {
   }
   GatherFrom(chunk.buf_off,
              MutByteSpan(scratch.data() + chunk.byte_off, chunk.byte_len));
-  // Re-encrypt only the touched blocks; data + IV metadata ride one atomic
-  // per-object transaction (§3.1).
+  // Re-encrypt only the touched blocks; data + IV metadata (and the
+  // bitmap update, when bits flip) ride one atomic per-object transaction
+  // (§3.1).
   VDE_CO_RETURN_IF_ERROR(fmt.MakeWrite(chunk.cover, scratch, txn, ivs_out));
+  auto update =
+      co_await ts.Stage(chunk.cover.object_no, written_range, {}, txn);
+  VDE_CO_RETURN_IF_ERROR(update.status());
   auto io = image_.cluster_.ioctx();
   VDE_CO_RETURN_IF_ERROR(co_await io.Operate(chunk.cover.oid, std::move(txn),
                                              image_.SnapContext()));
+  ts.Commit(std::move(*update));
   // Staged edge content was folded in via RmwReadEdges; interior stages
   // are overwritten outright. Either way the buffer copy is superseded.
   wb.DropRange(chunk.cover.object_no, chunk.cover.first_block, last_block);
@@ -628,17 +677,35 @@ sim::Task<Status> ImageRequest::DiscardChunk(size_t idx) {
       if (!s.ok() && !s.IsNotFound()) co_return s;
       wb.DropRange(chunk.cover.object_no, ext.first_block,
                    ext.first_block + ext.block_count - 1);
+      // The object (and its persisted bitmap) is gone: every block reads
+      // zeros again, and rereads can zero-fill from cleared markers.
+      image_.trim_state_->OnRemove(chunk.cover.object_no);
+      image_.iv_cache_->PutCleared(chunk.cover.object_no, 0,
+                                   image_.blocks_per_object());
       co_return Status::Ok();
     }
+    VDE_CO_RETURN_IF_ERROR(
+        co_await image_.trim_state_->Ensure(chunk.cover.object_no));
     objstore::Transaction txn;
     fmt.MakeDiscard(ext, txn);
+    // The trimmed blocks become zero-legit: the MAC'd bitmap update rides
+    // the same atomic transaction as the trim itself.
+    const std::vector<std::pair<uint64_t, size_t>> trimmed_range{
+        {ext.first_block, ext.block_count}};
+    auto update = co_await image_.trim_state_->Stage(chunk.cover.object_no,
+                                                     {}, trimmed_range, txn);
+    VDE_CO_RETURN_IF_ERROR(update.status());
     VDE_CO_RETURN_IF_ERROR(co_await io.Operate(chunk.cover.oid,
                                                std::move(txn),
                                                image_.SnapContext()));
+    image_.trim_state_->Commit(std::move(*update));
     // Trimmed blocks read zeros from now on; drop their staged copies so
-    // a later flush cannot resurrect the data.
+    // a later flush cannot resurrect the data, then cache cleared markers
+    // so warmed rereads of the range never reach the store.
     wb.DropRange(chunk.cover.object_no, ext.first_block,
                  ext.first_block + ext.block_count - 1);
+    image_.iv_cache_->PutCleared(chunk.cover.object_no, ext.first_block,
+                                 ext.block_count);
     co_return Status::Ok();
   }
 
@@ -649,6 +716,8 @@ sim::Task<Status> ImageRequest::DiscardChunk(size_t idx) {
   // the interior needs no staging at all.
   co_await wb.Acquire(holds_[idx]);
   HoldGuard held(wb, holds_[idx]);
+  VDE_CO_RETURN_IF_ERROR(
+      co_await image_.trim_state_->Ensure(chunk.cover.object_no));
   const bool head_partial = start % kBlockSize != 0;
   const bool tail_partial = end % kBlockSize != 0;
   const size_t last = chunk.cover.block_count - 1;
@@ -659,6 +728,7 @@ sim::Task<Status> ImageRequest::DiscardChunk(size_t idx) {
   }
   objstore::Transaction txn;
   size_t edge_blocks = 0;
+  std::vector<std::pair<uint64_t, size_t>> edge_written;
   core::IvRows head_ivs, tail_ivs;
   if (!head_buf.empty() || !tail_buf.empty()) {
     VDE_CO_RETURN_IF_ERROR(co_await RmwReadEdges(
@@ -672,6 +742,7 @@ sim::Task<Status> ImageRequest::DiscardChunk(size_t idx) {
       VDE_CO_RETURN_IF_ERROR(fmt.MakeWrite(SubExtent(chunk.cover, 0, 1),
                                            ByteSpan(head_buf), txn,
                                            image_.IvCapture(&head_ivs)));
+      edge_written.emplace_back(chunk.cover.first_block, 1);
       edge_blocks++;
     }
     if (!tail_buf.empty()) {
@@ -684,6 +755,7 @@ sim::Task<Status> ImageRequest::DiscardChunk(size_t idx) {
       VDE_CO_RETURN_IF_ERROR(fmt.MakeWrite(SubExtent(chunk.cover, last, 1),
                                            ByteSpan(tail_buf), txn,
                                            image_.IvCapture(&tail_ivs)));
+      edge_written.emplace_back(chunk.cover.first_block + last, 1);
       edge_blocks++;
     }
   }
@@ -691,17 +763,35 @@ sim::Task<Status> ImageRequest::DiscardChunk(size_t idx) {
     fmt.MakeDiscard(SubExtent(chunk.cover, first_full, end_full - first_full),
                     txn);
   }
+  // One bitmap update covers both motions — edges become live (written
+  // zeros), the interior becomes zero-legit (trimmed) — and rides the same
+  // atomic transaction.
+  std::vector<std::pair<uint64_t, size_t>> trimmed_range;
+  if (first_full < end_full) {
+    trimmed_range.emplace_back(chunk.cover.first_block + first_full,
+                               end_full - first_full);
+  }
+  auto update = co_await image_.trim_state_->Stage(
+      chunk.cover.object_no, edge_written, trimmed_range, txn);
+  VDE_CO_RETURN_IF_ERROR(update.status());
   if (edge_blocks > 0) {
     co_await sim::Sleep{fmt.CryptoCost(edge_blocks * kBlockSize)};
   }
   VDE_CO_RETURN_IF_ERROR(co_await io.Operate(chunk.cover.oid, std::move(txn),
                                              image_.SnapContext()));
+  image_.trim_state_->Commit(std::move(*update));
   // Edge stages were folded into the zeroed blocks, interior stages are
   // cleared in the store: every staged copy under the cover is superseded
   // (DropRange also invalidates the cleared blocks' cached IV rows — the
-  // re-encrypted edges get their fresh rows back right after).
+  // re-encrypted edges get their fresh rows back right after, and the
+  // trimmed interior gets cleared markers).
   wb.DropRange(chunk.cover.object_no, chunk.cover.first_block,
                chunk.cover.first_block + chunk.cover.block_count - 1);
+  if (first_full < end_full) {
+    image_.iv_cache_->PutCleared(chunk.cover.object_no,
+                                 chunk.cover.first_block + first_full,
+                                 end_full - first_full);
+  }
   if (!head_ivs.empty()) {
     image_.iv_cache_->PutRange(chunk.cover.object_no, chunk.cover.first_block,
                                head_ivs);

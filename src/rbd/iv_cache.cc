@@ -1,5 +1,8 @@
 #include "rbd/iv_cache.h"
 
+#include <algorithm>
+#include <cassert>
+
 namespace vde::rbd {
 
 bool IvCache::TryGetRange(uint64_t object_no, uint64_t first_block,
@@ -19,26 +22,29 @@ bool IvCache::TryGetRange(uint64_t object_no, uint64_t first_block,
 
 void IvCache::PutRange(uint64_t object_no, uint64_t first_block,
                        const core::IvRows& rows) {
-  if (!retains()) return;  // zero capacity retains nothing
-  decltype(objects_)::iterator obj = objects_.end();
+  if (!retains() || rows.empty()) return;  // zero capacity retains nothing
+  auto [obj, created_obj] = objects_.try_emplace(object_no);
+  if (created_obj) {
+    lru_.push_front(object_no);
+    obj->second.lru_it = lru_.begin();
+  }
   for (size_t i = 0; i < rows.size(); ++i) {
-    if (rows[i].empty()) continue;  // cleared marker: no negative caching
-    if (obj == objects_.end()) {
-      bool created = false;
-      std::tie(obj, created) = objects_.try_emplace(object_no);
-      if (created) {
-        lru_.push_front(object_no);
-        obj->second.lru_it = lru_.begin();
-      }
-    }
+    // An empty row is the block's cleared marker and is cached as such
+    // (negative entry): a reread of a fully-marked extent never reaches
+    // the store.
     auto [row, created] =
         obj->second.rows.insert_or_assign(first_block + i, rows[i]);
     static_cast<void>(row);
     if (created) cached_rows_++;
   }
-  if (obj == objects_.end()) return;
   Touch(obj->second);
   EvictToCapacity();
+}
+
+void IvCache::PutCleared(uint64_t object_no, uint64_t first_block,
+                         size_t count) {
+  if (!enabled() || !retains() || count == 0) return;
+  PutRange(object_no, first_block, core::IvRows(count));
 }
 
 void IvCache::InvalidateRange(uint64_t object_no, uint64_t first_block,
@@ -81,21 +87,43 @@ void IvCache::EvictToCapacity() {
 
 CachedExtentRead::CachedExtentRead(IvCache* cache,
                                    core::EncryptionFormat& fmt,
-                                   const core::ObjectExtent& ext)
-    : cache_(cache), fmt_(fmt), ext_(ext) {
+                                   const core::ObjectExtent& ext,
+                                   const core::DiscardBitmap* zeros)
+    : cache_(cache), fmt_(fmt), ext_(ext), zeros_(zeros) {
   if (cache_ != nullptr &&
       (!cache_->enabled() || !fmt_.spec().NeedsMetadata())) {
     cache_ = nullptr;
   }
-  if (cache_ != nullptr && fmt_.DataOnlyReadProfitable(ext_) &&
+  if (cache_ != nullptr &&
       cache_->TryGetRange(ext_.object_no, ext_.first_block, ext_.block_count,
                           &rows_)) {
-    hit_ = true;
+    const bool all_cleared =
+        std::all_of(rows_.begin(), rows_.end(),
+                    [](const Bytes& row) { return row.empty(); });
+    if (all_cleared &&
+        (zeros_ == nullptr || !fmt_.AuthenticatedTrim() ||
+         zeros_->AllSetRange(ext_.first_block, ext_.block_count))) {
+      // Every block is a resident cleared marker (and, under an
+      // authenticating format, the discard bitmap agrees): the extent is
+      // zeros without any store round-trip. Geometry profitability is
+      // irrelevant — skipping everything always profits.
+      zero_fill_ = true;
+      hit_ = true;
+    } else if (!all_cleared && fmt_.DataOnlyReadProfitable(ext_)) {
+      hit_ = true;
+    } else {
+      // Mixed markers on an unprofitable geometry, or markers the bitmap
+      // no longer vouches for: fall back to the full fetch.
+      rows_.clear();
+    }
   }
-  read_bytes_ = hit_ ? fmt_.DataOnlyReadBytes(ext_) : fmt_.ReadBytes(ext_);
+  read_bytes_ = zero_fill_ ? 0
+              : hit_       ? fmt_.DataOnlyReadBytes(ext_)
+                           : fmt_.ReadBytes(ext_);
 }
 
 void CachedExtentRead::AppendOps(objstore::Transaction& txn) const {
+  if (zero_fill_) return;  // nothing to fetch
   if (hit_) {
     fmt_.MakeReadDataOnly(ext_, txn);
   } else {
@@ -108,8 +136,16 @@ Status CachedExtentRead::Finish(const objstore::ReadResult& result,
   // Accounting happens here, not at plan time: an extent whose object
   // turned out to be absent (NotFound reads as zeros, Finish never runs)
   // fetched no metadata and must not count.
+  if (zero_fill_) {
+    assert(result.data.empty());
+    std::fill(out.begin(), out.end(), 0);
+    cache_->AccountHit(fmt_.MetaReadBytes(ext_));
+    cache_->AccountTrimHit();
+    return Status::Ok();
+  }
   if (hit_) {
-    VDE_RETURN_IF_ERROR(fmt_.FinishReadWithIvs(ext_, result, rows_, out));
+    VDE_RETURN_IF_ERROR(
+        fmt_.FinishReadWithIvs(ext_, result, rows_, out, zeros_));
     cache_->AccountHit(fmt_.MetaReadBytes(ext_));
     return Status::Ok();
   }
@@ -117,7 +153,7 @@ Status CachedExtentRead::Finish(const objstore::ReadResult& result,
   // (a zero-capacity cache still counts the fetch, but skips the copies).
   const bool keep = cache_ != nullptr && cache_->retains();
   VDE_RETURN_IF_ERROR(
-      fmt_.FinishRead(ext_, result, out, keep ? &rows_ : nullptr));
+      fmt_.FinishRead(ext_, result, out, keep ? &rows_ : nullptr, zeros_));
   if (cache_ != nullptr) {
     cache_->AccountMiss(fmt_.MetaReadBytes(ext_));
     if (keep) cache_->PutRange(ext_.object_no, ext_.first_block, rows_);

@@ -21,9 +21,14 @@
 // The cache is volatile, strictly optional, and bounded: LRU-by-object
 // eviction keeps at most `max_objects` objects' rows resident, a disabled
 // cache is a zero-overhead passthrough (bit-identical on the sim clock),
-// and snapshot reads bypass it (rows describe the head). Cleared rows
-// (trimmed / never-written blocks) are NOT cached — negative caching of
-// trimmed ranges is future work.
+// and snapshot reads bypass it (rows describe the head).
+//
+// Cleared rows are cached as NEGATIVE entries (an empty row = the block's
+// authentic cleared marker): discard paths insert them via PutCleared and
+// FinishRead re-populates them from authenticated reads, so a reread of a
+// TRIMmed extent whose markers are all resident is satisfied client-side
+// — zero store ops, zero device reads, zero metadata bytes (the trimmed
+// fast path bench_trim gates).
 #pragma once
 
 #include <cstdint>
@@ -56,6 +61,8 @@ struct IvCacheStats {
                                // overwrite (fresh rows re-enter right after)
   uint64_t meta_bytes_saved = 0;    // metadata fetch bytes avoided on hits
   uint64_t meta_bytes_fetched = 0;  // metadata bytes fetched on misses
+  uint64_t trim_hits = 0;  // hits served entirely from cleared markers:
+                           // the read never reached the store at all
 };
 
 class IvCache {
@@ -77,12 +84,18 @@ class IvCache {
                    core::IvRows* rows);
 
   // Caches `rows` for blocks starting at `first_block` (row i belongs to
-  // block first_block + i). Empty rows — cleared markers — are skipped.
-  // Touches the object's LRU slot and evicts under pressure. Callers must
-  // hold a guard covering the blocks, and must only insert rows that the
-  // store has durably applied (post-Operate), never speculative ones.
+  // block first_block + i). Empty rows are cached as cleared markers
+  // (negative entries). Touches the object's LRU slot and evicts under
+  // pressure. Callers must hold a guard covering the blocks, and must only
+  // insert rows that reflect durably applied state (post-Operate reads or
+  // writes), never speculative ones.
   void PutRange(uint64_t object_no, uint64_t first_block,
                 const core::IvRows& rows);
+
+  // Caches cleared markers for [first_block, first_block + count): the
+  // caller just trimmed (or removed) these blocks under an exclusive
+  // guard, so rereads can be satisfied client-side as zeros.
+  void PutCleared(uint64_t object_no, uint64_t first_block, size_t count);
 
   // Drops cached rows for [first_block, last_block] of `object_no`. Rides
   // Writeback::DropRange, so it covers every path that makes a row stale:
@@ -108,6 +121,9 @@ class IvCache {
     stats_.misses++;
     stats_.meta_bytes_fetched += meta_bytes;
   }
+  // A zero-fill hit (on top of AccountHit): the whole extent was served
+  // from cleared markers without reaching the store.
+  void AccountTrimHit() { stats_.trim_hits++; }
 
  private:
   struct ObjectRows {
@@ -129,18 +145,31 @@ class IvCache {
 
 // Plans one extent's read against the cache: when every row is resident
 // and the geometry profits, the plan appends data-only ops and decrypts
-// with the cached rows; otherwise it appends the full ops and populates
-// the cache from the fetched metadata. Pass a null cache (or one that is
-// disabled, or a format without metadata, or a non-head snapshot read) and
-// the plan degrades to the plain MakeRead/FinishRead path with zero
-// overhead.
+// with the cached rows; when every resident row is a cleared marker the
+// extent is TRIMmed end to end and the plan appends NO ops at all —
+// zero_fill() — the caller skips the store round-trip and Finish writes
+// plain zeros; otherwise it appends the full ops and populates the cache
+// from the fetched metadata. Pass a null cache (or one that is disabled,
+// or a format without metadata, or a non-head snapshot read) and the plan
+// degrades to the plain MakeRead/FinishRead path with zero overhead.
+//
+// `zeros` (may be null) is the object's verified discard bitmap; it is
+// threaded into FinishRead/FinishReadWithIvs so cleared markers coming
+// off the store are authenticated before they decrypt to zeros — or are
+// negatively cached.
 class CachedExtentRead {
  public:
   CachedExtentRead(IvCache* cache, core::EncryptionFormat& fmt,
-                   const core::ObjectExtent& ext);
+                   const core::ObjectExtent& ext,
+                   const core::DiscardBitmap* zeros = nullptr);
 
-  // Appends this extent's read ops (data-only on a hit, full on a miss).
+  // Appends this extent's read ops (none on a zero-fill hit, data-only on
+  // a row hit, full on a miss).
   void AppendOps(objstore::Transaction& txn) const;
+
+  // Every block of the extent is a resident cleared marker: no ops were
+  // appended, Finish needs no transaction result.
+  bool zero_fill() const { return zero_fill_; }
 
   // Bytes of kRead payload the appended ops produce — the split boundary
   // when several planned extents batch into one transaction.
@@ -157,7 +186,9 @@ class CachedExtentRead {
   IvCache* cache_;  // null = passthrough
   core::EncryptionFormat& fmt_;
   core::ObjectExtent ext_;
+  const core::DiscardBitmap* zeros_;  // may be null
   bool hit_ = false;
+  bool zero_fill_ = false;
   size_t read_bytes_ = 0;
   core::IvRows rows_;
 };

@@ -1,0 +1,138 @@
+#include "rbd/trim_state.h"
+
+#include <cassert>
+
+#include "rbd/image.h"
+
+namespace vde::rbd {
+
+TrimState::Update::~Update() {
+  if (owner_ != nullptr) {
+    TrimState* owner = std::exchange(owner_, nullptr);
+    owner->GetEntry(object_no_).lane.Release();
+  }
+}
+
+bool TrimState::enabled() const {
+  return image_.format_ != nullptr && image_.format_->AuthenticatedTrim();
+}
+
+TrimState::Entry& TrimState::GetEntry(uint64_t object_no) {
+  auto& slot = entries_[object_no];
+  if (!slot) slot = std::make_unique<Entry>();
+  return *slot;
+}
+
+const core::DiscardBitmap* TrimState::Lookup(uint64_t object_no) const {
+  const auto it = entries_.find(object_no);
+  if (it == entries_.end() || !it->second->loaded) return nullptr;
+  return &it->second->bits;
+}
+
+sim::Task<Status> TrimState::Ensure(uint64_t object_no) {
+  if (!enabled()) co_return Status::Ok();
+  Entry& entry = GetEntry(object_no);
+  if (entry.loaded) co_return Status::Ok();
+  co_await entry.lane.Acquire();
+  sim::SemGuard lane(entry.lane);
+  if (entry.loaded) co_return Status::Ok();  // a concurrent caller loaded
+
+  core::EncryptionFormat& fmt = *image_.format_;
+  const size_t bpo = image_.blocks_per_object();
+  objstore::Transaction txn;
+  fmt.MakeBitmapRead(txn);
+  stats_.loads++;
+  auto io = image_.cluster_.ioctx();
+  auto got = co_await io.OperateRead(image_.ObjectName(object_no),
+                                     std::move(txn), objstore::kHeadSnap);
+  if (got.status().IsNotFound()) {
+    // Fresh object: every block legitimately reads as zeros.
+    entry.bits = core::DiscardBitmap::AllSet(bpo);
+    entry.loaded = true;
+    co_return Status::Ok();
+  }
+  if (!got.ok()) co_return got.status();
+  auto raw = fmt.FinishBitmapRead(*got);
+  if (!raw.ok()) co_return raw.status();
+  if (raw->empty()) {
+    // Every write through an AuthenticatedTrim format persists a bitmap,
+    // so an existing data object without one had its record wiped — the
+    // bitmap flavor of the erase channel. Refuse to guess. (Fresh objects
+    // never reach here: the read ops NotFound on an absent object.)
+    co_return Status::Corruption(
+        "discard bitmap missing for existing object");
+  }
+  VDE_CO_RETURN_IF_ERROR(fmt.OpenBitmap(object_no, *raw, &entry.bits));
+  entry.loaded = true;
+  co_return Status::Ok();
+}
+
+sim::Task<Result<TrimState::Update>> TrimState::Stage(
+    uint64_t object_no,
+    const std::vector<std::pair<uint64_t, size_t>>& clear,
+    const std::vector<std::pair<uint64_t, size_t>>& set,
+    objstore::Transaction& txn) {
+  Update update;
+  if (!enabled()) co_return update;
+  Entry& entry = GetEntry(object_no);
+  assert(entry.loaded && "Stage requires a prior successful Ensure");
+
+  // Fast path — resolved synchronously, so a no-flip check cannot race a
+  // concurrent commit: overwrites of live blocks and trims of already-
+  // trimmed ranges append nothing and take no lane.
+  auto flips = [&entry, &clear, &set]() {
+    for (const auto& [first, count] : clear) {
+      if (entry.bits.AnySetRange(first, count)) return true;
+    }
+    for (const auto& [first, count] : set) {
+      if (!entry.bits.AllSetRange(first, count)) return true;
+    }
+    return false;
+  };
+  if (!flips()) co_return update;
+
+  co_await entry.lane.Acquire();
+  // Re-check under the lane: the bits may have flipped while waiting.
+  if (!flips()) {
+    entry.lane.Release();
+    co_return update;
+  }
+  update.owner_ = this;
+  update.object_no_ = object_no;
+  update.pending_ = entry.bits;
+  for (const auto& [first, count] : clear) {
+    update.pending_.ClearRange(first, count);
+  }
+  for (const auto& [first, count] : set) {
+    update.pending_.SetRange(first, count);
+  }
+  image_.format_->MakeBitmapWrite(
+      object_no, image_.format_->SealBitmap(object_no, update.pending_), txn);
+  co_return update;
+}
+
+void TrimState::Commit(Update&& update) {
+  if (!update.active()) return;
+  TrimState* owner = std::exchange(update.owner_, nullptr);
+  assert(owner == this);
+  Entry& entry = owner->GetEntry(update.object_no_);
+  entry.bits = std::move(update.pending_);
+  stats_.bitmap_updates++;
+  entry.lane.Release();
+}
+
+void TrimState::Abort(Update&& update) {
+  if (!update.active()) return;
+  TrimState* owner = std::exchange(update.owner_, nullptr);
+  assert(owner == this);
+  owner->GetEntry(update.object_no_).lane.Release();
+}
+
+void TrimState::OnRemove(uint64_t object_no) {
+  if (!enabled()) return;
+  Entry& entry = GetEntry(object_no);
+  entry.bits = core::DiscardBitmap::AllSet(image_.blocks_per_object());
+  entry.loaded = true;
+}
+
+}  // namespace vde::rbd

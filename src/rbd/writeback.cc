@@ -95,15 +95,25 @@ sim::Task<Status> Writeback::ReadBlock(uint64_t object_no, uint64_t block,
                                        MutByteSpan out) {
   core::EncryptionFormat& fmt = *image_.format_;
   const core::ObjectExtent ext = BlockExtent(object_no, block);
+  const core::DiscardBitmap* zeros = nullptr;
+  if (image_.trim_state_->enabled()) {
+    VDE_CO_RETURN_IF_ERROR(co_await image_.trim_state_->Ensure(object_no));
+    zeros = image_.trim_state_->Lookup(object_no);
+  }
   objstore::Transaction txn;
   // Single-block RMW read: the IV-cache sweet spot — every layout profits
-  // from skipping the metadata fetch here, including the interleaved one.
-  CachedExtentRead plan(image_.iv_cache_.get(), fmt, ext);
+  // from skipping the metadata fetch here, including the interleaved one
+  // (and a resident cleared marker skips the store outright).
+  CachedExtentRead plan(image_.iv_cache_.get(), fmt, ext, zeros);
   plan.AppendOps(txn);
+  image_.stats_.rmw_blocks++;
+  if (plan.zero_fill()) {
+    VDE_CO_RETURN_IF_ERROR(plan.Finish(objstore::ReadResult{}, out));
+    co_return Status::Ok();
+  }
   auto io = image_.cluster_.ioctx();
   auto got = co_await io.OperateRead(ext.oid, std::move(txn),
                                      objstore::kHeadSnap);
-  image_.stats_.rmw_blocks++;
   if (got.status().IsNotFound()) {
     std::fill(out.begin(), out.end(), 0);  // never-written: reads zeros
     co_return Status::Ok();
@@ -238,11 +248,18 @@ void Writeback::MaybePrune(uint64_t object_no) {
 sim::Task<Status> Writeback::WriteOutStage(uint64_t object_no, uint64_t block,
                                            const Stage& stage) {
   core::EncryptionFormat& fmt = *image_.format_;
+  VDE_CO_RETURN_IF_ERROR(co_await image_.trim_state_->Ensure(object_no));
   objstore::Transaction txn;
   core::IvRows ivs;
   core::IvRows* const ivs_out = image_.IvCapture(&ivs);
   VDE_CO_RETURN_IF_ERROR(
       fmt.MakeWrite(BlockExtent(object_no, block), stage.data, txn, ivs_out));
+  // First flush of a fresh or trimmed block flips its zero-legit bit: the
+  // MAC'd bitmap update rides the same transaction.
+  const std::vector<std::pair<uint64_t, size_t>> written_range{{block, 1}};
+  auto update =
+      co_await image_.trim_state_->Stage(object_no, written_range, {}, txn);
+  VDE_CO_RETURN_IF_ERROR(update.status());
   co_await sim::Sleep{fmt.CryptoCost(kBlockSize)};
   auto io = image_.cluster_.ioctx();
   Status applied = co_await io.Operate(image_.ObjectName(object_no),
@@ -250,8 +267,11 @@ sim::Task<Status> Writeback::WriteOutStage(uint64_t object_no, uint64_t block,
   // Flush and snapshot drains funnel through here: the freshly persisted
   // IV replaces the stale cached row in the same breath, so a barrier
   // never leaves a row pointing at overwritten ciphertext.
-  if (applied.ok() && ivs_out != nullptr) {
-    image_.iv_cache_->PutRange(object_no, block, ivs);
+  if (applied.ok()) {
+    image_.trim_state_->Commit(std::move(*update));
+    if (ivs_out != nullptr) {
+      image_.iv_cache_->PutRange(object_no, block, ivs);
+    }
   }
   co_return applied;
 }

@@ -1,0 +1,63 @@
+#include "util/interval_map.h"
+
+#include <algorithm>
+
+namespace vde {
+
+uint64_t IntervalMapAdd(IntervalMap& map, uint64_t off, uint64_t len) {
+  if (len == 0) return 0;
+  const uint64_t orig_hi = off + len;
+  // Overlap of [f, e) with the range being added (0 for merely adjacent).
+  auto overlap = [off, orig_hi](uint64_t f, uint64_t e) -> uint64_t {
+    const uint64_t lo = std::max(f, off);
+    const uint64_t hi = std::min(e, orig_hi);
+    return hi > lo ? hi - lo : 0;
+  };
+  uint64_t lo = off, hi = orig_hi;
+  uint64_t already = 0;
+  auto it = map.lower_bound(lo);
+  if (it != map.begin()) {
+    auto prev = std::prev(it);
+    if (prev->first + prev->second >= lo) {
+      lo = prev->first;
+      it = prev;
+    }
+  }
+  while (it != map.end() && it->first <= hi) {
+    already += overlap(it->first, it->first + it->second);
+    hi = std::max(hi, it->first + it->second);
+    it = map.erase(it);
+  }
+  map[lo] = hi - lo;
+  return len - already;
+}
+
+uint64_t IntervalMapRemove(IntervalMap& map, uint64_t off, uint64_t len) {
+  if (len == 0) return 0;
+  const uint64_t lo = off, hi = off + len;
+  uint64_t removed = 0;
+  auto it = map.lower_bound(lo);
+  if (it != map.begin()) {
+    auto prev = std::prev(it);
+    if (prev->first + prev->second > lo) it = prev;
+  }
+  while (it != map.end() && it->first < hi) {
+    const uint64_t r_off = it->first;
+    const uint64_t r_end = r_off + it->second;
+    it = map.erase(it);
+    if (r_off < lo) map[r_off] = lo - r_off;
+    if (hi < r_end) it = map.insert(it, {hi, r_end - hi});
+    removed += std::min(r_end, hi) - std::max(r_off, lo);
+  }
+  return removed;
+}
+
+bool IntervalMapCovers(const IntervalMap& map, uint64_t off, uint64_t len) {
+  if (map.empty()) return false;
+  auto it = map.upper_bound(off);
+  if (it == map.begin()) return false;
+  --it;
+  return it->first <= off && off + len <= it->first + it->second;
+}
+
+}  // namespace vde

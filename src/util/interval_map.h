@@ -1,0 +1,26 @@
+// Disjoint, coalesced half-open byte ranges in an ordered map
+// (offset -> length). Shared by the object store's trimmed-extent maps
+// and the extent allocator's punched pool, so the subtle prev-straddle /
+// split-on-erase logic lives exactly once.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+namespace vde {
+
+using IntervalMap = std::map<uint64_t, uint64_t>;
+
+// Inserts [off, off+len), merging with overlapping and adjacent ranges.
+// Returns how many bytes were NOT already present (the newly covered
+// capacity) — callers keeping a byte total add the return value.
+uint64_t IntervalMapAdd(IntervalMap& map, uint64_t off, uint64_t len);
+
+// Removes [off, off+len), splitting ranges that straddle a boundary.
+// Returns how many bytes were actually removed.
+uint64_t IntervalMapRemove(IntervalMap& map, uint64_t off, uint64_t len);
+
+// Whether [off, off+len) lies fully inside one range.
+bool IntervalMapCovers(const IntervalMap& map, uint64_t off, uint64_t len);
+
+}  // namespace vde

@@ -36,6 +36,10 @@ rbd::ImageStats StatsDelta(const rbd::ImageStats& after,
   d.iv_meta_bytes_saved = after.iv_meta_bytes_saved - before.iv_meta_bytes_saved;
   d.iv_meta_bytes_fetched =
       after.iv_meta_bytes_fetched - before.iv_meta_bytes_fetched;
+  d.trim_zero_reads = after.trim_zero_reads - before.trim_zero_reads;
+  d.trim_state_loads = after.trim_state_loads - before.trim_state_loads;
+  d.trim_bitmap_updates =
+      after.trim_bitmap_updates - before.trim_bitmap_updates;
   d.qos_submitted = after.qos_submitted - before.qos_submitted;
   d.qos_queued = after.qos_queued - before.qos_queued;
   d.qos_throttled = after.qos_throttled - before.qos_throttled;
@@ -99,6 +103,25 @@ std::string FioResult::Summary() const {
                   static_cast<unsigned long long>(image.iv_meta_bytes_fetched));
     out += buf;
   }
+  if (image.trim_zero_reads + image.trim_bitmap_updates +
+          image.trim_state_loads > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  " trim[zero_reads=%llu bmp_updates=%llu loads=%llu]",
+                  static_cast<unsigned long long>(image.trim_zero_reads),
+                  static_cast<unsigned long long>(image.trim_bitmap_updates),
+                  static_cast<unsigned long long>(image.trim_state_loads));
+    out += buf;
+  }
+  if (discards > 0) {
+    // Reclamation gauges: what the TRIMs actually freed cluster-wide.
+    std::snprintf(buf, sizeof(buf),
+                  " store[free_mb=%.1f punched_mb=%.1f frags=%llu+%llu]",
+                  static_cast<double>(store.free_bytes) / (1 << 20),
+                  static_cast<double>(store.punched_bytes) / (1 << 20),
+                  static_cast<unsigned long long>(store.fragments),
+                  static_cast<unsigned long long>(store.punched_fragments));
+    out += buf;
+  }
   if (image.qos_submitted > 0) {
     std::snprintf(buf, sizeof(buf),
                   " qos[queued=%llu throttled=%llu peak_q=%llu wait_ms=%.1f]",
@@ -134,7 +157,7 @@ FioRunner::FioRunner(rbd::Image& image, FioConfig config)
     // submission order (write-back block-range guards) and writes carry
     // offset-derived content, so no clamp is needed for mutating runs.
     block_state_.assign(RoundUpBlock(working_set_) / core::kBlockSize,
-                        BlockState::kContent);
+                        BlockExpect{});
   }
 }
 
@@ -163,21 +186,20 @@ void FioRunner::ExpectedRange(uint64_t offset, MutByteSpan out) const {
   }
 }
 
-std::vector<FioRunner::BlockState> FioRunner::StateSnapshot(
+std::vector<FioRunner::BlockExpect> FioRunner::StateSnapshot(
     uint64_t offset, uint64_t length) const {
   const uint64_t first = offset / core::kBlockSize;
   const uint64_t last = (offset + length - 1) / core::kBlockSize;
-  std::vector<BlockState> out;
+  std::vector<BlockExpect> out;
   out.reserve(last - first + 1);
   for (uint64_t b = first; b <= last; ++b) {
-    out.push_back(b < block_state_.size() ? block_state_[b]
-                                          : BlockState::kContent);
+    out.push_back(b < block_state_.size() ? block_state_[b] : BlockExpect{});
   }
   return out;
 }
 
 Status FioRunner::VerifyRead(uint64_t offset, ByteSpan got,
-                             const std::vector<BlockState>& expected) const {
+                             const std::vector<BlockExpect>& expected) const {
   Bytes expect(core::kBlockSize);
   const uint64_t first = offset / core::kBlockSize;
   uint64_t pos = offset;
@@ -188,9 +210,16 @@ Status FioRunner::VerifyRead(uint64_t offset, ByteSpan got,
     const uint64_t in_block = pos - bstart;
     const size_t take = std::min<size_t>(core::kBlockSize - in_block,
                                          got.size() - got_off);
-    const BlockState state = expected[block - first];
+    const BlockExpect& exp = expected[block - first];
     bool ok = true;
-    switch (state) {
+    auto zeros_at = [&](uint64_t lo, uint64_t hi) {
+      return std::all_of(got.begin() + static_cast<long>(got_off + lo -
+                                                         in_block),
+                         got.begin() + static_cast<long>(got_off + hi -
+                                                         in_block),
+                         [](uint8_t v) { return v == 0; });
+    };
+    switch (exp.state) {
       case BlockState::kContent:
         FillBlock(bstart, expect);
         ok = std::equal(expect.begin() + static_cast<long>(in_block),
@@ -198,12 +227,32 @@ Status FioRunner::VerifyRead(uint64_t offset, ByteSpan got,
                         got.begin() + static_cast<long>(got_off));
         break;
       case BlockState::kZero:
-        ok = std::all_of(got.begin() + static_cast<long>(got_off),
-                         got.begin() + static_cast<long>(got_off + take),
-                         [](uint8_t b) { return b == 0; });
+        ok = zeros_at(in_block, in_block + take);
         break;
+      case BlockState::kZeroPartial: {
+        // Trimmed block overwritten in [lo, hi): seed content inside the
+        // written range, and — the discard assertion — zeros outside it.
+        // A resurrected pre-trim byte fails here.
+        FillBlock(bstart, expect);
+        const uint64_t r_lo = std::max<uint64_t>(in_block, exp.lo);
+        const uint64_t r_hi =
+            std::min<uint64_t>(in_block + take, exp.hi);
+        if (r_lo < r_hi) {
+          ok = std::equal(expect.begin() + static_cast<long>(r_lo),
+                          expect.begin() + static_cast<long>(r_hi),
+                          got.begin() + static_cast<long>(got_off + r_lo -
+                                                          in_block));
+        }
+        if (ok && in_block < std::min<uint64_t>(exp.lo, in_block + take)) {
+          ok = zeros_at(in_block, std::min<uint64_t>(exp.lo, in_block + take));
+        }
+        if (ok && std::max<uint64_t>(exp.hi, in_block) < in_block + take) {
+          ok = zeros_at(std::max<uint64_t>(exp.hi, in_block), in_block + take);
+        }
+        break;
+      }
       case BlockState::kUnknown:
-        break;  // mixed content (partial write over a trimmed block): skip
+        break;  // disjoint partial writes over a trimmed block: skip
     }
     if (!ok) {
       return Status::Corruption("read verification failed at " +
@@ -217,18 +266,46 @@ Status FioRunner::VerifyRead(uint64_t offset, ByteSpan got,
 
 void FioRunner::MarkWrite(uint64_t offset, uint64_t length) {
   // A verify-mode write carries seed-derived content, so fully covered
-  // blocks return to kContent; a partially covered block only does if its
-  // remainder already held content.
+  // blocks return to kContent; a partial write over a trimmed block keeps
+  // the zero background checkable (kZeroPartial) as long as the written
+  // sub-ranges stay contiguous.
   const uint64_t first = offset / core::kBlockSize;
   const uint64_t last = (offset + length - 1) / core::kBlockSize;
   for (uint64_t b = first; b <= last && b < block_state_.size(); ++b) {
     const uint64_t bstart = b * core::kBlockSize;
     const bool full = offset <= bstart &&
                       offset + length >= bstart + core::kBlockSize;
-    if (full || block_state_[b] == BlockState::kContent) {
-      block_state_[b] = BlockState::kContent;
-    } else {
-      block_state_[b] = BlockState::kUnknown;
+    BlockExpect& exp = block_state_[b];
+    if (full || exp.state == BlockState::kContent) {
+      exp = BlockExpect{};  // kContent
+      continue;
+    }
+    const auto w_lo = static_cast<uint32_t>(
+        std::max<uint64_t>(offset, bstart) - bstart);
+    const auto w_hi = static_cast<uint32_t>(
+        std::min<uint64_t>(offset + length, bstart + core::kBlockSize) -
+        bstart);
+    switch (exp.state) {
+      case BlockState::kZero:
+        exp = BlockExpect{BlockState::kZeroPartial, w_lo, w_hi};
+        break;
+      case BlockState::kZeroPartial:
+        if (w_lo <= exp.hi && exp.lo <= w_hi) {
+          // Overlapping or touching: one contiguous written range.
+          exp.lo = std::min(exp.lo, w_lo);
+          exp.hi = std::max(exp.hi, w_hi);
+        } else {
+          exp = BlockExpect{BlockState::kUnknown, 0, 0};
+        }
+        break;
+      case BlockState::kContent:
+      case BlockState::kUnknown:
+        exp = BlockExpect{BlockState::kUnknown, 0, 0};
+        break;
+    }
+    if (exp.state == BlockState::kZeroPartial && exp.lo == 0 &&
+        exp.hi == core::kBlockSize) {
+      exp = BlockExpect{};  // the writes covered the whole block
     }
   }
 }
@@ -238,7 +315,7 @@ void FioRunner::MarkDiscard(uint64_t offset, uint64_t length) {
   const uint64_t first = (offset + core::kBlockSize - 1) / core::kBlockSize;
   const uint64_t last = (offset + length) / core::kBlockSize;
   for (uint64_t b = first; b < last && b < block_state_.size(); ++b) {
-    block_state_[b] = BlockState::kZero;
+    block_state_[b] = BlockExpect{BlockState::kZero, 0, 0};
   }
 }
 
@@ -337,7 +414,7 @@ sim::Task<void> FioRunner::Worker(size_t worker_id, FioResult* result,
       // this read (but before it completes) flips the live model, yet the
       // read — ordered first by the image's guards — returns the content
       // as of its own submission.
-      std::vector<BlockState> expected;
+      std::vector<BlockExpect> expected;
       if (config_.verify) {
         expected = StateSnapshot(offset, config_.io_size);
       }
@@ -398,6 +475,7 @@ sim::Task<Result<FioResult>> FioRunner::Run() {
 
   result.duration = measure_end_ - measure_start_;
   result.image = StatsDelta(image_.stats(), stats_before);
+  result.store = image_.cluster().TotalStoreSpace();
   if (!status.ok()) co_return status;
   co_return result;
 }

@@ -83,6 +83,10 @@ struct FioResult {
   // write-back and QoS behavior behind the measured numbers. The qos peak
   // field is a high-water mark, not a delta.
   rbd::ImageStats image;
+  // Cluster-wide allocator capacity at the end of the run (gauges, not
+  // deltas): free/punched bytes and fragmentation — what a TRIM-heavy run
+  // actually reclaimed. Summary() prints it when discards were issued.
+  objstore::StoreSpace store;
 
   double BandwidthMBps() const {
     return duration == 0
@@ -122,8 +126,18 @@ class FioRunner {
   const FioConfig& config() const { return config_; }
 
  private:
-  // Per-4 KiB-block content model for verify mode.
-  enum class BlockState : uint8_t { kContent, kZero, kUnknown };
+  // Per-4 KiB-block content model for verify mode. kZeroPartial is a
+  // trimmed block later overwritten in one contiguous sub-range [lo, hi):
+  // bytes inside it are seed content, bytes outside it MUST still read
+  // zero — asserting, at any queue depth, that trimmed data stays dead
+  // (no resurrection through the RMW merge or a stale write-back stage).
+  // Disjoint partial writes over a trimmed block degrade to kUnknown
+  // (verification skipped for that block only).
+  enum class BlockState : uint8_t { kContent, kZero, kZeroPartial, kUnknown };
+  struct BlockExpect {
+    BlockState state = BlockState::kContent;
+    uint32_t lo = 0, hi = 0;  // kZeroPartial: the written sub-range
+  };
 
   sim::Task<void> Worker(size_t worker_id, FioResult* result, Status* status);
   uint64_t NextOffset();
@@ -135,10 +149,10 @@ class FioRunner {
   // issue time: the image applies overlapping IO in submission order, so
   // a read returns the state as of ITS issue — mutations issued later
   // (but completing earlier) must not shift the expectation.
-  std::vector<BlockState> StateSnapshot(uint64_t offset,
-                                        uint64_t length) const;
+  std::vector<BlockExpect> StateSnapshot(uint64_t offset,
+                                         uint64_t length) const;
   Status VerifyRead(uint64_t offset, ByteSpan got,
-                    const std::vector<BlockState>& expected) const;
+                    const std::vector<BlockExpect>& expected) const;
   void MarkWrite(uint64_t offset, uint64_t length);
   void MarkDiscard(uint64_t offset, uint64_t length);
 
@@ -149,7 +163,7 @@ class FioRunner {
   uint64_t align_;
   uint64_t slots_;
   Rng rng_;
-  std::vector<BlockState> block_state_;  // verify mode only
+  std::vector<BlockExpect> block_state_;  // verify mode only
   uint64_t issued_ = 0;
   uint64_t seq_cursor_ = 0;
   bool measuring_ = false;

@@ -79,5 +79,65 @@ TEST(ExtentAllocator, RandomAllocFreeInvariant) {
   }
 }
 
+TEST(ExtentAllocator, PunchReleasesFullyCoveredSectorsOnly) {
+  ExtentAllocator a(64 * 4096, 4096);
+  auto x = a.Allocate(16 * 4096);
+  ASSERT_TRUE(x.ok());
+  const uint64_t before = a.free_bytes();
+  // [100, 8292) fully covers only sector 1.
+  EXPECT_EQ(a.Punch(*x + 100, 2 * 4096), 4096u);
+  EXPECT_EQ(a.punched_bytes(), 4096u);
+  EXPECT_EQ(a.free_bytes(), before + 4096);
+  // Punching the same range again is a no-op.
+  EXPECT_EQ(a.Punch(*x + 100, 2 * 4096), 0u);
+  EXPECT_EQ(a.punched_bytes(), 4096u);
+}
+
+TEST(ExtentAllocator, PunchCoalescesAndRestoreReBacks) {
+  ExtentAllocator a(64 * 4096, 4096);
+  auto x = a.Allocate(16 * 4096);
+  ASSERT_TRUE(x.ok());
+  EXPECT_EQ(a.Punch(*x, 4 * 4096), 4u * 4096);
+  EXPECT_EQ(a.Punch(*x + 8 * 4096, 4 * 4096), 4u * 4096);
+  EXPECT_EQ(a.punched_fragments(), 2u);
+  // Punching the gap merges the three ranges into one.
+  EXPECT_EQ(a.Punch(*x + 4 * 4096, 4 * 4096), 4u * 4096);
+  EXPECT_EQ(a.punched_fragments(), 1u);
+  EXPECT_EQ(a.punched_bytes(), 12u * 4096);
+  // A write touching one byte of a punched sector re-backs that sector.
+  EXPECT_EQ(a.Restore(*x + 4096 + 17, 1), 4096u);
+  EXPECT_EQ(a.punched_bytes(), 11u * 4096);
+  EXPECT_EQ(a.punched_fragments(), 2u);
+  // Restoring a never-punched range is a no-op.
+  EXPECT_EQ(a.Restore(*x + 13 * 4096, 4096), 0u);
+}
+
+TEST(ExtentAllocator, AllocateNeverPlacesInsidePunchedHoles) {
+  ExtentAllocator a(8 * 4096, 4096);
+  auto x = a.Allocate(6 * 4096);
+  ASSERT_TRUE(x.ok());
+  EXPECT_EQ(a.Punch(*x, 6 * 4096), 6u * 4096);
+  // free_bytes says 8 sectors, but only the 2 unallocated ones are
+  // general-pool: a 3-sector request must fail rather than squat in the
+  // live allocation's punched hole.
+  EXPECT_EQ(a.free_bytes(), 8u * 4096);
+  EXPECT_EQ(a.Allocate(3 * 4096).status().code(), StatusCode::kOutOfSpace);
+  EXPECT_TRUE(a.Allocate(2 * 4096).ok());
+  // The owner can still re-back its hole in full.
+  EXPECT_EQ(a.Restore(*x, 6 * 4096), 6u * 4096);
+}
+
+TEST(ExtentAllocator, FreeAbsorbsPunchedSubranges) {
+  ExtentAllocator a(16 * 4096, 4096);
+  auto x = a.Allocate(8 * 4096);
+  ASSERT_TRUE(x.ok());
+  EXPECT_EQ(a.Punch(*x + 4096, 3 * 4096), 3u * 4096);
+  // Whole-extent free must not double-count the punched capacity.
+  a.Free(*x, 8 * 4096);
+  EXPECT_EQ(a.punched_bytes(), 0u);
+  EXPECT_EQ(a.free_bytes(), 16u * 4096);
+  EXPECT_EQ(a.fragments(), 1u);
+}
+
 }  // namespace
 }  // namespace vde::dev

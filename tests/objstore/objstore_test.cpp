@@ -1,5 +1,7 @@
 // Object store tests: transactional writes, OMAP, RMW accounting,
 // snapshots/clones, remove, and journal behavior.
+#include <algorithm>
+
 #include <gtest/gtest.h>
 
 #include "../testutil.h"
@@ -371,6 +373,179 @@ TEST(ObjectStore, WriteBeyondMaxObjectRejected) {
     const auto status =
         co_await os.Apply(WriteTxn("big", 5ull << 20, Bytes(4096, 0)), {});
     EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  });
+}
+
+// --- Tracked discard (kTrim) ---
+
+Transaction TrimTxn(const std::string& oid, uint64_t off, uint64_t len) {
+  Transaction txn;
+  txn.oid = oid;
+  OsdOp op;
+  op.type = OsdOp::Type::kTrim;
+  op.offset = off;
+  op.length = len;
+  txn.ops.push_back(std::move(op));
+  return txn;
+}
+
+TEST(ObjectStoreTrim, TrimFreesCapacityAndReadsZeros) {
+  testutil::RunSim([]() -> sim::Task<void> {
+    auto nvme = std::make_shared<dev::NvmeDevice>();
+    auto store = co_await ObjectStore::Open(nvme, SmallStore());
+    auto& os = **store;
+    Rng rng(2);
+    CO_ASSERT_OK(co_await os.Apply(
+        WriteTxn("t", 0, rng.RandomBytes(64 * 4096)), {}));
+    co_await os.Drain();
+    const uint64_t free_before = os.space().free_bytes;
+
+    CO_ASSERT_OK(co_await os.Apply(TrimTxn("t", 16 * 4096, 32 * 4096), {}));
+    // TRIM actually grows allocator capacity, by exactly the fully
+    // covered sectors, and the trimmed map tracks the logical range.
+    EXPECT_EQ(os.space().free_bytes, free_before + 32 * 4096);
+    EXPECT_EQ(os.space().punched_bytes, 32u * 4096);
+    EXPECT_EQ(os.TrimmedBytes("t"), 32u * 4096);
+    EXPECT_EQ(os.stats().trim_ops, 1u);
+    EXPECT_EQ(os.stats().bytes_trimmed, 32u * 4096);
+
+    auto got = co_await os.ExecuteRead(ReadTxn("t", 16 * 4096, 32 * 4096),
+                                       kHeadSnap);
+    CO_ASSERT_OK(got.status());
+    EXPECT_TRUE(std::all_of(got->data.begin(), got->data.end(),
+                            [](uint8_t b) { return b == 0; }));
+  });
+}
+
+TEST(ObjectStoreTrim, TrimmedReadSkipsDevice) {
+  testutil::RunSim([]() -> sim::Task<void> {
+    auto nvme = std::make_shared<dev::NvmeDevice>();
+    auto store = co_await ObjectStore::Open(nvme, SmallStore());
+    auto& os = **store;
+    Rng rng(3);
+    CO_ASSERT_OK(co_await os.Apply(
+        WriteTxn("t", 0, rng.RandomBytes(16 * 4096)), {}));
+    CO_ASSERT_OK(co_await os.Apply(TrimTxn("t", 0, 8 * 4096), {}));
+    co_await os.Drain();
+
+    const uint64_t reads_before = nvme->stats().read_ops;
+    auto got = co_await os.ExecuteRead(ReadTxn("t", 4096, 4 * 4096),
+                                       kHeadSnap);
+    CO_ASSERT_OK(got.status());
+    // Fully inside the trimmed map: served as zeros with zero device IO.
+    EXPECT_EQ(nvme->stats().read_ops, reads_before);
+    EXPECT_EQ(os.stats().trimmed_reads, 1u);
+    // A read straddling the trimmed boundary still goes to the device.
+    auto edge = co_await os.ExecuteRead(ReadTxn("t", 4 * 4096, 8 * 4096),
+                                        kHeadSnap);
+    CO_ASSERT_OK(edge.status());
+    EXPECT_GT(nvme->stats().read_ops, reads_before);
+  });
+}
+
+TEST(ObjectStoreTrim, RewriteRestoresBackingAndClearsMap) {
+  testutil::RunSim([]() -> sim::Task<void> {
+    auto nvme = std::make_shared<dev::NvmeDevice>();
+    auto store = co_await ObjectStore::Open(nvme, SmallStore());
+    auto& os = **store;
+    Rng rng(4);
+    CO_ASSERT_OK(co_await os.Apply(
+        WriteTxn("t", 0, rng.RandomBytes(16 * 4096)), {}));
+    CO_ASSERT_OK(co_await os.Apply(TrimTxn("t", 0, 16 * 4096), {}));
+    EXPECT_EQ(os.space().punched_bytes, 16u * 4096);
+
+    const Bytes fresh = rng.RandomBytes(4 * 4096);
+    CO_ASSERT_OK(co_await os.Apply(WriteTxn("t", 4096, fresh), {}));
+    // The rewritten sectors are re-backed; the rest stay punched.
+    EXPECT_EQ(os.space().punched_bytes, 12u * 4096);
+    EXPECT_EQ(os.stats().bytes_restored, 4u * 4096);
+    EXPECT_EQ(os.TrimmedBytes("t"), 12u * 4096);
+
+    auto got = co_await os.ExecuteRead(ReadTxn("t", 4096, 4 * 4096),
+                                       kHeadSnap);
+    CO_ASSERT_OK(got.status());
+    EXPECT_EQ(got->data, fresh);
+    // Bytes around the rewrite still read zeros.
+    auto before = co_await os.ExecuteRead(ReadTxn("t", 0, 4096), kHeadSnap);
+    CO_ASSERT_OK(before.status());
+    EXPECT_TRUE(std::all_of(before->data.begin(), before->data.end(),
+                            [](uint8_t b) { return b == 0; }));
+  });
+}
+
+TEST(ObjectStoreTrim, CloneFreezesTrimmedStateAndRemoveReclaimsAll) {
+  testutil::RunSim([]() -> sim::Task<void> {
+    auto nvme = std::make_shared<dev::NvmeDevice>();
+    auto store = co_await ObjectStore::Open(nvme, SmallStore());
+    auto& os = **store;
+    Rng rng(5);
+    const uint64_t free_initial = os.space().free_bytes;
+    const Bytes data = rng.RandomBytes(8 * 4096);
+    CO_ASSERT_OK(co_await os.Apply(WriteTxn("t", 0, data), {}));
+    CO_ASSERT_OK(co_await os.Apply(TrimTxn("t", 0, 4 * 4096), {}));
+
+    // Snapshot 1 freezes the half-trimmed state; then rewrite the head.
+    SnapContext snapc;
+    snapc.seq = 1;
+    snapc.snaps = {1};
+    const Bytes head = rng.RandomBytes(8 * 4096);
+    CO_ASSERT_OK(co_await os.Apply(WriteTxn("t", 0, head), snapc));
+
+    // The clone reads zeros where the head was trimmed pre-snapshot and
+    // the preserved bytes elsewhere; the head reads the rewrite.
+    auto snap = co_await os.ExecuteRead(ReadTxn("t", 0, 8 * 4096), 1);
+    CO_ASSERT_OK(snap.status());
+    EXPECT_TRUE(std::all_of(snap->data.begin(),
+                            snap->data.begin() + 4 * 4096,
+                            [](uint8_t b) { return b == 0; }));
+    EXPECT_TRUE(std::equal(snap->data.begin() + 4 * 4096, snap->data.end(),
+                           data.begin() + 4 * 4096));
+    auto now = co_await os.ExecuteRead(ReadTxn("t", 0, 8 * 4096), kHeadSnap);
+    CO_ASSERT_OK(now.status());
+    EXPECT_EQ(now->data, head);
+
+    // Remove reclaims the head extent in one piece even though parts of
+    // it had been punched (clone extents stay allocated).
+    Transaction rm;
+    rm.oid = "t";
+    OsdOp op;
+    op.type = OsdOp::Type::kRemove;
+    rm.ops.push_back(std::move(op));
+    CO_ASSERT_OK(co_await os.Apply(rm, snapc));
+    EXPECT_EQ(os.space().punched_bytes, 0u);
+    EXPECT_LT(os.space().free_bytes, free_initial);  // clone still held
+    co_await os.Drain();
+  });
+}
+
+TEST(ObjectStoreTrim, DiscardOnlyTxnDoesNotMaterializeObject) {
+  testutil::RunSim([]() -> sim::Task<void> {
+    auto nvme = std::make_shared<dev::NvmeDevice>();
+    auto store = co_await ObjectStore::Open(nvme, SmallStore());
+    auto& os = **store;
+    CO_ASSERT_OK(co_await os.Apply(TrimTxn("ghost", 0, 64 * 4096), {}));
+    EXPECT_FALSE(os.ObjectExists("ghost"));
+    EXPECT_EQ(os.stats().objects_created, 0u);
+  });
+}
+
+TEST(ObjectStoreTrim, TamperedDataBypassesTrimBookkeeping) {
+  testutil::RunSim([]() -> sim::Task<void> {
+    auto nvme = std::make_shared<dev::NvmeDevice>();
+    auto store = co_await ObjectStore::Open(nvme, SmallStore());
+    auto& os = **store;
+    Rng rng(6);
+    CO_ASSERT_OK(co_await os.Apply(
+        WriteTxn("t", 0, rng.RandomBytes(4 * 4096)), {}));
+    // The attacker zeroes live bytes: no trimmed-map entry appears, no
+    // capacity is released — the store just serves the zeroed bytes.
+    CO_ASSERT_OK(os.TamperObjectData("t", 0, Bytes(4096, 0)));
+    EXPECT_EQ(os.TrimmedBytes("t"), 0u);
+    EXPECT_EQ(os.space().punched_bytes, 0u);
+    auto got = co_await os.ExecuteRead(ReadTxn("t", 0, 4096), kHeadSnap);
+    CO_ASSERT_OK(got.status());
+    EXPECT_TRUE(std::all_of(got->data.begin(), got->data.end(),
+                            [](uint8_t b) { return b == 0; }));
   });
 }
 

@@ -93,17 +93,32 @@ TEST(IvCacheUnit, TryGetRangeIsAllOrNothing) {
   EXPECT_FALSE(cache.TryGetRange(2, 10, 1, &rows));  // other object
 }
 
-TEST(IvCacheUnit, PutSkipsClearedRowsAndOverwrites) {
+TEST(IvCacheUnit, PutCachesClearedRowsAsMarkersAndOverwrites) {
   IvCache cache({/*enabled=*/true, /*max_objects=*/4});
   cache.PutRange(1, 0, {Bytes(16, 1), Bytes{}, Bytes(16, 3)});
-  EXPECT_EQ(cache.cached_rows(), 2u);  // empty row (cleared marker) skipped
+  // The empty row is retained as a cleared marker (negative entry).
+  EXPECT_EQ(cache.cached_rows(), 3u);
   core::IvRows rows;
-  EXPECT_FALSE(cache.TryGetRange(1, 0, 3, &rows));
+  ASSERT_TRUE(cache.TryGetRange(1, 0, 3, &rows));
+  EXPECT_EQ(rows[1], Bytes{});
   cache.PutRange(1, 0, {Bytes(16, 9)});
-  EXPECT_EQ(cache.cached_rows(), 2u);  // overwrite, not a new row
+  EXPECT_EQ(cache.cached_rows(), 3u);  // overwrite, not a new row
   rows.clear();
   ASSERT_TRUE(cache.TryGetRange(1, 0, 1, &rows));
   EXPECT_EQ(rows[0], Bytes(16, 9));
+}
+
+TEST(IvCacheUnit, PutClearedInsertsMarkersRespectingCapacity) {
+  IvCache cache({/*enabled=*/true, /*max_objects=*/4});
+  cache.PutCleared(7, 4, 3);
+  EXPECT_EQ(cache.cached_rows(), 3u);
+  core::IvRows rows;
+  ASSERT_TRUE(cache.TryGetRange(7, 4, 3, &rows));
+  for (const auto& row : rows) EXPECT_TRUE(row.empty());
+  // Zero-capacity caches retain nothing, markers included.
+  IvCache zero({/*enabled=*/true, /*max_objects=*/0});
+  zero.PutCleared(7, 4, 3);
+  EXPECT_EQ(zero.cached_rows(), 0u);
 }
 
 TEST(IvCacheUnit, LruEvictsLeastRecentlyTouchedObject) {
@@ -472,6 +487,92 @@ TEST(IvCache, DisabledCacheCountsNothing) {
     EXPECT_EQ(stats.iv_misses, 0u);
     EXPECT_EQ(stats.iv_meta_bytes_fetched, 0u);
     EXPECT_EQ(stats.iv_meta_bytes_saved, 0u);
+  });
+}
+
+// --- Negative caching of trimmed extents ---
+
+// A warmed reread of a TRIMmed range is served from resident cleared
+// markers: zero device read ops, zero metadata bytes fetched, and the
+// trim_zero_reads counter grows — the fast path bench_trim gates.
+TEST_P(IvCacheAllLayouts, TrimmedRereadZeroFillsWithoutStoreIO) {
+  testutil::RunSim([spec = GetParam()]() -> sim::Task<void> {
+    auto cluster = co_await rados::Cluster::Create(TestCluster());
+    auto image =
+        co_await Image::Create(**cluster, "neg", "pw", TestImage(spec));
+    CO_ASSERT_OK(image.status());
+    auto& img = **image;
+    Rng rng(23);
+    CO_ASSERT_OK(co_await img.Write(0, rng.RandomBytes(4 * kBlk)));
+    CO_ASSERT_OK(co_await img.Flush());
+    CO_ASSERT_OK(co_await img.Discard(kBlk, 2 * kBlk));  // blocks 1..2
+    co_await (*cluster)->Drain();
+
+    const dev::DeviceStats dev_before = (*cluster)->TotalDeviceStats();
+    const ImageStats before = img.stats();
+    auto got = co_await img.Read(kBlk, 2 * kBlk);
+    CO_ASSERT_OK(got.status());
+    EXPECT_TRUE(std::all_of(got->begin(), got->end(),
+                            [](uint8_t b) { return b == 0; }));
+    const ImageStats after = img.stats();
+    EXPECT_EQ((*cluster)->TotalDeviceStats().read_ops, dev_before.read_ops)
+        << "trimmed reread must not touch any device";
+    EXPECT_EQ(after.iv_meta_bytes_fetched, before.iv_meta_bytes_fetched);
+    EXPECT_GT(after.trim_zero_reads, before.trim_zero_reads);
+  });
+}
+
+// Rewriting a trimmed block replaces its cleared marker with the fresh
+// row; the reread returns the new content, not stale zeros.
+TEST_P(IvCacheAllLayouts, RewriteReplacesClearedMarker) {
+  testutil::RunSim([spec = GetParam()]() -> sim::Task<void> {
+    auto cluster = co_await rados::Cluster::Create(TestCluster());
+    auto image =
+        co_await Image::Create(**cluster, "negrw", "pw", TestImage(spec));
+    CO_ASSERT_OK(image.status());
+    auto& img = **image;
+    Rng rng(29);
+    CO_ASSERT_OK(co_await img.Write(0, rng.RandomBytes(2 * kBlk)));
+    CO_ASSERT_OK(co_await img.Discard(0, 2 * kBlk));
+    auto zeros = co_await img.Read(0, kBlk);
+    CO_ASSERT_OK(zeros.status());
+    EXPECT_TRUE(std::all_of(zeros->begin(), zeros->end(),
+                            [](uint8_t b) { return b == 0; }));
+    const Bytes fresh = rng.RandomBytes(kBlk);
+    CO_ASSERT_OK(co_await img.Write(0, fresh));
+    CO_ASSERT_OK(co_await img.Flush());
+    auto got = co_await img.Read(0, kBlk);
+    CO_ASSERT_OK(got.status());
+    CO_ASSERT_TRUE(*got == fresh);
+    // Block 1 is still trimmed and still zero-fills.
+    auto still = co_await img.Read(kBlk, kBlk);
+    CO_ASSERT_OK(still.status());
+    EXPECT_TRUE(std::all_of(still->begin(), still->end(),
+                            [](uint8_t b) { return b == 0; }));
+  });
+}
+
+// A full-object discard removes the object outright; the markers cached
+// for it keep serving zeros client-side.
+TEST_P(IvCacheAllLayouts, FullObjectDiscardCachesMarkers) {
+  testutil::RunSim([spec = GetParam()]() -> sim::Task<void> {
+    auto cluster = co_await rados::Cluster::Create(TestCluster());
+    auto image =
+        co_await Image::Create(**cluster, "negrm", "pw", TestImage(spec));
+    CO_ASSERT_OK(image.status());
+    auto& img = **image;
+    Rng rng(31);
+    CO_ASSERT_OK(co_await img.Write(0, rng.RandomBytes(kObjSize)));
+    CO_ASSERT_OK(co_await img.Flush());
+    CO_ASSERT_OK(co_await img.Discard(0, kObjSize));  // whole object 0
+    co_await (*cluster)->Drain();
+    const dev::DeviceStats dev_before = (*cluster)->TotalDeviceStats();
+    auto got = co_await img.Read(0, 4 * kBlk);
+    CO_ASSERT_OK(got.status());
+    EXPECT_TRUE(std::all_of(got->begin(), got->end(),
+                            [](uint8_t b) { return b == 0; }));
+    EXPECT_EQ((*cluster)->TotalDeviceStats().read_ops, dev_before.read_ops);
+    EXPECT_GT(img.stats().trim_zero_reads, 0u);
   });
 }
 

@@ -272,5 +272,62 @@ TEST(Fio, SummarySurfacesWritebackCounters) {
   });
 }
 
+// The verify model asserts trimmed-then-read blocks as zeros at ANY
+// queue depth: a mutating 512 B stream with a heavy discard mix forces
+// partial writes over trimmed blocks (the kZeroPartial state — content in
+// the written sub-range, hard-asserted zeros around it), so a trimmed
+// byte resurrected by the RMW merge or a stale write-back stage fails the
+// run instead of being skipped as "unknown".
+TEST(Fio, MutatingVerifyAssertsTrimmedBytesStayZero) {
+  for (const size_t qd : {1u, 8u, 32u}) {
+    testutil::RunSim([qd]() -> sim::Task<void> {
+      auto cluster = co_await rados::Cluster::Create(TestCluster());
+      auto image = co_await MakeImage(**cluster, core::IvLayout::kObjectEnd);
+      CO_ASSERT_OK(image.status());
+      FioConfig cfg;
+      cfg.rw_mix_pct = 40;
+      cfg.io_size = 512;  // sub-block: rewrites of trimmed blocks RMW
+      cfg.offset_align = 512;
+      cfg.discard_pct = 25;
+      cfg.queue_depth = qd;
+      cfg.total_ops = 512;
+      cfg.working_set = 1ull << 20;
+      cfg.verify = true;
+      FioRunner runner(**image, cfg);
+      CO_ASSERT_OK(co_await runner.Prefill());
+      auto result = co_await runner.Run();
+      CO_ASSERT_OK(result.status());
+      EXPECT_GT(result->discards, 0u);
+      EXPECT_GT(result->read_ops, 0u);
+      CO_ASSERT_OK(co_await (*image)->Flush());
+    });
+  }
+}
+
+// Whole-block discards at depth: trimmed blocks reread as zeros through
+// the verify model (the plain kZero assertion), across a working set
+// larger than one object so the full-object remove path is exercised too.
+TEST(Fio, VerifyTrimmedBlocksReadZeroAcrossObjects) {
+  testutil::RunSim([]() -> sim::Task<void> {
+    auto cluster = co_await rados::Cluster::Create(TestCluster());
+    auto image = co_await MakeImage(**cluster, core::IvLayout::kOmap);
+    CO_ASSERT_OK(image.status());
+    FioConfig cfg;
+    cfg.rw_mix_pct = 30;
+    cfg.io_size = 4ull << 20;  // whole-object IOs: discard => kRemove
+    cfg.discard_pct = 30;
+    cfg.queue_depth = 4;
+    cfg.total_ops = 48;
+    cfg.working_set = 16ull << 20;
+    cfg.verify = true;
+    FioRunner runner(**image, cfg);
+    CO_ASSERT_OK(co_await runner.Prefill());
+    auto result = co_await runner.Run();
+    CO_ASSERT_OK(result.status());
+    EXPECT_GT(result->discards, 0u);
+    CO_ASSERT_OK(co_await (*image)->Flush());
+  });
+}
+
 }  // namespace
 }  // namespace vde::workload
