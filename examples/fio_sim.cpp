@@ -21,12 +21,20 @@
 // Runs with --discard report a trim[...] segment (client-side zero-fill
 // reads, bitmap updates/loads) and a store[...] segment (cluster free and
 // punched capacity, fragment counts) in the summary line.
+// Metadata plane: --meta-store backs the image with a persistent local
+// plane (durable IV rows + discard bitmaps on a dedicated device; implies
+// --iv-cache); --reopen then closes the image after the run, reopens it
+// against the SAME plane device, and reruns the reads — the second
+// summary shows the warm start (meta[...] counters, ~zero metadata
+// fetched from the object store). Requires an authenticating format
+// (--integrity=hmac or --cipher=gcm).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
 
+#include "device/nvme.h"
 #include "qos/scheduler.h"
 #include "rados/cluster.h"
 #include "rbd/image.h"
@@ -52,6 +60,8 @@ struct Args {
   size_t qos_depth = 0;
   bool iv_cache = false;
   size_t iv_cache_objects = 64;
+  bool meta_store = false;
+  bool reopen = false;
   core::EncryptionSpec spec;
 
   bool UseQos() const { return qos_iops > 0 || qos_bw > 0 || qos_depth > 0; }
@@ -118,6 +128,11 @@ bool Parse(int argc, char** argv, Args& args) {
     } else if (const char* v = value("--iv-cache-objects=")) {
       args.iv_cache = true;
       args.iv_cache_objects = std::stoul(v);
+    } else if (arg == "--meta-store") {
+      args.meta_store = true;
+    } else if (arg == "--reopen") {
+      args.meta_store = true;
+      args.reopen = true;
     } else if (const char* v = value("--ops=")) {
       args.ops = std::stoull(v);
     } else if (const char* v = value("--qd=")) {
@@ -168,6 +183,9 @@ bool Parse(int argc, char** argv, Args& args) {
 sim::Task<void> Run(const Args& args, bool* ok) {
   auto cluster = co_await rados::Cluster::Create(rados::ClusterConfig{});
   if (!cluster.ok()) co_return;
+  // Local device backing the persistent metadata plane; reopening the
+  // image against the SAME device is what makes the warm start possible.
+  dev::NvmeDevice meta_dev;
   rbd::ImageOptions options;
   options.size = 64ull << 30;
   options.enc = args.spec;
@@ -181,8 +199,14 @@ sim::Task<void> Run(const Args& args, bool* ok) {
     options.qos.max_bps = args.qos_bw;
     options.qos.max_queue_depth = args.qos_depth;
   }
-  options.iv_cache.enabled = args.iv_cache;
+  // The plane persists whatever the IV cache holds, so it implies the
+  // cache.
+  options.iv_cache.enabled = args.iv_cache || args.meta_store;
   options.iv_cache.max_objects = args.iv_cache_objects;
+  if (args.meta_store) {
+    options.meta_store.enabled = true;
+    options.meta_store.device = &meta_dev;
+  }
   auto image = co_await rbd::Image::Create(**cluster, "fio", "pw", options);
   if (!image.ok()) co_return;
 
@@ -207,7 +231,9 @@ sim::Task<void> Run(const Args& args, bool* ok) {
   // Any run that issues reads (pure read or rwmix) needs valid
   // ciphertext + IVs underneath — and verify mode assumes the content
   // model that Prefill lays down.
-  const bool needs_prefill = fio.WritePct() < 100;
+  // --reopen reruns the stream as reads after the warm restart, so the
+  // whole working set must hold valid ciphertext up front.
+  const bool needs_prefill = fio.WritePct() < 100 || args.reopen;
   if (needs_prefill) {
     std::printf("prefilling %llu MiB...\n",
                 static_cast<unsigned long long>(runner.working_set() >> 20));
@@ -261,8 +287,73 @@ sim::Task<void> Run(const Args& args, bool* ok) {
                 static_cast<unsigned long long>(is.iv_meta_bytes_saved),
                 static_cast<unsigned long long>(is.iv_meta_bytes_fetched));
   }
+  if (args.meta_store) {
+    if ((*image)->meta_store() == nullptr) {
+      std::printf("  meta:  plane refused (needs --integrity=hmac or "
+                  "--cipher=gcm)\n");
+    } else {
+      std::printf("  meta:  spills=%llu flushes=%llu warm=%llu rows=%llu "
+                  "epoch_rej=%llu cold=%llu wal_commits=%llu\n",
+                  static_cast<unsigned long long>(is.meta_spills),
+                  static_cast<unsigned long long>(is.meta_journal_flushes),
+                  static_cast<unsigned long long>(is.meta_warm_hits),
+                  static_cast<unsigned long long>(is.meta_recovered_rows),
+                  static_cast<unsigned long long>(is.meta_epoch_rejections),
+                  static_cast<unsigned long long>(is.meta_cold_resets),
+                  static_cast<unsigned long long>(is.meta_kv_wal_commits));
+    }
+  }
   if (args.verify && !args.is_write) {
     std::printf("  verify: all reads matched\n");
+  }
+
+  if (args.reopen) {
+    // Clean close -> reopen against the same plane device: the second
+    // read pass starts warm (resident bitmaps + IV rows off the local
+    // plane, ~zero metadata bytes from the object store).
+    if (Status s = co_await (*image)->Close(); !s.ok()) {
+      std::printf("close failed: %s\n", s.ToString().c_str());
+      co_return;
+    }
+    co_await (*cluster)->Drain();
+    auto reopened = co_await rbd::Image::Open(
+        **cluster, "fio", "pw", {}, nullptr, {}, options.iv_cache,
+        options.meta_store);
+    if (!reopened.ok()) {
+      std::printf("reopen failed: %s\n", reopened.status().ToString().c_str());
+      co_return;
+    }
+    workload::FioConfig reread = fio;
+    reread.is_write = false;
+    reread.rw_mix_pct = -1;
+    reread.discard_pct = 0;
+    reread.verify = false;
+    workload::FioRunner warm_runner(**reopened, reread);
+    auto warm = co_await warm_runner.Run();
+    if (!warm.ok()) {
+      std::printf("warm rerun failed: %s\n",
+                  warm.status().ToString().c_str());
+      co_return;
+    }
+    const rbd::ImageStats& ws = warm->image;
+    std::printf("\nreopen (warm read pass):\n  %s\n",
+                warm->Summary().c_str());
+    std::printf("  meta:  warm=%llu rows=%llu cold=%llu | store metadata: "
+                "iv_fetched=%llu bitmap_loads=%llu\n",
+                static_cast<unsigned long long>(ws.meta_warm_hits),
+                static_cast<unsigned long long>(ws.meta_recovered_rows),
+                static_cast<unsigned long long>(ws.meta_cold_resets),
+                static_cast<unsigned long long>(ws.iv_meta_bytes_fetched),
+                static_cast<unsigned long long>(ws.trim_state_loads));
+    if (Status s = co_await (*reopened)->Close(); !s.ok()) {
+      std::printf("close failed: %s\n", s.ToString().c_str());
+      co_return;
+    }
+  } else if (args.meta_store) {
+    if (Status s = co_await (*image)->Close(); !s.ok()) {
+      std::printf("close failed: %s\n", s.ToString().c_str());
+      co_return;
+    }
   }
   *ok = true;
 }
@@ -279,7 +370,8 @@ int main(int argc, char** argv) {
         "               [--layout=none|unaligned|object-end|omap]\n"
         "               [--cipher=gcm|wide] [--integrity=hmac] [--verify]\n"
         "               [--qos-iops=N] [--qos-bw=BYTES/S] [--qos-depth=N]\n"
-        "               [--iv-cache] [--iv-cache-objects=N]\n");
+        "               [--iv-cache] [--iv-cache-objects=N]\n"
+        "               [--meta-store] [--reopen]\n");
     return 2;
   }
   sim::Scheduler sched;

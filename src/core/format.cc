@@ -53,7 +53,13 @@ OsdOp TrimOp(uint64_t offset, uint64_t length) {
   return op;
 }
 
-constexpr size_t kBitmapMacSize = 32;  // HMAC-SHA256 over (bitmap, object)
+constexpr size_t kBitmapMacSize = 32;  // HMAC-SHA256 over (bitmap, object
+                                       //                   [, epoch])
+// Little-endian write-generation epoch trailing the MAC. A legacy record
+// stops at the MAC; a current record appends the epoch it was sealed under
+// (never 0 — SealBitmap emits the legacy layout for epoch 0, so an
+// all-zero trailer always means legacy-plus-zero-padding).
+constexpr size_t kBitmapEpochSize = 8;
 
 // Reserved OMAP row for the sealed discard bitmap. Block keys are 8-byte
 // big-endian block numbers (first byte 0x00 for any realistic object), so
@@ -509,46 +515,66 @@ class RandomIvFormat final : public EncryptionFormat {
   }
 
   size_t BitmapRecordBytes() const override {
-    return DiscardBitmap::ByteLength(BlocksPerObject()) + kBitmapMacSize;
+    return DiscardBitmap::ByteLength(BlocksPerObject()) + kBitmapMacSize +
+           kBitmapEpochSize;
   }
 
-  Bytes SealBitmap(uint64_t object_no,
-                   const DiscardBitmap& bitmap) const override {
+  Bytes SealBitmap(uint64_t object_no, const DiscardBitmap& bitmap,
+                   uint64_t epoch) const override {
     assert(AuthenticatedTrim());
     assert(bitmap.bits() == BlocksPerObject());
     Bytes out = bitmap.bytes();
-    const auto tag = BitmapMac(object_no, bitmap.bytes());
+    const auto tag = BitmapMac(object_no, bitmap.bytes(), epoch);
     out.insert(out.end(), tag.begin(), tag.begin() + kBitmapMacSize);
+    if (epoch != 0) {
+      uint8_t epoch_le[kBitmapEpochSize];
+      StoreU64Le(epoch_le, epoch);
+      out.insert(out.end(), epoch_le, epoch_le + kBitmapEpochSize);
+    }
     return out;
   }
 
-  Status OpenBitmap(uint64_t object_no, ByteSpan raw,
-                    DiscardBitmap* out) const override {
+  Status OpenBitmap(uint64_t object_no, ByteSpan raw, DiscardBitmap* out,
+                    uint64_t* epoch_out) const override {
     assert(AuthenticatedTrim());
-    if (raw.size() != BitmapRecordBytes()) {
+    const size_t legacy_size = BitmapRecordBytes() - kBitmapEpochSize;
+    if (raw.size() != BitmapRecordBytes() && raw.size() != legacy_size) {
       return Status::Corruption("discard bitmap record size mismatch");
     }
-    const ByteSpan bits = raw.subspan(0, raw.size() - kBitmapMacSize);
-    const ByteSpan mac = raw.subspan(raw.size() - kBitmapMacSize);
     if (AllZero(raw)) {
       // The store pads reads with zeros: an all-zero record is a bitmap
       // that was never persisted — or was wiped to forge discards.
       return Status::Corruption("discard bitmap missing or zeroed");
     }
-    const auto tag = BitmapMac(object_no, bits);
+    // An epoch-bearing record trails its little-endian epoch; a legacy
+    // record (read through the wider current-size window) ends at the MAC
+    // and shows only zero padding past it. A sealed epoch is never 0, so
+    // the two cannot be confused — and since the epoch is inside the MAC,
+    // stripping it off a current record fails authentication.
+    uint64_t epoch = 0;
+    if (raw.size() == BitmapRecordBytes()) {
+      const ByteSpan trailer = raw.subspan(legacy_size, kBitmapEpochSize);
+      epoch = LoadU64Le(trailer.data());
+    }
+    const ByteSpan bits = raw.subspan(0, legacy_size - kBitmapMacSize);
+    const ByteSpan mac = raw.subspan(legacy_size - kBitmapMacSize,
+                                     kBitmapMacSize);
+    const auto tag = BitmapMac(object_no, bits, epoch);
     if (!ConstantTimeEqual(ByteSpan(tag.data(), kBitmapMacSize), mac)) {
       return Status::Corruption("discard bitmap authentication failed");
     }
     auto bitmap = DiscardBitmap::FromBytes(bits, BlocksPerObject());
     if (!bitmap.ok()) return bitmap.status();
     *out = std::move(bitmap).value();
+    if (epoch_out != nullptr) *epoch_out = epoch;
     return Status::Ok();
   }
 
   void MakeBitmapWrite(uint64_t object_no, Bytes sealed,
                        Transaction& txn) const override {
     static_cast<void>(object_no);
-    assert(sealed.size() == BitmapRecordBytes());
+    assert(sealed.size() == BitmapRecordBytes() ||
+           sealed.size() == BitmapRecordBytes() - kBitmapEpochSize);
     if (spec_.layout == IvLayout::kOmap) {
       OsdOp op;
       op.type = OsdOp::Type::kOmapSet;
@@ -556,6 +582,10 @@ class RandomIvFormat final : public EncryptionFormat {
       txn.ops.push_back(std::move(op));
       return;
     }
+    // Region layouts overwrite in place: pad a legacy record to the full
+    // window so it cannot inherit a stale epoch trailer from a previous
+    // epoch-bearing record at the same offset.
+    sealed.resize(BitmapRecordBytes(), 0);
     txn.ops.push_back(DataWriteOp(BitmapOffset(), std::move(sealed)));
   }
 
@@ -616,12 +646,21 @@ class RandomIvFormat final : public EncryptionFormat {
                : object_size_ + BlocksPerObject() * meta;
   }
 
-  std::array<uint8_t, 32> BitmapMac(uint64_t object_no, ByteSpan bits) const {
+  std::array<uint8_t, 32> BitmapMac(uint64_t object_no, ByteSpan bits,
+                                    uint64_t epoch) const {
     crypto::HmacSha256Stream mac(trim_key_);
     mac.Update(bits);
     uint8_t no_le[8];
     StoreU64Le(no_le, object_no);
     mac.Update(ByteSpan(no_le, 8));
+    if (epoch != 0) {
+      // Epoch-bearing records bind the write generation into the tag;
+      // epoch 0 keeps the exact legacy preimage, so pre-epoch records
+      // verify and a stripped-off trailer cannot downgrade a sealed one.
+      uint8_t epoch_le[8];
+      StoreU64Le(epoch_le, epoch);
+      mac.Update(ByteSpan(epoch_le, 8));
+    }
     return mac.Finish();
   }
 
@@ -771,13 +810,14 @@ Status EncryptionFormat::FinishReadWithIvs(const ObjectExtent&,
 // Defaults for formats without ciphertext authentication: no bitmap to
 // seal, store, or verify — AuthenticatedTrim() is false and the image
 // layer never calls these.
-Bytes EncryptionFormat::SealBitmap(uint64_t, const DiscardBitmap&) const {
+Bytes EncryptionFormat::SealBitmap(uint64_t, const DiscardBitmap&,
+                                   uint64_t) const {
   assert(false && "format has no discard bitmap");
   return {};
 }
 
-Status EncryptionFormat::OpenBitmap(uint64_t, ByteSpan,
-                                    DiscardBitmap*) const {
+Status EncryptionFormat::OpenBitmap(uint64_t, ByteSpan, DiscardBitmap*,
+                                    uint64_t*) const {
   return Status::InvalidArgument("format has no discard bitmap");
 }
 

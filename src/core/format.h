@@ -140,18 +140,25 @@ class EncryptionFormat {
   // Whether this format maintains the MAC'd discard bitmap.
   virtual bool AuthenticatedTrim() const { return false; }
 
-  // Serialized bitmap record size: bitmap bytes + MAC tag.
+  // Serialized bitmap record size: bitmap bytes + MAC tag + epoch trailer.
   virtual size_t BitmapRecordBytes() const { return 0; }
 
-  // Serializes + MACs `bitmap` for `object_no` (the MAC binds the object
-  // number, so a record cannot be replayed onto another object).
-  virtual Bytes SealBitmap(uint64_t object_no,
-                           const DiscardBitmap& bitmap) const;
+  // Serializes + MACs `bitmap` for `object_no`. The MAC binds the object
+  // number (a record cannot be replayed onto another object) and, when
+  // `epoch` is nonzero, the per-object write-generation epoch (a record
+  // cannot be rolled back to an older generation without failing the
+  // epoch-floor check on reload). Epoch 0 emits the legacy epoch-less
+  // record — pre-epoch images stay readable, and tests can produce one.
+  virtual Bytes SealBitmap(uint64_t object_no, const DiscardBitmap& bitmap,
+                           uint64_t epoch = 0) const;
 
-  // Verifies + deserializes a SealBitmap record. An all-zero or
-  // MAC-mismatching record fails with Corruption.
+  // Verifies + deserializes a SealBitmap record (current or legacy
+  // layout). An all-zero or MAC-mismatching record fails with Corruption.
+  // `epoch_out` (may be null) receives the sealed epoch; legacy records
+  // report 0.
   virtual Status OpenBitmap(uint64_t object_no, ByteSpan raw,
-                            DiscardBitmap* out) const;
+                            DiscardBitmap* out,
+                            uint64_t* epoch_out = nullptr) const;
 
   // Appends the write op persisting `sealed` at the bitmap's home for this
   // geometry (past the IV region / stride area, or a reserved OMAP row) —

@@ -343,4 +343,15 @@ sim::Task<Result<std::vector<std::pair<Bytes, Bytes>>>> KvStore::Scan(
   co_return out;
 }
 
+sim::Task<Result<std::vector<std::pair<Bytes, Bytes>>>> KvStore::ScanPrefix(
+    Bytes prefix, size_t limit) {
+  // Exclusive upper bound: increment the last non-0xFF byte and drop
+  // everything after it. A prefix of all 0xFF bytes (or an empty one) has
+  // no finite successor — scan to the end of the keyspace.
+  Bytes end = prefix;
+  while (!end.empty() && end.back() == 0xFF) end.pop_back();
+  if (!end.empty()) end.back()++;
+  co_return co_await Scan(std::move(prefix), std::move(end), limit);
+}
+
 }  // namespace vde::kv

@@ -54,6 +54,12 @@ class KvStore {
   sim::Task<Result<std::vector<std::pair<Bytes, Bytes>>>> Scan(
       Bytes start, Bytes end, size_t limit = 0);
 
+  // Ordered scan of every key starting with `prefix` (the exclusive upper
+  // bound is derived internally; an empty or all-0xFF prefix scans to the
+  // end of the keyspace). `limit` 0 = all.
+  sim::Task<Result<std::vector<std::pair<Bytes, Bytes>>>> ScanPrefix(
+      Bytes prefix, size_t limit = 0);
+
   // Forces the memtable out to an L0 table (no-op when empty).
   sim::Task<Status> Flush();
 

@@ -138,6 +138,27 @@ sim::Task<Status> ObjectStore::TamperOmapRow(const std::string& oid,
   co_return co_await kv_->Write(std::move(batch));
 }
 
+Result<Bytes> ObjectStore::PeekObjectData(const std::string& oid,
+                                          uint64_t offset,
+                                          size_t length) const {
+  const auto it = objects_.find(oid);
+  if (it == objects_.end()) return Status::NotFound(oid);
+  if (offset + length > config_.max_object_size) {
+    return Status::InvalidArgument("peek beyond object extent");
+  }
+  Bytes out(length);
+  device_->PeekRead(data_base_ + it->second.base + offset, out);
+  return out;
+}
+
+sim::Task<Result<Bytes>> ObjectStore::PeekOmapRow(const std::string& oid,
+                                                  ByteSpan key) {
+  auto row = co_await kv_->Get(OmapKey(oid, kHeadSnap, key));
+  VDE_CO_RETURN_IF_ERROR(row.status());
+  if (!row->has_value()) co_return Status::NotFound("omap row");
+  co_return std::move(**row);
+}
+
 Result<ObjectStore::Onode*> ObjectStore::GetOrCreate(const std::string& oid) {
   auto it = objects_.find(oid);
   if (it != objects_.end()) return &it->second;

@@ -117,6 +117,13 @@ class ObjectStore : public std::enable_shared_from_this<ObjectStore> {
   sim::Task<Status> TamperOmapRow(const std::string& oid, ByteSpan key,
                                   Bytes value);
 
+  // Peek counterparts (same raw access, read direction): capture the live
+  // bytes of an object's data extent or an OMAP row without charging any
+  // IO — the attacker snapshotting state to replay later.
+  Result<Bytes> PeekObjectData(const std::string& oid, uint64_t offset,
+                               size_t length) const;
+  sim::Task<Result<Bytes>> PeekOmapRow(const std::string& oid, ByteSpan key);
+
   // Waits until all background appliers finished (test determinism).
   sim::Task<void> Drain();
 

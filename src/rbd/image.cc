@@ -143,6 +143,20 @@ ImageStats Image::stats() const {
     s.qos_wait_ns = q.wait_ns;
     s.qos_peak_queue = q.peak_queue;
   }
+  if (meta_store_ != nullptr) {
+    const MetaStoreStats& m = meta_store_->stats();
+    s.meta_warm_hits = m.warm_hits;
+    s.meta_recovered_rows = m.recovered_rows;
+    s.meta_spills = m.spills;
+    s.meta_epoch_rejections = m.epoch_rejections;
+    s.meta_cold_resets = m.cold_resets;
+    s.meta_journal_flushes = m.journal_flushes;
+    const kv::KvStats kvs = meta_store_->kv_stats();
+    s.meta_kv_wal_bytes = kvs.wal_bytes;
+    s.meta_kv_wal_commits = kvs.wal_commits;
+    s.meta_kv_flush_bytes = kvs.bytes_flushed;
+    s.meta_kv_compaction_bytes = kvs.bytes_compacted;
+  }
   return s;
 }
 
@@ -185,6 +199,10 @@ sim::Task<Result<std::shared_ptr<Image>>> Image::Create(
       core::MakeFormat(options.enc, master_key, options.object_size);
 
   VDE_CO_RETURN_IF_ERROR(co_await image->PersistMetadata());
+  auto meta = co_await MetaStore::Open(*image, image->options_.meta_store);
+  if (!meta.ok()) co_return meta.status();
+  image->meta_store_ = std::move(*meta);
+  image->iv_cache_->set_spill(image->meta_store_.get());
   co_return image;
 }
 
@@ -192,7 +210,7 @@ sim::Task<Result<std::shared_ptr<Image>>> Image::Open(
     rados::Cluster& cluster, const std::string& name,
     const std::string& passphrase, WritebackConfig writeback,
     std::shared_ptr<qos::Scheduler> qos_scheduler, qos::QosPolicy qos,
-    IvCacheConfig iv_cache) {
+    IvCacheConfig iv_cache, MetaStoreConfig meta_store) {
   auto io = cluster.ioctx();
   const std::string header_oid = "rbd_header." + name;
   auto raw = co_await io.Read(header_oid, 0, kHeaderFirstRead);
@@ -271,6 +289,7 @@ sim::Task<Result<std::shared_ptr<Image>>> Image::Open(
   options.qos_scheduler = std::move(qos_scheduler);
   options.qos = qos;
   options.iv_cache = iv_cache;
+  options.meta_store = meta_store;
   std::shared_ptr<Image> image(new Image(cluster, name, options));
   image->encrypted_ = encrypted;
   image->snaps_ = std::move(snaps);
@@ -285,7 +304,30 @@ sim::Task<Result<std::shared_ptr<Image>>> Image::Open(
   }
   image->format_ =
       core::MakeFormat(options.enc, master_key, options.object_size);
+  auto meta = co_await MetaStore::Open(*image, image->options_.meta_store);
+  if (!meta.ok()) co_return meta.status();
+  image->meta_store_ = std::move(*meta);
+  image->iv_cache_->set_spill(image->meta_store_.get());
   co_return image;
+}
+
+sim::Task<Status> Image::Close() {
+  if (closed_) co_return Status::Ok();
+  closed_ = true;
+  // Same barrier SnapCreate uses: every completed write leaves the
+  // volatile write-back buffer before the plane is declared clean.
+  VDE_CO_RETURN_IF_ERROR(co_await writeback_->Drain());
+  if (meta_store_ != nullptr) {
+    VDE_CO_RETURN_IF_ERROR(co_await meta_store_->Close());
+  }
+  co_return Status::Ok();
+}
+
+sim::Task<Status> Image::EnsureObjectState(uint64_t object_no) {
+  if (meta_store_ != nullptr) {
+    VDE_CO_RETURN_IF_ERROR(co_await meta_store_->WarmObject(object_no));
+  }
+  co_return co_await trim_state_->Ensure(object_no);
 }
 
 sim::Task<Status> Image::PersistMetadata() {

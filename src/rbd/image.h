@@ -29,6 +29,7 @@
 #include "rbd/completion.h"
 #include "rbd/image_request.h"
 #include "rbd/iv_cache.h"
+#include "rbd/meta_store.h"
 #include "rbd/trim_state.h"
 #include "rbd/writeback.h"
 
@@ -50,6 +51,11 @@ struct ImageOptions {
   // a zero-overhead passthrough.
   std::shared_ptr<qos::Scheduler> qos_scheduler;
   qos::QosPolicy qos;
+  // Persistent metadata plane (not persisted in the image header — it
+  // binds to a local device): durable IV-cache rows + discard bitmaps so
+  // a clean reopen against the same device starts warm. Disabled, or a
+  // format without authenticated trims, is a zero-overhead passthrough.
+  MetaStoreConfig meta_store;
 };
 
 struct ImageStats {
@@ -89,6 +95,18 @@ struct ImageStats {
   uint64_t qos_throttled = 0;  // head-of-queue token-bucket deferrals
   uint64_t qos_wait_ns = 0;    // total sim time spent in the queue
   uint64_t qos_peak_queue = 0; // high-water dispatch-queue length
+  // Persistent metadata plane counters, mirrored from the image's
+  // MetaStore and its backing KV (all zero with the plane disabled).
+  uint64_t meta_warm_hits = 0;        // bitmaps/row-sets served warm
+  uint64_t meta_recovered_rows = 0;   // IV rows installed at reopen
+  uint64_t meta_spills = 0;           // journal entries (rows + bitmaps)
+  uint64_t meta_epoch_rejections = 0; // persisted rows refused by the floor
+  uint64_t meta_cold_resets = 0;      // dirty/corrupt/mismatched starts
+  uint64_t meta_journal_flushes = 0;  // write-behind batches committed
+  uint64_t meta_kv_wal_bytes = 0;         // plane WAL bytes written
+  uint64_t meta_kv_wal_commits = 0;       // plane WAL commits
+  uint64_t meta_kv_flush_bytes = 0;       // plane memtable-flush bytes
+  uint64_t meta_kv_compaction_bytes = 0;  // plane compaction bytes
 };
 
 class Image {
@@ -109,9 +127,18 @@ class Image {
       rados::Cluster& cluster, const std::string& name,
       const std::string& passphrase, WritebackConfig writeback = {},
       std::shared_ptr<qos::Scheduler> qos_scheduler = nullptr,
-      qos::QosPolicy qos = {}, IvCacheConfig iv_cache = {});
+      qos::QosPolicy qos = {}, IvCacheConfig iv_cache = {},
+      MetaStoreConfig meta_store = {});
 
   ~Image();
+
+  // Flushes the write-back buffer and the metadata-plane journal, then
+  // marks the plane clean — the next Open against the same meta device
+  // starts warm. Idempotent: a second Close (or a Close on an image whose
+  // open never finished) is a clean no-op. The destructor does NOT run
+  // this (device IO needs the scheduler); an image dropped without Close
+  // simply leaves the plane dirty, and the next open degrades to cold.
+  sim::Task<Status> Close();
 
   // --- Completion-based async IO (librbd aio_*) ---
   //
@@ -157,12 +184,15 @@ class Image {
     return options_.object_size / core::kBlockSize;
   }
   const core::EncryptionSpec& spec() const { return options_.enc; }
+  const std::string& name() const { return name_; }
   // Snapshot of the image's IO counters; the qos_* fields are pulled from
   // the shared scheduler's per-tenant stats at call time.
   ImageStats stats() const;
   const Writeback& writeback() const { return *writeback_; }
   const IvCache& iv_cache() const { return *iv_cache_; }
   const TrimState& trim_state() const { return *trim_state_; }
+  // The persistent metadata plane, or null (disabled / passthrough).
+  MetaStore* meta_store() const { return meta_store_.get(); }
   rados::Cluster& cluster() const { return cluster_; }
   qos::Scheduler* qos_scheduler() const {
     return options_.qos_scheduler.get();
@@ -179,6 +209,7 @@ class Image {
   friend class ImageRequest;
   friend class Writeback;
   friend class TrimState;
+  friend class MetaStore;
 
   Image(rados::Cluster& cluster, std::string name, ImageOptions options);
 
@@ -192,6 +223,12 @@ class Image {
     return iv_cache_->enabled() && options_.enc.NeedsMetadata() ? rows
                                                                 : nullptr;
   }
+
+  // Per-object state priming for the datapath: warm-loads the object's
+  // persisted IV rows off the metadata plane (once per object), then
+  // Ensures its discard bitmap (served from the plane on a warm open,
+  // from the store otherwise). Replaces bare trim_state_->Ensure calls.
+  sim::Task<Status> EnsureObjectState(uint64_t object_no);
 
   // Flush ordering: write-class requests take a ticket at submit time and
   // retire it on completion; a flush barrier resolves once no ticket below
@@ -208,8 +245,10 @@ class Image {
   std::unique_ptr<Writeback> writeback_;
   std::unique_ptr<IvCache> iv_cache_;
   std::unique_ptr<TrimState> trim_state_;
+  std::unique_ptr<MetaStore> meta_store_;
   core::LuksHeader luks_;
   bool encrypted_ = false;
+  bool closed_ = false;
   std::deque<std::pair<uint64_t, std::string>> snaps_;  // newest first
   ImageStats stats_;
   qos::TenantId qos_tenant_ = 0;  // valid while options_.qos_scheduler set

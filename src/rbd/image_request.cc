@@ -360,7 +360,7 @@ sim::Task<Status> ImageRequest::ReadChunk(size_t idx) {
     const core::DiscardBitmap* zeros = nullptr;
     if (head && image_.trim_state_->enabled()) {
       VDE_CO_RETURN_IF_ERROR(
-          co_await image_.trim_state_->Ensure(chunk.cover.object_no));
+          co_await image_.EnsureObjectState(chunk.cover.object_no));
       zeros = image_.trim_state_->Lookup(chunk.cover.object_no);
     }
     objstore::Transaction txn;
@@ -399,6 +399,12 @@ sim::Task<Status> ImageRequest::ReadChunk(size_t idx) {
   if (!scratch.empty()) {
     ScatterTo(chunk.buf_off, ByteSpan(scratch.data() + chunk.byte_off,
                                       chunk.byte_len));
+  }
+  // Read-populated IV rows spill into the meta journal; commit a batch at
+  // request end once enough pend (write-behind, one WAL frame per batch).
+  if (image_.meta_store_ != nullptr &&
+      image_.meta_store_->JournalPressure()) {
+    VDE_CO_RETURN_IF_ERROR(co_await image_.meta_store_->FlushJournal());
   }
   co_return Status::Ok();
 }
@@ -471,7 +477,7 @@ sim::Task<Status> ImageRequest::RmwReadEdges(const Chunk& chunk,
   const core::DiscardBitmap* zeros = nullptr;
   if (image_.trim_state_->enabled()) {
     VDE_CO_RETURN_IF_ERROR(
-        co_await image_.trim_state_->Ensure(chunk.cover.object_no));
+        co_await image_.EnsureObjectState(chunk.cover.object_no));
     zeros = image_.trim_state_->Lookup(chunk.cover.object_no);
   }
   // All RMW sub-reads of this object ride ONE read transaction; each edge
@@ -567,7 +573,14 @@ sim::Task<Status> ImageRequest::WriteChunk(size_t idx) {
   // (steady-state overwrites of live blocks stage nothing).
   const std::vector<std::pair<uint64_t, size_t>> written_range{
       {chunk.cover.first_block, chunk.cover.block_count}};
-  VDE_CO_RETURN_IF_ERROR(co_await ts.Ensure(chunk.cover.object_no));
+  VDE_CO_RETURN_IF_ERROR(
+      co_await image_.EnsureObjectState(chunk.cover.object_no));
+  // First store mutation of the session clears the plane's clean flag
+  // (write-through) so a crash cold-starts the next open.
+  if (image_.meta_store_ != nullptr &&
+      image_.meta_store_->NeedsDirtyMark()) {
+    VDE_CO_RETURN_IF_ERROR(co_await image_.meta_store_->MarkDirty());
+  }
   objstore::Transaction txn;
   core::IvRows ivs;
   core::IvRows* const ivs_out = image_.IvCapture(&ivs);
@@ -589,6 +602,10 @@ sim::Task<Status> ImageRequest::WriteChunk(size_t idx) {
       if (ivs_out != nullptr) {
         image_.iv_cache_->PutRange(chunk.cover.object_no,
                                    chunk.cover.first_block, ivs);
+      }
+      if (image_.meta_store_ != nullptr &&
+          image_.meta_store_->JournalPressure()) {
+        VDE_CO_RETURN_IF_ERROR(co_await image_.meta_store_->FlushJournal());
       }
       co_return Status::Ok();
     }
@@ -622,6 +639,10 @@ sim::Task<Status> ImageRequest::WriteChunk(size_t idx) {
   if (ivs_out != nullptr) {
     image_.iv_cache_->PutRange(chunk.cover.object_no, chunk.cover.first_block,
                                ivs);
+  }
+  if (image_.meta_store_ != nullptr &&
+      image_.meta_store_->JournalPressure()) {
+    VDE_CO_RETURN_IF_ERROR(co_await image_.meta_store_->FlushJournal());
   }
   co_return Status::Ok();
 }
@@ -668,6 +689,17 @@ sim::Task<Status> ImageRequest::DiscardChunk(size_t idx) {
     if (ext.first_block == 0 &&
         ext.block_count == image_.blocks_per_object() &&
         image_.snaps_.empty()) {
+      if (image_.meta_store_ != nullptr) {
+        // OnRemove bumps the object's epoch; with the plane journaling
+        // that generation it must be the REAL one — load the current
+        // record first (a reset-to-zero epoch would let an old sealed
+        // bitmap replay through the floor check).
+        VDE_CO_RETURN_IF_ERROR(
+            co_await image_.EnsureObjectState(chunk.cover.object_no));
+        if (image_.meta_store_->NeedsDirtyMark()) {
+          VDE_CO_RETURN_IF_ERROR(co_await image_.meta_store_->MarkDirty());
+        }
+      }
       objstore::Transaction txn;
       objstore::OsdOp op;
       op.type = objstore::OsdOp::Type::kRemove;
@@ -682,10 +714,18 @@ sim::Task<Status> ImageRequest::DiscardChunk(size_t idx) {
       image_.trim_state_->OnRemove(chunk.cover.object_no);
       image_.iv_cache_->PutCleared(chunk.cover.object_no, 0,
                                    image_.blocks_per_object());
+      if (image_.meta_store_ != nullptr &&
+          image_.meta_store_->JournalPressure()) {
+        VDE_CO_RETURN_IF_ERROR(co_await image_.meta_store_->FlushJournal());
+      }
       co_return Status::Ok();
     }
     VDE_CO_RETURN_IF_ERROR(
-        co_await image_.trim_state_->Ensure(chunk.cover.object_no));
+        co_await image_.EnsureObjectState(chunk.cover.object_no));
+    if (image_.meta_store_ != nullptr &&
+        image_.meta_store_->NeedsDirtyMark()) {
+      VDE_CO_RETURN_IF_ERROR(co_await image_.meta_store_->MarkDirty());
+    }
     objstore::Transaction txn;
     fmt.MakeDiscard(ext, txn);
     // The trimmed blocks become zero-legit: the MAC'd bitmap update rides
@@ -706,6 +746,10 @@ sim::Task<Status> ImageRequest::DiscardChunk(size_t idx) {
                  ext.first_block + ext.block_count - 1);
     image_.iv_cache_->PutCleared(chunk.cover.object_no, ext.first_block,
                                  ext.block_count);
+    if (image_.meta_store_ != nullptr &&
+        image_.meta_store_->JournalPressure()) {
+      VDE_CO_RETURN_IF_ERROR(co_await image_.meta_store_->FlushJournal());
+    }
     co_return Status::Ok();
   }
 
@@ -717,7 +761,11 @@ sim::Task<Status> ImageRequest::DiscardChunk(size_t idx) {
   co_await wb.Acquire(holds_[idx]);
   HoldGuard held(wb, holds_[idx]);
   VDE_CO_RETURN_IF_ERROR(
-      co_await image_.trim_state_->Ensure(chunk.cover.object_no));
+      co_await image_.EnsureObjectState(chunk.cover.object_no));
+  if (image_.meta_store_ != nullptr &&
+      image_.meta_store_->NeedsDirtyMark()) {
+    VDE_CO_RETURN_IF_ERROR(co_await image_.meta_store_->MarkDirty());
+  }
   const bool head_partial = start % kBlockSize != 0;
   const bool tail_partial = end % kBlockSize != 0;
   const size_t last = chunk.cover.block_count - 1;
@@ -800,6 +848,10 @@ sim::Task<Status> ImageRequest::DiscardChunk(size_t idx) {
     image_.iv_cache_->PutRange(chunk.cover.object_no,
                                chunk.cover.first_block + last, tail_ivs);
   }
+  if (image_.meta_store_ != nullptr &&
+      image_.meta_store_->JournalPressure()) {
+    VDE_CO_RETURN_IF_ERROR(co_await image_.meta_store_->FlushJournal());
+  }
   co_return Status::Ok();
 }
 
@@ -814,7 +866,13 @@ sim::Task<Status> ImageRequest::ExecuteFlushOp() {
     image_.AddFlushWaiter(write_seq_, &flush_gate_);
     co_await flush_gate_.Wait();
   }
-  co_return co_await image_.writeback_->Drain();
+  VDE_CO_RETURN_IF_ERROR(co_await image_.writeback_->Drain());
+  // A flush is also the metadata plane's durability point: pending journal
+  // rows commit regardless of pressure.
+  if (image_.meta_store_ != nullptr) {
+    VDE_CO_RETURN_IF_ERROR(co_await image_.meta_store_->FlushJournal());
+  }
+  co_return Status::Ok();
 }
 
 }  // namespace vde::rbd

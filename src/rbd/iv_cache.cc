@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "rbd/meta_store.h"
+
 namespace vde::rbd {
 
 bool IvCache::TryGetRange(uint64_t object_no, uint64_t first_block,
@@ -22,7 +24,9 @@ bool IvCache::TryGetRange(uint64_t object_no, uint64_t first_block,
 
 void IvCache::PutRange(uint64_t object_no, uint64_t first_block,
                        const core::IvRows& rows) {
-  if (!retains() || rows.empty()) return;  // zero capacity retains nothing
+  if (rows.empty()) return;
+  if (spill_ != nullptr) spill_->JournalRows(object_no, first_block, rows);
+  if (!retains()) return;  // zero capacity retains nothing
   auto [obj, created_obj] = objects_.try_emplace(object_no);
   if (created_obj) {
     lru_.push_front(object_no);
@@ -43,7 +47,7 @@ void IvCache::PutRange(uint64_t object_no, uint64_t first_block,
 
 void IvCache::PutCleared(uint64_t object_no, uint64_t first_block,
                          size_t count) {
-  if (!enabled() || !retains() || count == 0) return;
+  if (!enabled() || count == 0) return;
   PutRange(object_no, first_block, core::IvRows(count));
 }
 

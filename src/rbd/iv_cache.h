@@ -42,6 +42,8 @@
 
 namespace vde::rbd {
 
+class MetaStore;
+
 struct IvCacheConfig {
   bool enabled = false;
   // LRU-by-object capacity: touching a row moves its object to the front;
@@ -75,6 +77,12 @@ class IvCache {
   // Whether inserted rows can actually stick (zero capacity consults and
   // counts, but retains nothing — callers skip the row copies).
   bool retains() const { return config_.max_objects > 0; }
+
+  // Spill observer (the image's persistent metadata plane, or null): every
+  // PutRange/PutCleared — write encrypts, read populates, cleared markers
+  // — is mirrored into its write-behind journal BEFORE the retention
+  // check, so even a zero-capacity RAM cache feeds the durable plane.
+  void set_spill(MetaStore* spill) { spill_ = spill; }
 
   // Copies the rows for blocks [first_block, first_block + count) of
   // `object_no` into `rows` and returns true iff every block is cached
@@ -137,6 +145,7 @@ class IvCache {
   void EvictToCapacity();
 
   IvCacheConfig config_;
+  MetaStore* spill_ = nullptr;
   std::unordered_map<uint64_t, ObjectRows> objects_;
   std::list<uint64_t> lru_;  // object numbers, most recently used first
   size_t cached_rows_ = 0;

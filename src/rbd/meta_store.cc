@@ -1,0 +1,307 @@
+#include "rbd/meta_store.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "rbd/image.h"
+#include "util/bytes.h"
+
+namespace vde::rbd {
+
+namespace {
+
+constexpr uint32_t kMetaMagic = 0x56444D31;  // "VDM1"
+
+// Key space, one leading kind byte: single-row keys ('M' manifest, 'C'
+// clean flag), per-object keys ('E' epoch floor, 'B' sealed bitmap), and
+// per-block IV rows ('I' + object + block, both big-endian so prefix
+// scans walk an object's rows in block order).
+Bytes Key1(uint8_t kind) { return Bytes{kind}; }
+
+Bytes ObjKey(uint8_t kind, uint64_t object_no) {
+  Bytes key(9);
+  key[0] = kind;
+  StoreU64Be(key.data() + 1, object_no);
+  return key;
+}
+
+Bytes RowKey(uint64_t object_no, uint64_t block) {
+  Bytes key(17);
+  key[0] = 'I';
+  StoreU64Be(key.data() + 1, object_no);
+  StoreU64Be(key.data() + 9, block);
+  return key;
+}
+
+constexpr size_t kRowKeySize = 17;
+constexpr size_t kRowStampSize = 8;  // LE epoch stamp preceding the row
+
+}  // namespace
+
+MetaStore::MetaStore(Image& image, const MetaStoreConfig& config)
+    : image_(image), config_(config) {}
+
+sim::Task<Result<std::unique_ptr<MetaStore>>> MetaStore::Open(
+    Image& image, const MetaStoreConfig& config) {
+  // Null = zero-overhead passthrough. Formats without authenticated trims
+  // have no way to verify a persisted row or bitmap on read, so persisting
+  // them would turn local staleness into silent corruption — the plane
+  // only engages where HMAC/GCM can reject stale state.
+  if (!config.enabled || config.device == nullptr ||
+      image.format_ == nullptr || !image.format_->AuthenticatedTrim() ||
+      !image.spec().NeedsMetadata()) {
+    co_return std::unique_ptr<MetaStore>{};
+  }
+  std::unique_ptr<MetaStore> store(new MetaStore(image, config));
+  VDE_CO_RETURN_IF_ERROR(co_await store->Init());
+  co_return store;
+}
+
+// Manifest: binds the plane to one image identity + geometry. A mismatch
+// (device reused for another image, object size changed) wipes the plane
+// rather than serving another image's metadata.
+sim::Task<Status> MetaStore::Init() {
+  auto opened = co_await kv::KvStore::Open(*config_.device, config_.kv);
+  if (!opened.ok()) {
+    if (opened.status().code() != StatusCode::kCorruption) {
+      co_return opened.status();
+    }
+    // Torn local plane (superblock CRC failure): the plane is an
+    // optimization, never a correctness dependency — wipe it and start
+    // cold instead of failing the image open.
+    VDE_CO_RETURN_IF_ERROR(co_await WipeKv());
+    opened = co_await kv::KvStore::Open(*config_.device, config_.kv);
+    VDE_CO_RETURN_IF_ERROR(opened.status());
+    stats_.cold_resets++;
+  }
+  kv_ = std::move(*opened);
+
+  Bytes manifest;
+  AppendU32Le(manifest, kMetaMagic);
+  AppendU64Le(manifest, image_.object_size());
+  AppendU8(manifest, static_cast<uint8_t>(image_.spec().mode));
+  AppendU8(manifest, static_cast<uint8_t>(image_.spec().layout));
+  AppendU8(manifest, static_cast<uint8_t>(image_.spec().integrity));
+  AppendBytes(manifest, BytesOf(image_.name()));
+
+  auto existing = co_await kv_->Get(Key1('M'));
+  VDE_CO_RETURN_IF_ERROR(existing.status());
+  bool fresh = !existing->has_value();
+  if (!fresh && **existing != manifest) {
+    kv_.reset();
+    VDE_CO_RETURN_IF_ERROR(co_await WipeKv());
+    auto reopened = co_await kv::KvStore::Open(*config_.device, config_.kv);
+    VDE_CO_RETURN_IF_ERROR(reopened.status());
+    kv_ = std::move(*reopened);
+    stats_.cold_resets++;
+    fresh = true;
+  }
+  if (fresh) {
+    // Fresh plane: nothing persisted, cold by construction.
+    co_return co_await kv_->Put(Key1('M'), std::move(manifest));
+  }
+
+  auto clean = co_await kv_->Get(Key1('C'));
+  VDE_CO_RETURN_IF_ERROR(clean.status());
+  warm_ = clean->has_value() && !(*clean)->empty() && (**clean)[0] == 1;
+  if (!warm_) {
+    // Crash: the persisted bitmaps/rows may predate store transactions
+    // that committed after the last journal flush. Purge them (the store
+    // is authoritative; reads degrade to cold) but KEEP the epoch floors
+    // — a clean close later must not bless rolled-back state, and the
+    // cold-load path still checks store bitmaps against the floor.
+    stats_.cold_resets++;
+    co_return co_await PurgeStaleState();
+  }
+  co_return Status::Ok();
+}
+
+sim::Task<Status> MetaStore::WipeKv() {
+  // Superblock AND the whole WAL region: a fresh KvStore::Init restarts
+  // at WAL generation 1, the same generation the previous instance began
+  // with — surviving frames could otherwise replay into the fresh store.
+  dev::BlockDevice& dev = *config_.device;
+  const uint32_t sector = dev.sector_size();
+  Bytes zero(sector, 0);
+  const uint64_t end = sector + config_.kv.wal_size;  // WAL follows sector 0
+  for (uint64_t off = 0; off < end; off += sector) {
+    VDE_CO_RETURN_IF_ERROR(co_await dev.Write(off, zero));
+  }
+  co_return Status::Ok();
+}
+
+sim::Task<Status> MetaStore::PurgeStaleState() {
+  for (const uint8_t kind : {uint8_t{'B'}, uint8_t{'I'}}) {
+    auto rows = co_await kv_->ScanPrefix(Key1(kind));
+    VDE_CO_RETURN_IF_ERROR(rows.status());
+    kv::WriteBatch batch;
+    for (auto& [key, value] : *rows) {
+      static_cast<void>(value);
+      batch.Delete(key);
+      if (batch.size() >= 256) {
+        VDE_CO_RETURN_IF_ERROR(co_await kv_->Write(std::move(batch)));
+        batch = kv::WriteBatch{};
+      }
+    }
+    if (!batch.empty()) {
+      VDE_CO_RETURN_IF_ERROR(co_await kv_->Write(std::move(batch)));
+    }
+  }
+  co_return Status::Ok();
+}
+
+sim::Task<Status> MetaStore::WarmObject(uint64_t object_no) {
+  if (!warm_) co_return Status::Ok();
+  auto& slot = warm_slots_[object_no];
+  if (!slot) slot = std::make_unique<WarmSlot>();
+  if (slot->done) co_return Status::Ok();
+  co_await slot->lane.Acquire();
+  sim::SemGuard lane(slot->lane);
+  if (slot->done) co_return Status::Ok();
+
+  auto floor = co_await Floor(object_no);
+  VDE_CO_RETURN_IF_ERROR(floor.status());
+  auto rows = co_await kv_->ScanPrefix(ObjKey('I', object_no));
+  VDE_CO_RETURN_IF_ERROR(rows.status());
+  uint64_t installed = 0;
+  for (const auto& [key, value] : *rows) {
+    if (key.size() != kRowKeySize || value.size() < kRowStampSize) {
+      co_return Status::Corruption("malformed persisted IV row");
+    }
+    const uint64_t block = LoadU64Be(key.data() + 9);
+    const uint64_t stamp = LoadU64Le(value.data());
+    if (stamp > floor->ceiling) {
+      // Stamped beyond every generation this plane committed: a row
+      // spliced in from a different (later) copy of the state. Refuse
+      // it — the block simply stays cold.
+      stats_.epoch_rejections++;
+      continue;
+    }
+    core::IvRows one;
+    one.emplace_back(value.begin() + kRowStampSize, value.end());
+    installing_ = true;  // keep the spill observer from echoing it back
+    image_.iv_cache_->PutRange(object_no, block, one);
+    installing_ = false;
+    installed++;
+  }
+  stats_.recovered_rows += installed;
+  if (installed > 0) stats_.warm_hits++;
+  slot->done = true;
+  co_return Status::Ok();
+}
+
+sim::Task<Result<bool>> MetaStore::TryWarmBitmap(uint64_t object_no,
+                                                 core::DiscardBitmap* bits,
+                                                 uint64_t* epoch) {
+  if (!warm_) co_return false;
+  auto raw = co_await kv_->Get(ObjKey('B', object_no));
+  VDE_CO_RETURN_IF_ERROR(raw.status());
+  if (!raw->has_value()) co_return false;
+  // The plane is untrusted local storage: re-verify the record's MAC and
+  // its generation against the floor before serving it.
+  uint64_t sealed_epoch = 0;
+  VDE_CO_RETURN_IF_ERROR(
+      image_.format_->OpenBitmap(object_no, **raw, bits, &sealed_epoch));
+  auto floor = co_await Floor(object_no);
+  VDE_CO_RETURN_IF_ERROR(floor.status());
+  if (sealed_epoch < floor->sealed) {
+    co_return Status::Corruption("persisted discard bitmap rolled back");
+  }
+  *epoch = std::max(sealed_epoch, floor->ceiling);
+  stats_.warm_hits++;
+  co_return true;
+}
+
+sim::Task<Result<MetaStore::EpochFloor>> MetaStore::Floor(
+    uint64_t object_no) {
+  const auto it = floors_.find(object_no);
+  if (it != floors_.end()) co_return it->second;
+  EpochFloor floor;
+  auto raw = co_await kv_->Get(ObjKey('E', object_no));
+  VDE_CO_RETURN_IF_ERROR(raw.status());
+  if (raw->has_value() && (*raw)->size() >= 16) {
+    floor.sealed = LoadU64Le((*raw)->data());
+    floor.ceiling = LoadU64Le((*raw)->data() + 8);
+  }
+  // try_emplace: a journal update that raced this fetch already holds
+  // newer values — keep them.
+  co_return floors_.try_emplace(object_no, floor).first->second;
+}
+
+void MetaStore::JournalRows(uint64_t object_no, uint64_t first_block,
+                            const core::IvRows& rows) {
+  if (installing_) return;
+  // Every datapath touch passes TrimState::Ensure first, which fetches
+  // the persisted floor into floors_ — the default-constructed fallback
+  // here only ever covers genuinely untracked objects.
+  const uint64_t stamp = image_.trim_state_->EpochOf(object_no);
+  EpochFloor& floor = floors_[object_no];
+  if (stamp > floor.ceiling) {
+    floor.ceiling = stamp;
+    dirty_floors_.insert(object_no);
+  }
+  for (size_t i = 0; i < rows.size(); ++i) {
+    Bytes value(kRowStampSize + rows[i].size());
+    StoreU64Le(value.data(), stamp);
+    std::copy(rows[i].begin(), rows[i].end(),
+              value.begin() + kRowStampSize);
+    pending_.Put(RowKey(object_no, first_block + i), std::move(value));
+  }
+  stats_.spills += rows.size();
+}
+
+void MetaStore::JournalBitmap(uint64_t object_no, const Bytes& sealed,
+                              uint64_t epoch) {
+  pending_.Put(ObjKey('B', object_no), sealed);
+  EpochFloor& floor = floors_[object_no];
+  floor.sealed = std::max(floor.sealed, epoch);
+  floor.ceiling = std::max(floor.ceiling, epoch);
+  dirty_floors_.insert(object_no);
+  stats_.spills++;
+}
+
+sim::Task<Status> MetaStore::FlushJournal() {
+  co_await flush_lane_.Acquire();
+  sim::SemGuard guard(flush_lane_);
+  if (pending_.empty() && dirty_floors_.empty()) co_return Status::Ok();
+  kv::WriteBatch batch = std::move(pending_);
+  pending_ = kv::WriteBatch{};
+  // The floors ride the same atomic batch as the entries they cover, so
+  // a committed row can never out-generation its object's ceiling.
+  for (const uint64_t object_no : dirty_floors_) {
+    const EpochFloor& floor = floors_[object_no];
+    Bytes value(16);
+    StoreU64Le(value.data(), floor.sealed);
+    StoreU64Le(value.data() + 8, floor.ceiling);
+    batch.Put(ObjKey('E', object_no), std::move(value));
+  }
+  dirty_floors_.clear();
+  stats_.journal_flushes++;
+  co_return co_await kv_->Write(std::move(batch));
+}
+
+sim::Task<Status> MetaStore::MarkDirty() {
+  if (dirty_) co_return Status::Ok();
+  co_await dirty_lane_.Acquire();
+  sim::SemGuard guard(dirty_lane_);
+  if (dirty_) co_return Status::Ok();
+  // Write-through, BEFORE the first mutating store transaction: once the
+  // store moves past the plane, a crash must cold-start the next open.
+  Bytes flag(1, 0);
+  VDE_CO_RETURN_IF_ERROR(co_await kv_->Put(Key1('C'), std::move(flag)));
+  dirty_ = true;
+  co_return Status::Ok();
+}
+
+sim::Task<Status> MetaStore::Close() {
+  if (closed_) co_return Status::Ok();
+  closed_ = true;
+  VDE_CO_RETURN_IF_ERROR(co_await FlushJournal());
+  // Set the clean flag even when no store mutation happened: read-only
+  // sessions journal read-populated rows too, and those are consistent
+  // with the (unchanged) store.
+  Bytes flag(1, 1);
+  co_return co_await kv_->Put(Key1('C'), std::move(flag));
+}
+
+}  // namespace vde::rbd

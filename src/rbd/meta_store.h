@@ -1,0 +1,197 @@
+// Persistent per-image metadata plane: durable IV-cache rows + verified
+// discard bitmaps on the in-tree LSM KV (src/kv), keyed by
+// (object_no, kind), with per-object write-generation epochs.
+//
+// The paper (§3.1) keeps per-block encryption metadata "in memory" at the
+// client; the IV cache and the verified discard bitmaps realize that, but
+// both evaporate on image close — every reopen pays a full cold-start of
+// metadata reads. HVSTO-style hybrid designs put exactly this hot metadata
+// on fast local storage. This layer spills it through a write-behind
+// journal onto a KvStore living on a dedicated local device region, so a
+// cleanly closed image reopens WARM: resident bitmaps and IV rows come off
+// the local plane and the object store serves ~zero metadata bytes.
+//
+// Trust model. The plane is an untrusted-ish local disk: every bitmap
+// record it returns re-verifies its HMAC (sealed by the format), and every
+// IV row it returns is only ever used to decrypt authenticated ciphertext
+// — a stale row fails HMAC/GCM verification on read. What MACs alone
+// cannot catch is ROLLBACK: an old-but-validly-MAC'd bitmap (or row)
+// replayed over the current one. The per-object write-generation epoch
+// closes that:
+//
+//  - TrimState bumps the object's epoch on every mutating transaction and
+//    seals the current epoch into the bitmap MAC (core::EncryptionFormat);
+//  - the plane persists a monotone per-object epoch floor (the highest
+//    sealed epoch + the highest row stamp it committed);
+//  - on reload, a bitmap sealed under an epoch BELOW the floor — a
+//    rolled-back record presented by the store or by the plane itself —
+//    is rejected as Corruption, and a persisted IV row stamped ABOVE the
+//    floor ceiling (spliced in from a later generation) is refused.
+//
+// Consistency protocol. A clean-flag row ('C') arbitrates trust: it is
+// cleared (write-through) before the first store-mutating transaction of a
+// session and set again by Close() after the journal fully flushed. A
+// reopen that finds it cleared — a crash — purges the persisted bitmaps
+// and rows (cold start; the store is authoritative) but KEEPS the epoch
+// floors, so a replayed stale bitmap still cannot slip in through the
+// cold-load path. A torn KV (superblock CRC failure) wipes the plane and
+// degrades to cold-start the same way — the plane is an optimization and
+// never a correctness dependency.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <unordered_map>
+
+#include "core/discard_bitmap.h"
+#include "core/format.h"
+#include "device/block_device.h"
+#include "kv/db.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+#include "util/status.h"
+
+namespace vde::rbd {
+
+class Image;
+
+struct MetaStoreConfig {
+  bool enabled = false;
+  // Dedicated local device (or region) backing the plane's KvStore.
+  // Caller-owned and must outlive the image; reopening the image against
+  // the SAME device is what makes a warm reopen possible.
+  dev::BlockDevice* device = nullptr;
+  kv::KvOptions kv;
+  // Pending journal entries that trigger a write-behind batch commit at
+  // the end of a datapath request (one WAL frame per flush).
+  size_t journal_flush_rows = 64;
+};
+
+struct MetaStoreStats {
+  uint64_t warm_hits = 0;         // bitmaps/row-sets served from the plane
+  uint64_t recovered_rows = 0;    // IV rows installed warm at reopen
+  uint64_t spills = 0;            // journal entries (rows + bitmaps)
+  uint64_t epoch_rejections = 0;  // persisted rows refused by the floor
+  uint64_t cold_resets = 0;       // dirty/corrupt/mismatched plane starts
+  uint64_t journal_flushes = 0;   // write-behind batches committed
+};
+
+class MetaStore {
+ public:
+  // Opens (or initializes) the plane for `image`. Returns null — a full
+  // passthrough — when the config is disabled, has no device, or the
+  // image's format does not authenticate trims (persisting rows a read
+  // cannot verify would turn local staleness into silent corruption).
+  // A corrupt or foreign (different image/geometry) plane is wiped and
+  // reinitialized cold, never failing the image open for it.
+  static sim::Task<Result<std::unique_ptr<MetaStore>>> Open(
+      Image& image, const MetaStoreConfig& config);
+
+  MetaStore(const MetaStore&) = delete;
+  MetaStore& operator=(const MetaStore&) = delete;
+
+  // Whether the last session closed cleanly (persisted state is trusted).
+  bool warm() const { return warm_; }
+
+  // --- Warm-load path (reopen) ---
+
+  // Installs the object's persisted IV rows into the image's IvCache,
+  // once per object (concurrent first touches serialize on a per-object
+  // lane). No-op on a cold plane.
+  sim::Task<Status> WarmObject(uint64_t object_no);
+
+  // Serves the object's discard bitmap from the plane: true + the decoded
+  // bitmap and its resume epoch on a warm hit, false when absent/cold
+  // (caller falls back to the object store). A record sealed below the
+  // persisted epoch floor fails with Corruption — rollback.
+  sim::Task<Result<bool>> TryWarmBitmap(uint64_t object_no,
+                                        core::DiscardBitmap* bits,
+                                        uint64_t* epoch);
+
+  // Persisted epoch floor: the highest bitmap epoch sealed (`sealed`) and
+  // the highest row stamp committed (`ceiling`) for this object. Cached
+  // in memory after the first fetch; {0, 0} for untracked objects.
+  struct EpochFloor {
+    uint64_t sealed = 0;
+    uint64_t ceiling = 0;
+  };
+  sim::Task<Result<EpochFloor>> Floor(uint64_t object_no);
+
+  // --- Spill path (write-behind journal) ---
+  //
+  // Synchronous enqueues; FlushJournal commits pending entries as one
+  // atomic KV batch. Callers flush at datapath request boundaries when
+  // JournalPressure() reports the threshold reached.
+
+  // Journals IV rows for blocks [first_block, first_block + rows.size()),
+  // stamped with the object's current write-generation epoch. An empty
+  // row is the block's cleared marker. (Fed by IvCache's spill observer,
+  // so every insert site — writes, read-populates, cleared markers —
+  // spills uniformly.)
+  void JournalRows(uint64_t object_no, uint64_t first_block,
+                   const core::IvRows& rows);
+
+  // Journals the sealed bitmap record just committed to the store and
+  // advances the object's epoch floor to `epoch`.
+  void JournalBitmap(uint64_t object_no, const Bytes& sealed,
+                     uint64_t epoch);
+
+  bool JournalPressure() const {
+    return pending_.size() >= config_.journal_flush_rows;
+  }
+  sim::Task<Status> FlushJournal();
+
+  // Whether the session's first store mutation still needs the clean flag
+  // cleared (callers gate the MarkDirty coroutine frame on this).
+  bool NeedsDirtyMark() const { return !dirty_; }
+  // Clears the clean flag, write-through, before the first mutating store
+  // transaction: a crash from here on makes the next open a cold start.
+  sim::Task<Status> MarkDirty();
+
+  // Flushes the journal and sets the clean flag. Idempotent; after a
+  // clean Close the plane's contents are trusted by the next open.
+  sim::Task<Status> Close();
+
+  const MetaStoreStats& stats() const { return stats_; }
+  kv::KvStats kv_stats() const { return kv_->stats(); }
+
+ private:
+  MetaStore(Image& image, const MetaStoreConfig& config);
+
+  sim::Task<Status> Init();
+  // Zeroes the KV superblock and WAL region so the next KvStore::Open
+  // initializes fresh (stale WAL frames from the previous instance would
+  // otherwise share generation 1 with the new log and could replay).
+  sim::Task<Status> WipeKv();
+  // Deletes persisted bitmaps and rows (stale after a crash), KEEPING the
+  // epoch floors — a later clean close must not bless rolled-back state.
+  sim::Task<Status> PurgeStaleState();
+
+  Image& image_;
+  MetaStoreConfig config_;
+  std::unique_ptr<kv::KvStore> kv_;
+  bool warm_ = false;
+  bool dirty_ = false;
+  bool closed_ = false;
+  // Guards IvCache inserts performed by WarmObject itself from echoing
+  // back into the journal through the spill observer.
+  bool installing_ = false;
+
+  kv::WriteBatch pending_;
+  // Floors cached in memory (journal updates merge into them; flushes
+  // persist the dirty ones alongside the batch) and per-object warm-load
+  // state.
+  std::unordered_map<uint64_t, EpochFloor> floors_;
+  std::set<uint64_t> dirty_floors_;
+  struct WarmSlot {
+    bool done = false;
+    sim::Semaphore lane{1};
+  };
+  std::unordered_map<uint64_t, std::unique_ptr<WarmSlot>> warm_slots_;
+  sim::Semaphore flush_lane_{1};
+  sim::Semaphore dirty_lane_{1};
+  MetaStoreStats stats_;
+};
+
+}  // namespace vde::rbd

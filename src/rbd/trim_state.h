@@ -70,6 +70,11 @@ class TrimState {
   // caller holds guards over cannot change underneath it.
   const core::DiscardBitmap* Lookup(uint64_t object_no) const;
 
+  // The object's current write-generation epoch (0 when never loaded).
+  // Bumped on every committed bitmap mutation and sealed into the record's
+  // MAC; the metadata plane stamps persisted IV rows with it.
+  uint64_t EpochOf(uint64_t object_no) const;
+
   // A staged bitmap mutation tied to one transaction. Inactive when the
   // mutation flips no bits (nothing was appended, nothing to commit).
   class Update {
@@ -78,7 +83,9 @@ class TrimState {
     Update(Update&& o) noexcept
         : owner_(std::exchange(o.owner_, nullptr)),
           object_no_(o.object_no_),
-          pending_(std::move(o.pending_)) {}
+          pending_(std::move(o.pending_)),
+          epoch_(o.epoch_),
+          sealed_(std::move(o.sealed_)) {}
     Update(const Update&) = delete;
     Update& operator=(const Update&) = delete;
     Update& operator=(Update&&) = delete;
@@ -91,6 +98,8 @@ class TrimState {
     TrimState* owner_ = nullptr;
     uint64_t object_no_ = 0;
     core::DiscardBitmap pending_;
+    uint64_t epoch_ = 0;  // generation the staged record was sealed under
+    Bytes sealed_;        // the sealed record, kept for the meta journal
   };
 
   // Stages clearing the bits in `clear` (blocks being written) and setting
@@ -118,6 +127,7 @@ class TrimState {
  private:
   struct Entry {
     core::DiscardBitmap bits;
+    uint64_t epoch = 0;  // write generation of the current sealed record
     bool loaded = false;
     // Serializes the load and all bit-flipping commits for one object.
     sim::Semaphore lane{1};

@@ -248,7 +248,13 @@ void Writeback::MaybePrune(uint64_t object_no) {
 sim::Task<Status> Writeback::WriteOutStage(uint64_t object_no, uint64_t block,
                                            const Stage& stage) {
   core::EncryptionFormat& fmt = *image_.format_;
-  VDE_CO_RETURN_IF_ERROR(co_await image_.trim_state_->Ensure(object_no));
+  VDE_CO_RETURN_IF_ERROR(co_await image_.EnsureObjectState(object_no));
+  // Stage flushes are store mutations too: clear the plane's clean flag
+  // before the first one of the session commits.
+  if (image_.meta_store_ != nullptr &&
+      image_.meta_store_->NeedsDirtyMark()) {
+    VDE_CO_RETURN_IF_ERROR(co_await image_.meta_store_->MarkDirty());
+  }
   objstore::Transaction txn;
   core::IvRows ivs;
   core::IvRows* const ivs_out = image_.IvCapture(&ivs);
@@ -271,6 +277,10 @@ sim::Task<Status> Writeback::WriteOutStage(uint64_t object_no, uint64_t block,
     image_.trim_state_->Commit(std::move(*update));
     if (ivs_out != nullptr) {
       image_.iv_cache_->PutRange(object_no, block, ivs);
+    }
+    if (image_.meta_store_ != nullptr &&
+        image_.meta_store_->JournalPressure()) {
+      VDE_CO_RETURN_IF_ERROR(co_await image_.meta_store_->FlushJournal());
     }
   }
   co_return applied;

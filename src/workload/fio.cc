@@ -45,6 +45,22 @@ rbd::ImageStats StatsDelta(const rbd::ImageStats& after,
   d.qos_throttled = after.qos_throttled - before.qos_throttled;
   d.qos_wait_ns = after.qos_wait_ns - before.qos_wait_ns;
   d.qos_peak_queue = after.qos_peak_queue;
+  d.meta_warm_hits = after.meta_warm_hits - before.meta_warm_hits;
+  d.meta_recovered_rows =
+      after.meta_recovered_rows - before.meta_recovered_rows;
+  d.meta_spills = after.meta_spills - before.meta_spills;
+  d.meta_epoch_rejections =
+      after.meta_epoch_rejections - before.meta_epoch_rejections;
+  d.meta_cold_resets = after.meta_cold_resets - before.meta_cold_resets;
+  d.meta_journal_flushes =
+      after.meta_journal_flushes - before.meta_journal_flushes;
+  d.meta_kv_wal_bytes = after.meta_kv_wal_bytes - before.meta_kv_wal_bytes;
+  d.meta_kv_wal_commits =
+      after.meta_kv_wal_commits - before.meta_kv_wal_commits;
+  d.meta_kv_flush_bytes =
+      after.meta_kv_flush_bytes - before.meta_kv_flush_bytes;
+  d.meta_kv_compaction_bytes =
+      after.meta_kv_compaction_bytes - before.meta_kv_compaction_bytes;
   return d;
 }
 
@@ -129,6 +145,20 @@ std::string FioResult::Summary() const {
                   static_cast<unsigned long long>(image.qos_throttled),
                   static_cast<unsigned long long>(image.qos_peak_queue),
                   static_cast<double>(image.qos_wait_ns) / 1e6);
+    out += buf;
+  }
+  if (image.meta_warm_hits + image.meta_recovered_rows + image.meta_spills +
+          image.meta_kv_wal_commits > 0) {
+    std::snprintf(
+        buf, sizeof(buf),
+        " meta[warm=%llu rows=%llu spills=%llu epoch_rej=%llu "
+        "wal_kb=%llu comp_kb=%llu]",
+        static_cast<unsigned long long>(image.meta_warm_hits),
+        static_cast<unsigned long long>(image.meta_recovered_rows),
+        static_cast<unsigned long long>(image.meta_spills),
+        static_cast<unsigned long long>(image.meta_epoch_rejections),
+        static_cast<unsigned long long>(image.meta_kv_wal_bytes >> 10),
+        static_cast<unsigned long long>(image.meta_kv_compaction_bytes >> 10));
     out += buf;
   }
   return out;

@@ -313,5 +313,83 @@ TEST(KvStore, BloomFiltersSkipTables) {
   });
 }
 
+// ScanPrefix must return exactly the keys sharing the prefix — keys that
+// compare between the prefix and its successor but do NOT extend it
+// (shorter keys, diverging bytes) stay out, and the derived upper bound
+// handles the tricky byte values (0xFF tails, empty prefix).
+TEST(KvStore, ScanPrefixBoundaries) {
+  testutil::RunSim([]() -> sim::Task<void> {
+    dev::NvmeDevice nvme;
+    auto store = co_await KvStore::Open(nvme, SmallOptions());
+    auto& kv = **store;
+    // Neighbors around the "ab" prefix in byte order: "aa…" below,
+    // "ab" itself + extensions inside, "ac" first key above.
+    const std::vector<std::string> keys = {"aa", "aaz", "ab",   "ab\x01",
+                                           "abc", "abz", "ac", "b"};
+    for (const auto& k : keys) {
+      (void)co_await kv.Put(BytesOf(k), BytesOf("v:" + k));
+    }
+    // Half in tables, half in the memtable: the scan must merge both.
+    (void)co_await kv.Flush();
+    (void)co_await kv.Put(BytesOf("abm"), BytesOf("v:abm"));
+
+    auto hits = co_await kv.ScanPrefix(BytesOf("ab"));
+    CO_ASSERT_OK(hits.status());
+    std::vector<std::string> got;
+    for (const auto& [k, v] : *hits) {
+      got.emplace_back(k.begin(), k.end());
+    }
+    const std::vector<std::string> want = {"ab", "ab\x01", "abc", "abm",
+                                           "abz"};
+    EXPECT_EQ(got, want);
+
+    // `limit` truncates the ordered result, it never widens it.
+    auto limited = co_await kv.ScanPrefix(BytesOf("ab"), 2);
+    CO_ASSERT_OK(limited.status());
+    CO_ASSERT_EQ(limited->size(), 2u);
+    EXPECT_EQ((*limited)[0].first, BytesOf("ab"));
+    EXPECT_EQ((*limited)[1].first, BytesOf("ab\x01"));
+  });
+}
+
+TEST(KvStore, ScanPrefixHighBytesAndEmptyPrefix) {
+  testutil::RunSim([]() -> sim::Task<void> {
+    dev::NvmeDevice nvme;
+    auto store = co_await KvStore::Open(nvme, SmallOptions());
+    auto& kv = **store;
+    // A prefix ending in 0xFF has no same-length successor: the upper
+    // bound must come from incrementing an earlier byte.
+    Bytes hi = {0x61, 0xFF};          // "a\xFF"
+    Bytes inside1 = {0x61, 0xFF};     // the prefix itself
+    Bytes inside2 = {0x61, 0xFF, 0x00};
+    Bytes inside3 = {0x61, 0xFF, 0xFF};
+    Bytes outside = {0x62};           // "b" — next after bumping 0x61
+    (void)co_await kv.Put(inside1, BytesOf("1"));
+    (void)co_await kv.Put(inside2, BytesOf("2"));
+    (void)co_await kv.Put(inside3, BytesOf("3"));
+    (void)co_await kv.Put(outside, BytesOf("x"));
+
+    auto hits = co_await kv.ScanPrefix(hi);
+    CO_ASSERT_OK(hits.status());
+    CO_ASSERT_EQ(hits->size(), 3u);
+    EXPECT_EQ((*hits)[0].first, inside1);
+    EXPECT_EQ((*hits)[2].first, inside3);
+
+    // All-0xFF prefix: everything >= it (nothing here but the probe key).
+    Bytes all_ff = {0xFF, 0xFF};
+    (void)co_await kv.Put(all_ff, BytesOf("top"));
+    auto top = co_await kv.ScanPrefix(all_ff);
+    CO_ASSERT_OK(top.status());
+    CO_ASSERT_EQ(top->size(), 1u);
+    EXPECT_EQ((*top)[0].first, all_ff);
+
+    // Empty prefix scans the whole keyspace, deletions excluded.
+    (void)co_await kv.Delete(inside2);
+    auto all = co_await kv.ScanPrefix(Bytes{});
+    CO_ASSERT_OK(all.status());
+    EXPECT_EQ(all->size(), 4u);
+  });
+}
+
 }  // namespace
 }  // namespace vde::kv
