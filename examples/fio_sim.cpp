@@ -28,6 +28,10 @@
 // summary shows the warm start (meta[...] counters, ~zero metadata
 // fetched from the object store). Requires an authenticating format
 // (--integrity=hmac or --cipher=gcm).
+// Pipelined data plane: --cores=N turns on the sim's N-core CPU model
+// (per-core utilization is reported in the summary's cores[...] segment);
+// --stripe-unit=SIZE / --stripe-count=N stripe the guest's linear space
+// across objects RBD-style, fanning sequential streams over cores.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -62,6 +66,9 @@ struct Args {
   size_t iv_cache_objects = 64;
   bool meta_store = false;
   bool reopen = false;
+  unsigned cores = 0;          // 0 = core model off (legacy timeline)
+  uint64_t stripe_unit = 0;    // 0 = object_size (no striping)
+  uint64_t stripe_count = 0;   // 0 = 1
   core::EncryptionSpec spec;
 
   bool UseQos() const { return qos_iops > 0 || qos_bw > 0 || qos_depth > 0; }
@@ -133,6 +140,12 @@ bool Parse(int argc, char** argv, Args& args) {
     } else if (arg == "--reopen") {
       args.meta_store = true;
       args.reopen = true;
+    } else if (const char* v = value("--cores=")) {
+      args.cores = static_cast<unsigned>(std::stoul(v));
+    } else if (const char* v = value("--stripe-unit=")) {
+      args.stripe_unit = ParseSize(v);
+    } else if (const char* v = value("--stripe-count=")) {
+      args.stripe_count = std::stoull(v);
     } else if (const char* v = value("--ops=")) {
       args.ops = std::stoull(v);
     } else if (const char* v = value("--qd=")) {
@@ -188,6 +201,8 @@ sim::Task<void> Run(const Args& args, bool* ok) {
   dev::NvmeDevice meta_dev;
   rbd::ImageOptions options;
   options.size = 64ull << 30;
+  options.stripe_unit = args.stripe_unit;
+  options.stripe_count = args.stripe_count;
   options.enc = args.spec;
   options.enc.iv_seed = 1;
   options.luks.pbkdf2_iterations = 10;
@@ -257,7 +272,21 @@ sim::Task<void> Run(const Args& args, bool* ok) {
               static_cast<unsigned long long>(args.bs),
               runner.config().queue_depth, args.spec.Name().c_str(),
               args.UseQos() ? ", qos" : "");
+  if (args.cores > 0 || args.stripe_count > 1) {
+    std::printf("  layout: cores=%u stripe_unit=%llu stripe_count=%llu\n",
+                args.cores,
+                static_cast<unsigned long long>((*image)->stripe_unit()),
+                static_cast<unsigned long long>((*image)->stripe_count()));
+  }
   std::printf("  %s\n", result->Summary().c_str());
+  if (!result->core_util.empty()) {
+    std::printf("  cores: ");
+    for (size_t i = 0; i < result->core_util.size(); ++i) {
+      std::printf("%scpu%zu=%.0f%%", i == 0 ? "" : " ", i,
+                  result->core_util[i] * 100.0);
+    }
+    std::printf("\n");
+  }
   // The per-image counters behind the summary: RMW/write-back behavior and
   // (with --qos-*) dispatch-queue pressure.
   const rbd::ImageStats& is = result->image;
@@ -371,10 +400,15 @@ int main(int argc, char** argv) {
         "               [--cipher=gcm|wide] [--integrity=hmac] [--verify]\n"
         "               [--qos-iops=N] [--qos-bw=BYTES/S] [--qos-depth=N]\n"
         "               [--iv-cache] [--iv-cache-objects=N]\n"
-        "               [--meta-store] [--reopen]\n");
+        "               [--meta-store] [--reopen]\n"
+        "               [--cores=N] [--stripe-unit=SIZE] "
+        "[--stripe-count=N]\n");
     return 2;
   }
   sim::Scheduler sched;
+  // N-core CPU model: crypto and apply charges pin to per-object cores and
+  // overlap across them; 0 keeps the legacy infinite-overlap timeline.
+  if (args.cores > 0) sched.ConfigureCores(args.cores);
   bool ok = false;
   sched.Spawn(Run(args, &ok));
   sched.Run();

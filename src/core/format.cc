@@ -785,6 +785,20 @@ sim::SimTime EncryptionFormat::CryptoCost(size_t bytes) const {
          static_cast<sim::SimTime>(static_cast<double>(bytes) / gbps);
 }
 
+sim::SimTime EncryptionFormat::SubBlockMergeCost() const {
+  switch (spec_.mode) {
+    case CipherMode::kNone:
+      return 0;
+    case CipherMode::kGcmRandom:
+      // GCM re-tags the whole block on merge: GHASH over 4 KiB dominates.
+      return 700 * sim::kNs;
+    default:
+      // AES-NI short-buffer call: tweak derivation + pipeline fill, far
+      // below a streaming 4 KiB pass (bench_crypto's 512 B points).
+      return 500 * sim::kNs;
+  }
+}
+
 // Defaults for formats without per-sector metadata: there is nothing a
 // cached IV row could skip.
 bool EncryptionFormat::DataOnlyReadProfitable(const ObjectExtent&) const {

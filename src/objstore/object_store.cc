@@ -320,6 +320,30 @@ sim::Task<Status> ObjectStore::Apply(const Transaction& txn,
   stats_.transactions++;
   stats_.journal_bytes += record.size();
 
+  // Pipelined apply (core model on): the prepare stage — payload staging
+  // penalties for sub-sector and unaligned ops — runs BEFORE the
+  // per-object exclusive lock, on a rotating core ("any core" stage work),
+  // so it overlaps the previous transaction's commit stage. With the core
+  // model off the penalties charge inside the lock, exactly as before.
+  sim::Scheduler& sched = sim::Scheduler::Current();
+  if (sched.core_model_enabled()) {
+    const uint32_t sector = device_->sector_size();
+    sim::SimTime prepare = 0;
+    for (const auto& op : txn.ops) {
+      if (op.type == OsdOp::Type::kWrite ||
+          op.type == OsdOp::Type::kWriteFull ||
+          op.type == OsdOp::Type::kZero || op.type == OsdOp::Type::kTrim) {
+        const uint64_t len =
+            op.type == OsdOp::Type::kWriteFull ? op.data.size() : op.length;
+        const uint64_t off =
+            op.type == OsdOp::Type::kWriteFull ? 0 : op.offset;
+        prepare += config_.costs.PreparePenalty(
+            op.type == OsdOp::Type::kTrim, off, len, sector);
+      }
+    }
+    if (prepare > 0) co_await sim::ChargeCpu{sched.NextShard(), prepare};
+  }
+
   sim::SharedLock& lock = ObjectLock(txn.oid);
   co_await lock.AcquireExclusive();
   const Status status = co_await ApplyLocked(txn, snapc);
@@ -381,6 +405,12 @@ sim::Task<Status> ObjectStore::ApplyLocked(const Transaction& txn,
 
   // 3. Apply ops: instant visibility, background device-cost charges.
   const uint32_t sector = device_->sector_size();
+  sim::Scheduler& sched = sim::Scheduler::Current();
+  // Per-object work pins to the object's core (deterministic FNV shard):
+  // commits of independent objects run on independent cores, commits of
+  // one object serialize — the RADOS per-object ordering made physical.
+  const uint64_t obj_shard = sim::ShardOf(txn.oid);
+  const bool pipelined = sched.core_model_enabled();
   for (const auto& op : txn.ops) {
     // Software cost of the data-op apply path (sync, per DESIGN.md §5).
     if (op.type == OsdOp::Type::kWrite || op.type == OsdOp::Type::kWriteFull ||
@@ -388,18 +418,14 @@ sim::Task<Status> ObjectStore::ApplyLocked(const Transaction& txn,
       const uint64_t len =
           op.type == OsdOp::Type::kWriteFull ? op.data.size() : op.length;
       const uint64_t off = op.type == OsdOp::Type::kWriteFull ? 0 : op.offset;
-      sim::SimTime cost = config_.write_op_apply_cost;
-      if (op.type == OsdOp::Type::kTrim) {
-        // Tracked discard is metadata-only (extent-map + allocator update):
-        // no payload to defer or re-align, so no size penalties.
-      } else if (len < sector) {
-        // Sub-sector op: deferred-write bookkeeping only.
-        cost += config_.small_write_penalty;
-      } else if (off % sector != 0 || len % sector != 0) {
-        // Large unaligned payload: synchronous boundary RMW + realignment.
-        cost += config_.unaligned_penalty;
+      // Commit-stage cost; the prepare-stage penalties were charged before
+      // the lock when pipelining, and fold in here when not.
+      sim::SimTime cost = config_.costs.write_op_apply_cost;
+      if (!pipelined) {
+        cost += config_.costs.PreparePenalty(op.type == OsdOp::Type::kTrim,
+                                             off, len, sector);
       }
-      co_await sim::Sleep{cost};
+      co_await sim::ChargeCpu{obj_shard, cost};
     }
     switch (op.type) {
       case OsdOp::Type::kCreate:
@@ -471,7 +497,8 @@ sim::Task<Status> ObjectStore::ApplyLocked(const Transaction& txn,
         // layout collapse at large IO sizes (Fig. 3b/4).
         co_await kv_lane_.Acquire();
         sim::SemGuard lane(kv_lane_);
-        co_await sim::Sleep{config_.omap_key_write_cost * op.omap_kvs.size()};
+        co_await sim::ChargeCpu{
+            obj_shard, config_.costs.omap_key_write_cost * op.omap_kvs.size()};
         VDE_CO_RETURN_IF_ERROR(co_await kv_->Write(std::move(batch)));
         break;
       }

@@ -33,16 +33,21 @@
 
 namespace vde::objstore {
 
-struct StoreConfig {
-  uint64_t journal_size = 64ull << 20;
-  uint64_t kv_region_size = 512ull << 20;
-  // Per-object allocation: object payload + slack for end-of-object
-  // metadata regions (IVs/tags) written past the nominal object size.
-  uint64_t max_object_size = (4ull << 20) + (1ull << 20);
-  kv::KvOptions kv;
-
-  // Store-side software cost model (calibration constants, DESIGN.md §5).
-  // Per write-class data op: extent/onode bookkeeping + dispatch.
+// Store-side software cost model (calibration constants, DESIGN.md §5).
+// One named struct consumed by both the apply path and the bench fixtures
+// — the constants used to live loose in StoreConfig.
+//
+// The apply cost of a data op splits into two stages:
+//  - prepare: payload staging — deferred-write bookkeeping for sub-sector
+//    ops, boundary read-modify-write + realignment for unaligned ones.
+//    Shared-stage work: runs before the per-object exclusive lock.
+//  - commit: extent/onode bookkeeping + dispatch. The short exclusive
+//    stage under the object lock.
+// Under the sim's N-core model the prepare stage of transaction K+1
+// overlaps the commit stage of transaction K (BlueStore-style pipelining);
+// with the core model off, both charge inside the lock exactly as before.
+struct CostModel {
+  // Per write-class data op: extent/onode bookkeeping + dispatch (commit).
   sim::SimTime write_op_apply_cost = 35 * sim::kUs;
   // Sub-sector op: BlueStore-style deferred-write bookkeeping (the
   // object-end IV write pays this on every small IO).
@@ -54,6 +59,28 @@ struct StoreConfig {
   // kv_sync_thread / OMAP encode path; this is what melts the OMAP layout
   // at large IOs where one write carries 1024 keys).
   sim::SimTime omap_key_write_cost = 32 * sim::kUs;
+
+  // Prepare-stage penalty of one data op (kTrim is metadata-only: no
+  // payload to defer or re-align, so no size penalties).
+  sim::SimTime PreparePenalty(bool is_trim, uint64_t offset, uint64_t length,
+                              uint32_t sector) const {
+    if (is_trim) return 0;
+    if (length < sector) return small_write_penalty;
+    if (offset % sector != 0 || length % sector != 0) {
+      return unaligned_penalty;
+    }
+    return 0;
+  }
+};
+
+struct StoreConfig {
+  uint64_t journal_size = 64ull << 20;
+  uint64_t kv_region_size = 512ull << 20;
+  // Per-object allocation: object payload + slack for end-of-object
+  // metadata regions (IVs/tags) written past the nominal object size.
+  uint64_t max_object_size = (4ull << 20) + (1ull << 20);
+  kv::KvOptions kv;
+  CostModel costs;
 };
 
 struct StoreStats {

@@ -32,6 +32,8 @@ Bytes SerializeMetadata(const ImageOptions& options,
   AppendU32Le(out, 0);  // total length, patched below
   AppendU64Le(out, options.size);
   AppendU64Le(out, options.object_size);
+  AppendU64Le(out, options.stripe_unit);
+  AppendU64Le(out, options.stripe_count);
   AppendU8(out, static_cast<uint8_t>(options.enc.mode));
   AppendU8(out, static_cast<uint8_t>(options.enc.layout));
   AppendU8(out, static_cast<uint8_t>(options.enc.integrity));
@@ -52,6 +54,17 @@ Bytes SerializeMetadata(const ImageOptions& options,
   StoreU32Le(out.data() + 4, static_cast<uint32_t>(out.size()) + 4);
   AppendU32Le(out, Crc32c(out));
   return out;
+}
+
+// Stripe geometry sanity shared by Create (user input) and Open (header
+// bytes): the unit must be a whole number of crypto blocks and tile the
+// object exactly, so chunk boundaries inside an object stay block-aligned.
+bool ValidStripeGeometry(const ImageOptions& options) {
+  if (options.stripe_count == 0) return false;
+  const uint64_t su = options.stripe_unit;
+  if (su == 0) return true;  // resolves to object_size
+  return su % core::kBlockSize == 0 && su <= options.object_size &&
+         options.object_size % su == 0;
 }
 
 // Bounds-checked reader over the serialized header: every load verifies
@@ -151,6 +164,7 @@ ImageStats Image::stats() const {
     s.meta_epoch_rejections = m.epoch_rejections;
     s.meta_cold_resets = m.cold_resets;
     s.meta_journal_flushes = m.journal_flushes;
+    s.meta_gc_rows = m.gc_rows;
     const kv::KvStats kvs = meta_store_->kv_stats();
     s.meta_kv_wal_bytes = kvs.wal_bytes;
     s.meta_kv_wal_commits = kvs.wal_commits;
@@ -165,6 +179,24 @@ std::string Image::ObjectName(uint64_t object_no) const {
   std::snprintf(buf, sizeof(buf), "%016llx",
                 static_cast<unsigned long long>(object_no));
   return "rbd_data." + name_ + "." + buf;
+}
+
+Image::StripeRun Image::MapOffset(uint64_t off) const {
+  const uint64_t su = stripe_unit();
+  const uint64_t sc = stripe_count();
+  const uint64_t osize = options_.object_size;
+  const uint64_t unit = off / su;  // global stripe-unit index
+  const uint64_t rem = off % su;
+  const uint64_t per_set = sc * (osize / su);  // units per object set
+  const uint64_t set = unit / per_set;
+  const uint64_t within = unit % per_set;
+  const uint64_t object_no = set * sc + within % sc;
+  const uint64_t in_obj = (within / sc) * su + rem;
+  // With one column the rows of an object are back-to-back in image space,
+  // so the contiguous run extends to the object end — the legacy layout.
+  // With several columns the run ends at the stripe-unit boundary.
+  const uint64_t run = sc == 1 ? osize - in_obj : su - rem;
+  return {object_no, in_obj, run};
 }
 
 objstore::SnapContext Image::SnapContext() const {
@@ -183,7 +215,13 @@ sim::Task<Result<std::shared_ptr<Image>>> Image::Create(
       options.object_size % core::kBlockSize != 0) {
     co_return Status::InvalidArgument("size must be block-aligned");
   }
-  std::shared_ptr<Image> image(new Image(cluster, name, options));
+  ImageOptions normalized = options;
+  if (normalized.stripe_count == 0) normalized.stripe_count = 1;
+  if (!ValidStripeGeometry(normalized)) {
+    co_return Status::InvalidArgument(
+        "stripe unit must be a block-aligned divisor of the object size");
+  }
+  std::shared_ptr<Image> image(new Image(cluster, name, normalized));
   image->encrypted_ = options.enc.mode != core::CipherMode::kNone;
 
   Bytes master_key(core::kMasterKeySize, 0);
@@ -249,6 +287,7 @@ sim::Task<Result<std::shared_ptr<Image>>> Image::Open(
   uint8_t mode = 0, layout = 0, integrity = 0, encrypted_flag = 0;
   uint32_t snap_count = 0;
   if (!in.U64(&options.size) || !in.U64(&options.object_size) ||
+      !in.U64(&options.stripe_unit) || !in.U64(&options.stripe_count) ||
       !in.U8(&mode) || !in.U8(&layout) || !in.U8(&integrity) ||
       !in.U8(&encrypted_flag) || !in.U32(&snap_count)) {
     co_return corrupt;
@@ -263,7 +302,8 @@ sim::Task<Result<std::shared_ptr<Image>>> Image::Open(
   options.enc.integrity = static_cast<core::Integrity>(integrity);
   if (options.object_size == 0 || options.size == 0 ||
       options.object_size % core::kBlockSize != 0 ||
-      options.size % core::kBlockSize != 0) {
+      options.size % core::kBlockSize != 0 ||
+      !ValidStripeGeometry(options)) {
     co_return Status::Corruption("bad image header geometry");
   }
   const bool encrypted = encrypted_flag != 0;

@@ -38,6 +38,15 @@ namespace vde::rbd {
 struct ImageOptions {
   uint64_t size = 1ull << 30;
   uint64_t object_size = 4ull << 20;
+  // Guest-side striping (RBD "fancy striping", persisted in the header).
+  // stripe_unit bytes go to an object before the next unit moves to the
+  // next object in a set of stripe_count objects; after stripe_count *
+  // (object_size / stripe_unit) units the next object set begins. The
+  // defaults (0 -> object_size, count 1) keep the legacy contiguous
+  // layout bit-for-bit. stripe_unit must be a multiple of the 4 KiB
+  // crypto block and divide object_size.
+  uint64_t stripe_unit = 0;  // 0 = object_size (no striping)
+  uint64_t stripe_count = 1;
   core::EncryptionSpec enc;
   core::LuksHeader::Params luks;
   WritebackConfig writeback;
@@ -103,6 +112,7 @@ struct ImageStats {
   uint64_t meta_epoch_rejections = 0; // persisted rows refused by the floor
   uint64_t meta_cold_resets = 0;      // dirty/corrupt/mismatched starts
   uint64_t meta_journal_flushes = 0;  // write-behind batches committed
+  uint64_t meta_gc_rows = 0;          // persisted rows GC'd for removed objects
   uint64_t meta_kv_wal_bytes = 0;         // plane WAL bytes written
   uint64_t meta_kv_wal_commits = 0;       // plane WAL commits
   uint64_t meta_kv_flush_bytes = 0;       // plane memtable-flush bytes
@@ -183,6 +193,24 @@ class Image {
   uint64_t blocks_per_object() const {
     return options_.object_size / core::kBlockSize;
   }
+  // Effective stripe geometry (defaults resolve to the contiguous layout).
+  uint64_t stripe_unit() const {
+    return options_.stripe_unit != 0 ? options_.stripe_unit
+                                     : options_.object_size;
+  }
+  uint64_t stripe_count() const {
+    return options_.stripe_count != 0 ? options_.stripe_count : 1;
+  }
+
+  // Striping map: where image byte `off` lives and how many bytes are
+  // contiguous there before the layout jumps to another object (or to a
+  // non-adjacent offset of the same object).
+  struct StripeRun {
+    uint64_t object_no;
+    uint64_t in_obj;  // byte offset within the object
+    uint64_t run;     // contiguous bytes available at in_obj
+  };
+  StripeRun MapOffset(uint64_t off) const;
   const core::EncryptionSpec& spec() const { return options_.enc; }
   const std::string& name() const { return name_; }
   // Snapshot of the image's IO counters; the qos_* fields are pulled from

@@ -62,6 +62,15 @@ SpanT ContiguousAt(const std::vector<SpanT>& iov, uint64_t buf_off,
   return {};
 }
 
+// Partially-covered edge blocks of a write range: each pays the format's
+// sub-block merge surcharge on top of streaming the payload bytes.
+size_t PartialEdges(uint64_t byte_off, uint64_t byte_len, size_t block_count) {
+  const bool head = byte_off % kBlockSize != 0;
+  const bool tail = (byte_off + byte_len) % kBlockSize != 0;
+  if (head && tail && block_count == 1) return 1;  // same block twice
+  return (head ? 1 : 0) + (tail ? 1 : 0);
+}
+
 // Releases a write-back hold when the owning chunk task finishes.
 class HoldGuard {
  public:
@@ -250,25 +259,30 @@ sim::Task<Status> ImageRequest::Execute() {
 }
 
 std::vector<ImageRequest::Chunk> ImageRequest::Chunks() const {
+  // Walk the striping map: each iteration takes the contiguous run the
+  // layout offers at `pos`. With the default geometry (stripe_count 1) the
+  // run reaches the object end and this degenerates to the legacy
+  // object-per-chunk split; with striping, consecutive stripe units land
+  // on different objects and fan the request out across them.
   std::vector<Chunk> chunks;
-  const uint64_t osize = image_.object_size();
   uint64_t pos = offset_;
   const uint64_t end = offset_ + length_;
   while (pos < end) {
-    const uint64_t object_no = pos / osize;
-    const uint64_t obj_start = object_no * osize;
-    const uint64_t take = std::min(end, obj_start + osize) - pos;
-    const uint64_t in_obj = pos - obj_start;
-    const uint64_t first_block = in_obj / kBlockSize;
-    const uint64_t block_end = (in_obj + take + kBlockSize - 1) / kBlockSize;
+    const Image::StripeRun at = image_.MapOffset(pos);
+    const uint64_t take = std::min(end - pos, at.run);
+    const uint64_t first_block = at.in_obj / kBlockSize;
+    const uint64_t block_end =
+        (at.in_obj + take + kBlockSize - 1) / kBlockSize;
     Chunk c;
-    c.cover.oid = image_.ObjectName(object_no);
-    c.cover.object_no = object_no;
+    c.cover.oid = image_.ObjectName(at.object_no);
+    c.cover.object_no = at.object_no;
     c.cover.first_block = first_block;
     c.cover.block_count = block_end - first_block;
+    // Physical block numbering: IV/tweak binding keys off the block's home
+    // in the object space, independent of the guest-side stripe order.
     c.cover.image_block =
-        object_no * image_.blocks_per_object() + first_block;
-    c.byte_off = in_obj - first_block * kBlockSize;
+        at.object_no * image_.blocks_per_object() + first_block;
+    c.byte_off = at.in_obj - first_block * kBlockSize;
     c.byte_len = take;
     c.buf_off = pos - offset_;
     chunks.push_back(std::move(c));
@@ -309,8 +323,10 @@ sim::Task<Status> ImageRequest::ExecuteReadOp() {
   // Client-side decryption cost over the covers that actually decrypted
   // ciphertext (partial blocks are decrypted whole even if the guest asked
   // for 512 B of them); covers served from the plaintext staging buffer
-  // cost nothing here.
-  if (read_decrypted_bytes_ > 0) {
+  // cost nothing here. Under the core model each chunk already charged its
+  // own core inside ReadChunk, overlapping across objects.
+  if (read_decrypted_bytes_ > 0 &&
+      !sim::Scheduler::Current().core_model_enabled()) {
     co_await sim::Sleep{image_.format_->CryptoCost(read_decrypted_bytes_)};
   }
   co_return Status::Ok();
@@ -385,6 +401,13 @@ sim::Task<Status> ImageRequest::ReadChunk(size_t idx) {
       } else {
         VDE_CO_RETURN_IF_ERROR(plan.Finish(*got, out));
         read_decrypted_bytes_ += cover_bytes;
+        // Pipelined decrypt: charge this chunk's covers on the object's
+        // core so chunks of different objects decrypt in parallel.
+        sim::Scheduler& sched = sim::Scheduler::Current();
+        if (sched.core_model_enabled()) {
+          co_await sim::ChargeCpu{sim::ShardOf(chunk.cover.oid),
+                                  fmt.CryptoCost(cover_bytes)};
+        }
       }
     }
   }
@@ -416,12 +439,23 @@ sim::Task<Status> ImageRequest::ExecuteWriteOp() {
   // bytes below are really encrypted too, which tests verify end to end).
   // Staged chunks pay their crypto at stage-creation (RMW decrypt) and
   // flush (encrypt) instead — that deferral is the coalescing win.
-  uint64_t through_bytes = 0;
-  for (const auto& c : chunks_) {
-    if (!StageEligible(c)) through_bytes += c.cover.block_count * kBlockSize;
-  }
-  if (through_bytes > 0) {
-    co_await sim::Sleep{image_.format_->CryptoCost(through_bytes)};
+  // Calibrated basis: the payload bytes stream once plus a merge surcharge
+  // per partial edge block — NOT every covering block in full. Under the
+  // core model the charge instead happens per chunk inside WriteChunk, on
+  // the target object's core, so chunks encrypt in parallel.
+  if (!sim::Scheduler::Current().core_model_enabled()) {
+    uint64_t through_bytes = 0;
+    size_t edge_blocks = 0;
+    for (const auto& c : chunks_) {
+      if (StageEligible(c)) continue;
+      through_bytes += c.byte_len;
+      edge_blocks += PartialEdges(c.byte_off, c.byte_len,
+                                  c.cover.block_count);
+    }
+    if (through_bytes > 0) {
+      co_await sim::Sleep{
+          image_.format_->IoCryptoCost(through_bytes, edge_blocks)};
+    }
   }
 
   std::vector<Status> results(chunks_.size());
@@ -522,7 +556,10 @@ sim::Task<Status> ImageRequest::RmwReadEdges(const Chunk& chunk,
     if (!plans[i].zero_fill()) decrypted_blocks++;
   }
   if (decrypted_blocks > 0) {
-    co_await sim::Sleep{fmt.CryptoCost(decrypted_blocks * kBlockSize)};
+    // ChargeCpu degrades to Sleep with the core model off; enabled, the
+    // RMW edge decrypt serializes with the object's other crypto work.
+    co_await sim::ChargeCpu{sim::ShardOf(chunk.cover.oid),
+                            fmt.CryptoCost(decrypted_blocks * kBlockSize)};
   }
   co_return Status::Ok();
 }
@@ -559,6 +596,21 @@ sim::Task<Status> ImageRequest::WriteChunk(size_t idx) {
 
   if (StageEligible(chunk)) {
     co_return co_await StageChunk(chunk);
+  }
+
+  // Pipelined encrypt: this chunk's payload charges the target object's
+  // core before the store transaction — chunks bound for different objects
+  // (striped sequential writes in particular) encrypt concurrently. With
+  // the core model off, ExecuteWriteOp charged one aggregate pass already.
+  {
+    sim::Scheduler& sched = sim::Scheduler::Current();
+    if (sched.core_model_enabled()) {
+      co_await sim::ChargeCpu{
+          sim::ShardOf(chunk.cover.oid),
+          image_.format_->IoCryptoCost(
+              chunk.byte_len, PartialEdges(chunk.byte_off, chunk.byte_len,
+                                           chunk.cover.block_count))};
+    }
   }
 
   core::EncryptionFormat& fmt = *image_.format_;
@@ -714,6 +766,12 @@ sim::Task<Status> ImageRequest::DiscardChunk(size_t idx) {
       image_.trim_state_->OnRemove(chunk.cover.object_no);
       image_.iv_cache_->PutCleared(chunk.cover.object_no, 0,
                                    image_.blocks_per_object());
+      // AFTER PutCleared: the cleared markers it spilled are the last rows
+      // this object journals, and the plane GCs them (with the sealed
+      // bitmap) at Close — only the epoch floor survives a removed object.
+      if (image_.meta_store_ != nullptr) {
+        image_.meta_store_->OnObjectRemoved(chunk.cover.object_no);
+      }
       if (image_.meta_store_ != nullptr &&
           image_.meta_store_->JournalPressure()) {
         VDE_CO_RETURN_IF_ERROR(co_await image_.meta_store_->FlushJournal());
@@ -823,7 +881,8 @@ sim::Task<Status> ImageRequest::DiscardChunk(size_t idx) {
       chunk.cover.object_no, edge_written, trimmed_range, txn);
   VDE_CO_RETURN_IF_ERROR(update.status());
   if (edge_blocks > 0) {
-    co_await sim::Sleep{fmt.CryptoCost(edge_blocks * kBlockSize)};
+    co_await sim::ChargeCpu{sim::ShardOf(chunk.cover.oid),
+                            fmt.CryptoCost(edge_blocks * kBlockSize)};
   }
   VDE_CO_RETURN_IF_ERROR(co_await io.Operate(chunk.cover.oid, std::move(txn),
                                              image_.SnapContext()));

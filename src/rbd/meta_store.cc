@@ -231,6 +231,7 @@ sim::Task<Result<MetaStore::EpochFloor>> MetaStore::Floor(
 void MetaStore::JournalRows(uint64_t object_no, uint64_t first_block,
                             const core::IvRows& rows) {
   if (installing_) return;
+  removed_.erase(object_no);  // rewritten after removal: rows live again
   // Every datapath touch passes TrimState::Ensure first, which fetches
   // the persisted floor into floors_ — the default-constructed fallback
   // here only ever covers genuinely untracked objects.
@@ -252,6 +253,7 @@ void MetaStore::JournalRows(uint64_t object_no, uint64_t first_block,
 
 void MetaStore::JournalBitmap(uint64_t object_no, const Bytes& sealed,
                               uint64_t epoch) {
+  removed_.erase(object_no);
   pending_.Put(ObjKey('B', object_no), sealed);
   EpochFloor& floor = floors_[object_no];
   floor.sealed = std::max(floor.sealed, epoch);
@@ -293,10 +295,46 @@ sim::Task<Status> MetaStore::MarkDirty() {
   co_return Status::Ok();
 }
 
+sim::Task<Status> MetaStore::GcRemovedObjects() {
+  if (removed_.empty()) co_return Status::Ok();
+  kv::WriteBatch batch;
+  for (const uint64_t object_no : removed_) {
+    auto bitmap = co_await kv_->Get(ObjKey('B', object_no));
+    VDE_CO_RETURN_IF_ERROR(bitmap.status());
+    if (bitmap->has_value()) {
+      batch.Delete(ObjKey('B', object_no));
+      stats_.gc_rows++;
+    }
+    auto rows = co_await kv_->ScanPrefix(ObjKey('I', object_no));
+    VDE_CO_RETURN_IF_ERROR(rows.status());
+    for (const auto& [key, value] : *rows) {
+      static_cast<void>(value);
+      batch.Delete(key);
+      stats_.gc_rows++;
+    }
+    // Deliberately NOT the 'E' floor: a dead object's floor still rejects
+    // a replayed sealed bitmap if the object number is ever reused.
+    if (batch.size() >= 256) {
+      VDE_CO_RETURN_IF_ERROR(co_await kv_->Write(std::move(batch)));
+      batch = kv::WriteBatch{};
+    }
+  }
+  removed_.clear();
+  if (!batch.empty()) {
+    VDE_CO_RETURN_IF_ERROR(co_await kv_->Write(std::move(batch)));
+  }
+  co_return Status::Ok();
+}
+
 sim::Task<Status> MetaStore::Close() {
   if (closed_) co_return Status::Ok();
   closed_ = true;
   VDE_CO_RETURN_IF_ERROR(co_await FlushJournal());
+  // Journal first, then collect: a row journaled for a removed-then-
+  // rewritten object must never be deleted, and removal after the last
+  // journal entry must win — removed_'s insert/erase bookkeeping encodes
+  // exactly that order.
+  VDE_CO_RETURN_IF_ERROR(co_await GcRemovedObjects());
   // Set the clean flag even when no store mutation happened: read-only
   // sessions journal read-populated rows too, and those are consistent
   // with the (unchanged) store.

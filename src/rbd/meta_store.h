@@ -75,6 +75,7 @@ struct MetaStoreStats {
   uint64_t epoch_rejections = 0;  // persisted rows refused by the floor
   uint64_t cold_resets = 0;       // dirty/corrupt/mismatched plane starts
   uint64_t journal_flushes = 0;   // write-behind batches committed
+  uint64_t gc_rows = 0;           // 'B'/'I' rows deleted for removed objects
 };
 
 class MetaStore {
@@ -137,6 +138,14 @@ class MetaStore {
   void JournalBitmap(uint64_t object_no, const Bytes& sealed,
                      uint64_t epoch);
 
+  // Marks the object's persisted rows garbage: the datapath removed the
+  // whole object (full-object discard), so its sealed bitmap and IV rows
+  // describe state that no longer exists. Close() deletes them — only the
+  // monotone 'E' epoch floor survives (it guards against bitmap replay
+  // even for dead objects). A later re-journal of the object (it was
+  // rewritten) cancels the pending GC.
+  void OnObjectRemoved(uint64_t object_no) { removed_.insert(object_no); }
+
   bool JournalPressure() const {
     return pending_.size() >= config_.journal_flush_rows;
   }
@@ -167,6 +176,8 @@ class MetaStore {
   // Deletes persisted bitmaps and rows (stale after a crash), KEEPING the
   // epoch floors — a later clean close must not bless rolled-back state.
   sim::Task<Status> PurgeStaleState();
+  // Close-time GC: drops the 'B'/'I' rows of every object in removed_.
+  sim::Task<Status> GcRemovedObjects();
 
   Image& image_;
   MetaStoreConfig config_;
@@ -184,6 +195,7 @@ class MetaStore {
   // state.
   std::unordered_map<uint64_t, EpochFloor> floors_;
   std::set<uint64_t> dirty_floors_;
+  std::set<uint64_t> removed_;  // objects whose rows GC at Close
   struct WarmSlot {
     bool done = false;
     sim::Semaphore lane{1};

@@ -120,7 +120,8 @@ sim::Task<Status> Writeback::ReadBlock(uint64_t object_no, uint64_t block,
   }
   if (!got.ok()) co_return got.status();
   VDE_CO_RETURN_IF_ERROR(plan.Finish(*got, out));
-  co_await sim::Sleep{fmt.CryptoCost(kBlockSize)};
+  // Decrypt on the object's core (plain Sleep with the core model off).
+  co_await sim::ChargeCpu{sim::ShardOf(ext.oid), fmt.CryptoCost(kBlockSize)};
   co_return Status::Ok();
 }
 
@@ -266,7 +267,9 @@ sim::Task<Status> Writeback::WriteOutStage(uint64_t object_no, uint64_t block,
   auto update =
       co_await image_.trim_state_->Stage(object_no, written_range, {}, txn);
   VDE_CO_RETURN_IF_ERROR(update.status());
-  co_await sim::Sleep{fmt.CryptoCost(kBlockSize)};
+  // Flush-time encrypt charges the object's core (plain Sleep when off).
+  co_await sim::ChargeCpu{sim::ShardOf(image_.ObjectName(object_no)),
+                          fmt.CryptoCost(kBlockSize)};
   auto io = image_.cluster_.ioctx();
   Status applied = co_await io.Operate(image_.ObjectName(object_no),
                                        std::move(txn), image_.SnapContext());

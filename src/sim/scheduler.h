@@ -1,13 +1,25 @@
-// Deterministic discrete-event scheduler.
+// Deterministic discrete-event scheduler with an optional N-core CPU model.
 //
 // Time is simulated nanoseconds. Events with equal timestamps run in FIFO
 // order (sequence-number tie-break), so a given seed always produces the
 // same interleaving — bench results are exactly reproducible.
+//
+// CPU model: by default every CPU charge (ChargeCpu) degrades to a plain
+// Sleep — the legacy "infinite cores" timeline, bit-identical to the
+// pre-core-model scheduler. ConfigureCores(N) turns on a per-core
+// busy-until model: a charge reserves time on the core its shard key maps
+// to, so two charges landing on the same core serialize while charges on
+// different cores overlap. Affinity is by shard key (object hash, rotating
+// round-robin for stage work), never by coroutine identity — tasks migrate
+// freely, only the *work* is pinned. The model is a cost model, not a
+// threading model: execution stays single-threaded and deterministic for
+// any core count.
 #pragma once
 
 #include <coroutine>
 #include <cstdint>
 #include <queue>
+#include <string>
 #include <vector>
 
 #include "sim/task.h"
@@ -51,6 +63,29 @@ class Scheduler {
 
   uint64_t events_processed() const { return events_processed_; }
 
+  // --- N-core CPU model ---
+
+  // Enables the core model with `n` simulated cores (n >= 1), or disables
+  // it with n == 0 (the default: CPU charges become plain Sleeps with
+  // unlimited overlap). Call before work is spawned; reconfiguring resets
+  // the per-core clocks.
+  void ConfigureCores(unsigned n);
+  unsigned cores() const { return static_cast<unsigned>(busy_until_.size()); }
+  bool core_model_enabled() const { return !busy_until_.empty(); }
+
+  // Reserves `cost` ns on the core `shard_key` maps to and returns the
+  // simulated time the work finishes (start = max(now, core busy-until)).
+  // With the model disabled, returns now + cost (plain sleep semantics).
+  SimTime ReserveCpu(uint64_t shard_key, SimTime cost);
+
+  // Rotating shard key for work with no natural affinity ("runs on any
+  // core"): deterministic round-robin over the core space.
+  uint64_t NextShard() { return next_shard_++; }
+
+  // Accumulated busy nanoseconds per core (utilization accounting).
+  // Empty when the model is disabled.
+  const std::vector<SimTime>& core_busy_ns() const { return busy_ns_; }
+
  private:
   struct Event {
     SimTime at;
@@ -65,6 +100,9 @@ class Scheduler {
   uint64_t next_seq_ = 0;
   uint64_t events_processed_ = 0;
   std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::vector<SimTime> busy_until_;  // per-core frontier; empty = disabled
+  std::vector<SimTime> busy_ns_;    // per-core accumulated busy time
+  uint64_t next_shard_ = 0;
 };
 
 // Awaitable: suspend the current task for `delay` simulated nanoseconds.
@@ -76,5 +114,31 @@ struct Sleep {
   }
   void await_resume() const noexcept {}
 };
+
+// Awaitable: charge `cost` ns of CPU on the core `shard` maps to. With the
+// core model disabled this is exactly Sleep{cost}; with N cores configured
+// the charge queues behind earlier work on the same core — same-core work
+// serializes, cross-core work overlaps.
+struct ChargeCpu {
+  uint64_t shard;
+  SimTime cost;
+  bool await_ready() const noexcept { return cost == 0; }
+  void await_suspend(std::coroutine_handle<> h) const {
+    Scheduler& s = Scheduler::Current();
+    s.ScheduleAt(s.ReserveCpu(shard, cost), h);
+  }
+  void await_resume() const noexcept {}
+};
+
+// FNV-1a over a byte string: the deterministic, platform-stable shard key
+// for pinning an object's work to a core (std::hash is not portable).
+inline uint64_t ShardOf(const std::string& key) {
+  uint64_t h = 0xCBF29CE484222325ull;
+  for (const char c : key) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
 
 }  // namespace vde::sim

@@ -52,6 +52,7 @@ rbd::ImageStats StatsDelta(const rbd::ImageStats& after,
   d.meta_epoch_rejections =
       after.meta_epoch_rejections - before.meta_epoch_rejections;
   d.meta_cold_resets = after.meta_cold_resets - before.meta_cold_resets;
+  d.meta_gc_rows = after.meta_gc_rows - before.meta_gc_rows;
   d.meta_journal_flushes =
       after.meta_journal_flushes - before.meta_journal_flushes;
   d.meta_kv_wal_bytes = after.meta_kv_wal_bytes - before.meta_kv_wal_bytes;
@@ -138,6 +139,16 @@ std::string FioResult::Summary() const {
                   static_cast<unsigned long long>(store.punched_fragments));
     out += buf;
   }
+  if (!core_util.empty()) {
+    std::string seg = " cores[";
+    for (size_t i = 0; i < core_util.size(); ++i) {
+      std::snprintf(buf, sizeof(buf), "%s%.0f%%", i == 0 ? "" : " ",
+                    core_util[i] * 100.0);
+      seg += buf;
+    }
+    seg += "]";
+    out += seg;
+  }
   if (image.qos_submitted > 0) {
     std::snprintf(buf, sizeof(buf),
                   " qos[queued=%llu throttled=%llu peak_q=%llu wait_ms=%.1f]",
@@ -151,12 +162,13 @@ std::string FioResult::Summary() const {
           image.meta_kv_wal_commits > 0) {
     std::snprintf(
         buf, sizeof(buf),
-        " meta[warm=%llu rows=%llu spills=%llu epoch_rej=%llu "
+        " meta[warm=%llu rows=%llu spills=%llu epoch_rej=%llu gc=%llu "
         "wal_kb=%llu comp_kb=%llu]",
         static_cast<unsigned long long>(image.meta_warm_hits),
         static_cast<unsigned long long>(image.meta_recovered_rows),
         static_cast<unsigned long long>(image.meta_spills),
         static_cast<unsigned long long>(image.meta_epoch_rejections),
+        static_cast<unsigned long long>(image.meta_gc_rows),
         static_cast<unsigned long long>(image.meta_kv_wal_bytes >> 10),
         static_cast<unsigned long long>(image.meta_kv_compaction_bytes >> 10));
     out += buf;
@@ -398,6 +410,7 @@ sim::Task<void> FioRunner::Worker(size_t worker_id, FioResult* result,
       // First measured op: open the timing window at steady state.
       measuring_ = true;
       measure_start_ = sim::Scheduler::Current().now();
+      busy_at_start_ = sim::Scheduler::Current().core_busy_ns();
     }
     const uint64_t offset = NextOffset();
     const bool do_discard =
@@ -495,6 +508,7 @@ sim::Task<Result<FioResult>> FioRunner::Run() {
   stop_ = false;
   measure_start_ = sim::Scheduler::Current().now();
   measure_end_ = measure_start_;
+  busy_at_start_ = sim::Scheduler::Current().core_busy_ns();
   const rbd::ImageStats stats_before = image_.stats();
 
   std::vector<sim::Task<void>> workers;
@@ -506,6 +520,19 @@ sim::Task<Result<FioResult>> FioRunner::Run() {
   result.duration = measure_end_ - measure_start_;
   result.image = StatsDelta(image_.stats(), stats_before);
   result.store = image_.cluster().TotalStoreSpace();
+  // Per-core utilization over the measured window (core model only; the
+  // busy counters monotonically accumulate, so the delta is this run's).
+  const std::vector<sim::SimTime>& busy_now =
+      sim::Scheduler::Current().core_busy_ns();
+  if (!busy_now.empty() && result.duration > 0 &&
+      busy_at_start_.size() == busy_now.size()) {
+    result.core_util.resize(busy_now.size());
+    for (size_t i = 0; i < busy_now.size(); ++i) {
+      result.core_util[i] = static_cast<double>(busy_now[i] -
+                                                busy_at_start_[i]) /
+                            static_cast<double>(result.duration);
+    }
+  }
   if (!status.ok()) co_return status;
   co_return result;
 }

@@ -87,6 +87,9 @@ struct FioResult {
   // deltas): free/punched bytes and fragmentation — what a TRIM-heavy run
   // actually reclaimed. Summary() prints it when discards were issued.
   objstore::StoreSpace store;
+  // Fraction of the measured window each simulated core spent busy, in
+  // core order. Empty when the sim's N-core CPU model is disabled.
+  std::vector<double> core_util;
 
   double BandwidthMBps() const {
     return duration == 0
@@ -171,6 +174,7 @@ class FioRunner {
   uint64_t measured_done_ = 0;
   sim::SimTime measure_start_ = 0;
   sim::SimTime measure_end_ = 0;
+  std::vector<sim::SimTime> busy_at_start_;  // core busy_ns at window open
 };
 
 // One tenant of a multi-image run: a name for reporting, the image to

@@ -495,5 +495,192 @@ TEST(MetaStore, UnauthenticatedFormatRefusesPlane) {
   });
 }
 
+// --- Plane GC for removed objects ----------------------------------------
+
+// Session 1 persists IV rows for two objects (plus a bitmap row from a
+// partial discard). Session 2 removes object 0 wholesale and closes: the
+// close-time GC must drop its persisted 'B'/'I' rows (gc_rows > 0), so
+// session 3 recovers strictly fewer rows yet still serves object 1 warm.
+TEST(MetaStore, CloseGcDropsRowsForRemovedObjects) {
+  testutil::RunSim([]() -> sim::Task<void> {
+    const auto spec = Spec(core::CipherMode::kXtsRandom,
+                           core::IvLayout::kObjectEnd,
+                           core::Integrity::kHmac);
+    dev::NvmeDevice meta_dev;
+    auto cluster = co_await rados::Cluster::Create(TestCluster());
+    Rng rng(71);
+    const Bytes obj0 = rng.RandomBytes(kObjSize);
+    const Bytes obj1 = rng.RandomBytes(kObjSize);
+    {
+      auto image = co_await Image::Create(**cluster, "gc", "pw",
+                                          PlaneImage(spec, &meta_dev));
+      CO_ASSERT_OK(image.status());
+      CO_ASSERT_OK(co_await (*image)->Write(0, obj0));
+      CO_ASSERT_OK(co_await (*image)->Write(kObjSize, obj1));
+      CO_ASSERT_OK(co_await (*image)->Discard(2 * kBlk, kBlk));  // 'B' row
+      CO_ASSERT_OK(co_await (*image)->Flush());
+      co_await (*cluster)->Drain();
+      CO_ASSERT_OK(co_await (*image)->Close());
+      EXPECT_EQ((*image)->stats().meta_gc_rows, 0u);
+    }
+    uint64_t rows_before_gc = 0;
+    {
+      auto image = co_await Image::Open(**cluster, "gc", "pw", {}, nullptr,
+                                        {}, {.enabled = true},
+                                        PlaneConfig(&meta_dev));
+      CO_ASSERT_OK(image.status());
+      // Rows install lazily on first touch: read both objects so the
+      // recovered-row count covers the whole persisted working set.
+      auto r0 = co_await (*image)->Read(0, kObjSize);
+      CO_ASSERT_OK(r0.status());
+      auto r1 = co_await (*image)->Read(kObjSize, kObjSize);
+      CO_ASSERT_OK(r1.status());
+      EXPECT_TRUE(std::equal(r1->begin(), r1->end(), obj1.begin()));
+      rows_before_gc = (*image)->stats().meta_recovered_rows;
+      EXPECT_GT(rows_before_gc, 0u);
+      CO_ASSERT_OK(co_await (*image)->Discard(0, kObjSize));  // full remove
+      CO_ASSERT_OK(co_await (*image)->Flush());
+      co_await (*cluster)->Drain();
+      CO_ASSERT_OK(co_await (*image)->Close());
+      EXPECT_GT((*image)->stats().meta_gc_rows, 0u);
+    }
+    auto reopened = co_await Image::Open(**cluster, "gc", "pw", {}, nullptr,
+                                         {}, {.enabled = true},
+                                         PlaneConfig(&meta_dev));
+    CO_ASSERT_OK(reopened.status());
+    auto& img = **reopened;
+    // Object 0 is gone: reads come back zero.
+    auto gone = co_await img.Read(0, kObjSize);
+    CO_ASSERT_OK(gone.status());
+    EXPECT_TRUE(std::all_of(gone->begin(), gone->end(),
+                            [](uint8_t b) { return b == 0; }));
+    // Object 1 still serves warm off the plane.
+    auto kept = co_await img.Read(kObjSize, kObjSize);
+    CO_ASSERT_OK(kept.status());
+    EXPECT_TRUE(std::equal(kept->begin(), kept->end(), obj1.begin()));
+    EXPECT_EQ(img.stats().iv_meta_bytes_fetched, 0u);
+    // The same read pass now installs strictly fewer rows: object 0's
+    // persisted rows were deleted by the close-time GC.
+    EXPECT_LT(img.stats().meta_recovered_rows, rows_before_gc);
+    CO_ASSERT_OK(co_await img.Close());
+  });
+}
+
+// A rewrite after the remove cancels the pending GC: the object's fresh
+// rows are journaled again, close deletes nothing, and the next session
+// serves the new content warm.
+TEST(MetaStore, RewriteAfterRemoveCancelsGc) {
+  testutil::RunSim([]() -> sim::Task<void> {
+    const auto spec = Spec(core::CipherMode::kXtsRandom,
+                           core::IvLayout::kObjectEnd,
+                           core::Integrity::kHmac);
+    dev::NvmeDevice meta_dev;
+    auto cluster = co_await rados::Cluster::Create(TestCluster());
+    Rng rng(72);
+    {
+      auto image = co_await Image::Create(**cluster, "regc", "pw",
+                                          PlaneImage(spec, &meta_dev));
+      CO_ASSERT_OK(image.status());
+      CO_ASSERT_OK(co_await (*image)->Write(0, rng.RandomBytes(kObjSize)));
+      CO_ASSERT_OK(co_await (*image)->Flush());
+      co_await (*cluster)->Drain();
+      CO_ASSERT_OK(co_await (*image)->Close());
+    }
+    const Bytes fresh = rng.RandomBytes(kObjSize);
+    {
+      auto image = co_await Image::Open(**cluster, "regc", "pw", {}, nullptr,
+                                        {}, {.enabled = true},
+                                        PlaneConfig(&meta_dev));
+      CO_ASSERT_OK(image.status());
+      CO_ASSERT_OK(co_await (*image)->Discard(0, kObjSize));
+      CO_ASSERT_OK(co_await (*image)->Write(0, fresh));
+      CO_ASSERT_OK(co_await (*image)->Flush());
+      co_await (*cluster)->Drain();
+      CO_ASSERT_OK(co_await (*image)->Close());
+      EXPECT_EQ((*image)->stats().meta_gc_rows, 0u);
+    }
+    auto reopened = co_await Image::Open(**cluster, "regc", "pw", {}, nullptr,
+                                         {}, {.enabled = true},
+                                         PlaneConfig(&meta_dev));
+    CO_ASSERT_OK(reopened.status());
+    auto& img = **reopened;
+    auto got = co_await img.Read(0, kObjSize);
+    CO_ASSERT_OK(got.status());
+    EXPECT_TRUE(std::equal(got->begin(), got->end(), fresh.begin()));
+    EXPECT_EQ(img.stats().iv_meta_bytes_fetched, 0u);
+    EXPECT_GT(img.stats().meta_warm_hits, 0u);
+    CO_ASSERT_OK(co_await img.Close());
+  });
+}
+
+// GC keeps the 'E' epoch floors on purpose: a record sealed before the
+// remove must STILL be rejected when replayed against a recreated object
+// — deleting the floor with the other rows would reopen the rollback
+// window the epochs exist to close.
+TEST(MetaStore, EpochFloorSurvivesCloseGc) {
+  testutil::RunSim([]() -> sim::Task<void> {
+    const auto spec = Spec(core::CipherMode::kXtsRandom,
+                           core::IvLayout::kOmap, core::Integrity::kHmac);
+    dev::NvmeDevice meta_dev;
+    auto cluster = co_await rados::Cluster::Create(TestCluster());
+    Rng rng(73);
+    Bytes old_record;
+    const Bytes bitmap_key(1, uint8_t{'B'});
+    std::string oid;
+    {
+      auto image = co_await Image::Create(**cluster, "gcfloor", "pw",
+                                          PlaneImage(spec, &meta_dev));
+      CO_ASSERT_OK(image.status());
+      oid = (*image)->ObjectName(0);
+      CO_ASSERT_OK(co_await (*image)->Write(0, rng.RandomBytes(2 * kBlk)));
+      CO_ASSERT_OK(co_await (*image)->Flush());
+      co_await (*cluster)->Drain();
+      // The attacker snapshots the sealed bitmap record of generation N.
+      for (size_t i = 0; i < (*cluster)->osd_count(); ++i) {
+        objstore::ObjectStore& os = (*cluster)->osd(i).store();
+        if (!os.ObjectExists(oid)) continue;
+        auto row = co_await os.PeekOmapRow(oid, bitmap_key);
+        CO_ASSERT_OK(row.status());
+        old_record = *row;
+        break;
+      }
+      CO_ASSERT_FALSE(old_record.empty());
+      // Remove the whole object and close cleanly: GC drops its rows.
+      CO_ASSERT_OK(co_await (*image)->Discard(0, kObjSize));
+      CO_ASSERT_OK(co_await (*image)->Flush());
+      co_await (*cluster)->Drain();
+      CO_ASSERT_OK(co_await (*image)->Close());
+      EXPECT_GT((*image)->stats().meta_gc_rows, 0u);
+    }
+    {
+      // Recreate the object past the floor; drop WITHOUT Close so the
+      // next reopen purges warm bitmaps and loads them cold from the
+      // (tampered) store — the path a rollback targets.
+      auto image = co_await Image::Open(**cluster, "gcfloor", "pw", {},
+                                        nullptr, {}, {.enabled = true},
+                                        PlaneConfig(&meta_dev));
+      CO_ASSERT_OK(image.status());
+      CO_ASSERT_OK(co_await (*image)->Write(0, rng.RandomBytes(2 * kBlk)));
+      CO_ASSERT_OK(co_await (*image)->Discard(0, kBlk));
+      CO_ASSERT_OK(co_await (*image)->Flush());
+      co_await (*cluster)->Drain();
+    }
+    for (size_t i = 0; i < (*cluster)->osd_count(); ++i) {
+      objstore::ObjectStore& os = (*cluster)->osd(i).store();
+      if (!os.ObjectExists(oid)) continue;
+      CO_ASSERT_OK(co_await os.TamperOmapRow(oid, bitmap_key, old_record));
+    }
+    auto reopened = co_await Image::Open(**cluster, "gcfloor", "pw", {},
+                                         nullptr, {}, {.enabled = true},
+                                         PlaneConfig(&meta_dev));
+    CO_ASSERT_OK(reopened.status());
+    auto got = co_await (*reopened)->Read(kBlk, kBlk);
+    EXPECT_EQ(got.status().code(), StatusCode::kCorruption)
+        << "pre-remove bitmap record must stay below the GC-surviving "
+        << "epoch floor, got: " << got.status().ToString();
+    CO_ASSERT_OK(co_await (*reopened)->Close());
+  });
+}
+
 }  // namespace
 }  // namespace vde::rbd

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <string>
 #include <vector>
 
 #include "sim/scheduler.h"
@@ -251,6 +252,85 @@ TEST(Scheduler, DeterministicEventCount) {
   const auto b = run_once();
   EXPECT_EQ(a.first, b.first);
   EXPECT_EQ(a.second, b.second);
+}
+
+// --- N-core CPU model ----------------------------------------------------
+
+Task<void> Charge(uint64_t shard, SimTime cost, std::vector<SimTime>* log) {
+  co_await ChargeCpu{shard, cost};
+  log->push_back(Scheduler::Current().now());
+}
+
+// With the core model disabled, ChargeCpu is exactly Sleep: same finish
+// times, clock unchanged relative to the legacy serial charge.
+// (ConfigureCores(0) pins the disabled state even under VDE_SIM_CORES.)
+TEST(CoreModel, DisabledChargeIsSleep) {
+  Scheduler sched;
+  sched.ConfigureCores(0);
+  std::vector<SimTime> charge_log, sleep_log;
+  sched.Spawn(Charge(0, 100, &charge_log));
+  sched.Spawn(Charge(1, 100, &charge_log));  // different shard: irrelevant
+  sched.Spawn(SleepAndRecord(100, &sleep_log));
+  sched.Run();
+  ASSERT_EQ(charge_log.size(), 2u);
+  EXPECT_EQ(charge_log[0], 100u);
+  EXPECT_EQ(charge_log[1], 100u);  // disabled: concurrent charges overlap
+  EXPECT_EQ(sleep_log[0], 100u);
+  EXPECT_TRUE(sched.core_busy_ns().empty());
+}
+
+// Enabled: charges on the SAME core queue behind each other; charges on
+// different cores overlap.
+TEST(CoreModel, SameCoreSerializesDifferentCoresOverlap) {
+  Scheduler sched;
+  sched.ConfigureCores(2);
+  std::vector<SimTime> same, split;
+  sched.Spawn(Charge(0, 100, &same));
+  sched.Spawn(Charge(2, 100, &same));  // 2 % 2 == core 0: queues to 200
+  sched.Spawn(Charge(1, 100, &split)); // core 1: free, finishes at 100
+  sched.Run();
+  ASSERT_EQ(same.size(), 2u);
+  EXPECT_EQ(same[0], 100u);
+  EXPECT_EQ(same[1], 200u);
+  ASSERT_EQ(split.size(), 1u);
+  EXPECT_EQ(split[0], 100u);
+  // Busy accounting: core 0 worked 200 ns, core 1 worked 100 ns.
+  ASSERT_EQ(sched.core_busy_ns().size(), 2u);
+  EXPECT_EQ(sched.core_busy_ns()[0], 200u);
+  EXPECT_EQ(sched.core_busy_ns()[1], 100u);
+}
+
+// A zero-cost charge never suspends, enabled or not.
+TEST(CoreModel, ZeroCostChargeIsFree) {
+  Scheduler sched;
+  sched.ConfigureCores(2);
+  std::vector<SimTime> log;
+  sched.Spawn(Charge(0, 0, &log));
+  sched.Run();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0], 0u);
+  EXPECT_EQ(sched.core_busy_ns()[0], 0u);
+}
+
+TEST(CoreModel, NextShardRotates) {
+  Scheduler sched;
+  const uint64_t a = sched.NextShard();
+  const uint64_t b = sched.NextShard();
+  const uint64_t c = sched.NextShard();
+  EXPECT_EQ(b, a + 1);
+  EXPECT_EQ(c, b + 1);
+}
+
+// ShardOf is a pure platform-stable hash: equal keys map to equal shards,
+// and distinct object names spread (not all on one shard).
+TEST(CoreModel, ShardOfIsStableAndSpreads) {
+  EXPECT_EQ(ShardOf("img.0000000000000004"), ShardOf("img.0000000000000004"));
+  bool spread = false;
+  const uint64_t first = ShardOf("obj.0") % 4;
+  for (int i = 1; i < 16 && !spread; ++i) {
+    spread = ShardOf("obj." + std::to_string(i)) % 4 != first;
+  }
+  EXPECT_TRUE(spread);
 }
 
 }  // namespace
