@@ -32,6 +32,14 @@
 // (per-core utilization is reported in the summary's cores[...] segment);
 // --stripe-unit=SIZE / --stripe-count=N stripe the guest's linear space
 // across objects RBD-style, fanning sequential streams over cores.
+// Observability: --obs enables request tracing + the per-stage latency
+// breakdown (the summary grows a stages_us[...] segment); --json=PATH
+// writes the machine-readable result (throughput, percentiles, stage
+// histograms, full metrics registry); --trace=PATH writes a Chrome
+// trace_event JSON (load via chrome://tracing or Perfetto); --slow-ops=N
+// prints the N slowest ops with their stage breakdowns. The last three
+// imply --obs. All of it reads the sim clock only — enabling it does not
+// change any reported timing.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -69,6 +77,10 @@ struct Args {
   unsigned cores = 0;          // 0 = core model off (legacy timeline)
   uint64_t stripe_unit = 0;    // 0 = object_size (no striping)
   uint64_t stripe_count = 0;   // 0 = 1
+  bool obs = false;
+  std::string json_path;
+  std::string trace_path;
+  size_t slow_ops = 0;
   core::EncryptionSpec spec;
 
   bool UseQos() const { return qos_iops > 0 || qos_bw > 0 || qos_depth > 0; }
@@ -86,6 +98,14 @@ uint64_t ParseSize(const std::string& v) {
     digits.pop_back();
   }
   return std::stoull(digits) * mult;
+}
+
+bool WriteFile(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const size_t n = std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+  return n == content.size();
 }
 
 bool Parse(int argc, char** argv, Args& args) {
@@ -146,6 +166,26 @@ bool Parse(int argc, char** argv, Args& args) {
       args.stripe_unit = ParseSize(v);
     } else if (const char* v = value("--stripe-count=")) {
       args.stripe_count = std::stoull(v);
+    } else if (arg == "--obs") {
+      args.obs = true;
+    } else if (const char* v = value("--json=")) {
+      args.json_path = v;
+      args.obs = true;
+    } else if (arg == "--json" && i + 1 < argc) {
+      args.json_path = argv[++i];
+      args.obs = true;
+    } else if (const char* v = value("--trace=")) {
+      args.trace_path = v;
+      args.obs = true;
+    } else if (arg == "--trace" && i + 1 < argc) {
+      args.trace_path = argv[++i];
+      args.obs = true;
+    } else if (const char* v = value("--slow-ops=")) {
+      args.slow_ops = std::stoul(v);
+      args.obs = true;
+    } else if (arg == "--slow-ops" && i + 1 < argc) {
+      args.slow_ops = std::stoul(argv[++i]);
+      args.obs = true;
     } else if (const char* v = value("--ops=")) {
       args.ops = std::stoull(v);
     } else if (const char* v = value("--qd=")) {
@@ -221,6 +261,10 @@ sim::Task<void> Run(const Args& args, bool* ok) {
   if (args.meta_store) {
     options.meta_store.enabled = true;
     options.meta_store.device = &meta_dev;
+  }
+  options.obs.enabled = args.obs;
+  if (args.slow_ops > 0) {
+    options.obs.slow_ops = std::max(options.obs.slow_ops, args.slow_ops);
   }
   auto image = co_await rbd::Image::Create(**cluster, "fio", "pw", options);
   if (!image.ok()) co_return;
@@ -335,6 +379,31 @@ sim::Task<void> Run(const Args& args, bool* ok) {
   if (args.verify && !args.is_write) {
     std::printf("  verify: all reads matched\n");
   }
+  if (args.slow_ops > 0) {
+    std::printf("\n%s",
+                (*image)->obs().op_tracker().FormatSlowOps(args.slow_ops)
+                    .c_str());
+  }
+  if (!args.json_path.empty()) {
+    if (WriteFile(args.json_path, result->ToJson() + "\n")) {
+      std::printf("wrote result json: %s\n", args.json_path.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", args.json_path.c_str());
+      co_return;
+    }
+  }
+  if (!args.trace_path.empty()) {
+    if (WriteFile(args.trace_path,
+                  (*image)->obs().tracer().ExportChromeJson())) {
+      std::printf("wrote trace: %s (%zu spans, %llu dropped)\n",
+                  args.trace_path.c_str(), (*image)->obs().tracer().size(),
+                  static_cast<unsigned long long>(
+                      (*image)->obs().tracer().dropped()));
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", args.trace_path.c_str());
+      co_return;
+    }
+  }
 
   if (args.reopen) {
     // Clean close -> reopen against the same plane device: the second
@@ -347,7 +416,7 @@ sim::Task<void> Run(const Args& args, bool* ok) {
     co_await (*cluster)->Drain();
     auto reopened = co_await rbd::Image::Open(
         **cluster, "fio", "pw", {}, nullptr, {}, options.iv_cache,
-        options.meta_store);
+        options.meta_store, options.obs);
     if (!reopened.ok()) {
       std::printf("reopen failed: %s\n", reopened.status().ToString().c_str());
       co_return;
@@ -402,7 +471,9 @@ int main(int argc, char** argv) {
         "               [--iv-cache] [--iv-cache-objects=N]\n"
         "               [--meta-store] [--reopen]\n"
         "               [--cores=N] [--stripe-unit=SIZE] "
-        "[--stripe-count=N]\n");
+        "[--stripe-count=N]\n"
+        "               [--obs] [--json=PATH] [--trace=PATH] "
+        "[--slow-ops=N]\n");
     return 2;
   }
   sim::Scheduler sched;

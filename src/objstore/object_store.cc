@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/trace.h"
+
 namespace vde::objstore {
 
 namespace {
@@ -308,6 +310,7 @@ sim::Task<Status> ObjectStore::Apply(const Transaction& txn,
   // across transactions (like the OSD's journal/WAL stage); only the apply
   // stage below is ordered per object.
   const Bytes record = SerializeTxn(txn, snapc);
+  obs::SpanScope journal_span(txn.trace, obs::Stage::kDevice);
   Status js = co_await journal_->Append(record);
   if (js.code() == StatusCode::kOutOfSpace) {
     // Checkpoint: applied state is durable by construction once the
@@ -316,6 +319,7 @@ sim::Task<Status> ObjectStore::Apply(const Transaction& txn,
     journal_->Reset(journal_->generation() + 1);
     js = co_await journal_->Append(record);
   }
+  journal_span.End();
   VDE_CO_RETURN_IF_ERROR(js);
   stats_.transactions++;
   stats_.journal_bytes += record.size();
@@ -499,7 +503,9 @@ sim::Task<Status> ObjectStore::ApplyLocked(const Transaction& txn,
         sim::SemGuard lane(kv_lane_);
         co_await sim::ChargeCpu{
             obj_shard, config_.costs.omap_key_write_cost * op.omap_kvs.size()};
+        obs::SpanScope kv_span(txn.trace, obs::Stage::kDevice);
         VDE_CO_RETURN_IF_ERROR(co_await kv_->Write(std::move(batch)));
+        kv_span.End();
         break;
       }
       case OsdOp::Type::kRemove:
@@ -586,6 +592,7 @@ sim::Task<Result<ReadResult>> ObjectStore::ExecuteReadLocked(
         continue;
       }
       tasks.push_back([](ObjectStore* self, const OsdOp* op, uint64_t base,
+                         obs::TraceContext* trace,
                          OpOut* out) -> sim::Task<void> {
         const uint32_t sector = self->device_->sector_size();
         const uint64_t abs = self->data_base_ + base + op->offset;
@@ -593,16 +600,19 @@ sim::Task<Result<ReadResult>> ObjectStore::ExecuteReadLocked(
         const uint64_t last =
             (abs + op->length + sector - 1) / sector * sector;
         Bytes covered(last - first);
+        obs::SpanScope dev_span(trace, obs::Stage::kDevice);
         out->status = co_await self->device_->Read(first, covered);
+        dev_span.End();
         if (out->status.ok()) {
           out->data.assign(
               covered.begin() + static_cast<long>(abs - first),
               covered.begin() + static_cast<long>(abs - first + op->length));
         }
-      }(this, &op, base, &outs[i]));
+      }(this, &op, base, txn.trace, &outs[i]));
     } else if (op.type == OsdOp::Type::kOmapGetRange) {
       tasks.push_back([](ObjectStore* self, const std::string oid,
                          const OsdOp* op, SnapId ns,
+                         obs::TraceContext* trace,
                          OpOut* out) -> sim::Task<void> {
         const Bytes lo = self->OmapKey(oid, ns, op->omap_start);
         Bytes hi;
@@ -612,7 +622,9 @@ sim::Task<Result<ReadResult>> ObjectStore::ExecuteReadLocked(
         } else {
           hi = self->OmapKey(oid, ns, op->omap_end);
         }
+        obs::SpanScope dev_span(trace, obs::Stage::kDevice);
         auto rows = co_await self->kv_->Scan(lo, hi, op->omap_max);
+        dev_span.End();
         if (!rows.ok()) {
           out->status = rows.status();
           co_return;
@@ -623,7 +635,7 @@ sim::Task<Result<ReadResult>> ObjectStore::ExecuteReadLocked(
                                        k.end()),
                                  std::move(v));
         }
-      }(this, txn.oid, &op, omap_ns, &outs[i]));
+      }(this, txn.oid, &op, omap_ns, txn.trace, &outs[i]));
     } else {
       co_return Status::InvalidArgument("write op in read txn");
     }

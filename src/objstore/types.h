@@ -14,6 +14,10 @@
 
 #include "util/bytes.h"
 
+namespace vde::obs {
+class TraceContext;
+}  // namespace vde::obs
+
 namespace vde::objstore {
 
 // Snapshot id; kHeadSnap reads/writes the live object.
@@ -58,6 +62,12 @@ struct OsdOp {
 struct Transaction {
   std::string oid;
   std::vector<OsdOp> ops;
+
+  // Optional request trace (non-owning). Valid only for the duration of the
+  // synchronous Operate/OperateRead call that carries this transaction —
+  // the caller's frame outlives every replica wave. Detached background
+  // work (apply-cost charges) must not touch it.
+  obs::TraceContext* trace = nullptr;
 
   size_t PayloadBytes() const {
     size_t n = 0;

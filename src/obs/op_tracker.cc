@@ -1,0 +1,100 @@
+#include "obs/op_tracker.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace vde::obs {
+
+void OpTracker::OnBegin(std::shared_ptr<TraceContext> ctx) {
+  started_++;
+  inflight_.emplace(ctx->id(), std::move(ctx));
+}
+
+void OpTracker::OnEnd(const TraceContext& ctx, sim::SimTime end, bool ok) {
+  finished_++;
+  inflight_.erase(ctx.id());
+  if (slow_capacity_ == 0) return;
+  sim::SimTime latency = end - ctx.submit_ns();
+  if (slow_.size() >= slow_capacity_ && latency <= slow_.back().latency_ns) {
+    return;
+  }
+  OpRecord rec;
+  rec.id = ctx.id();
+  rec.kind = ctx.kind();
+  rec.offset = ctx.offset();
+  rec.length = ctx.length();
+  rec.submit_ns = ctx.submit_ns();
+  rec.latency_ns = latency;
+  rec.ok = ok;
+  rec.stage_ns = ctx.stage_ns();
+  auto pos = std::upper_bound(
+      slow_.begin(), slow_.end(), rec,
+      [](const OpRecord& a, const OpRecord& b) {
+        return a.latency_ns > b.latency_ns;
+      });
+  slow_.insert(pos, std::move(rec));
+  if (slow_.size() > slow_capacity_) slow_.pop_back();
+}
+
+std::vector<OpRecord> OpTracker::InFlight(sim::SimTime now) const {
+  std::vector<OpRecord> out;
+  out.reserve(inflight_.size());
+  for (const auto& [id, ctx] : inflight_) {
+    OpRecord rec;
+    rec.id = id;
+    rec.kind = ctx->kind();
+    rec.offset = ctx->offset();
+    rec.length = ctx->length();
+    rec.submit_ns = ctx->submit_ns();
+    rec.latency_ns = now - ctx->submit_ns();
+    rec.stage_ns = ctx->StageNsAt(now);
+    out.push_back(rec);
+  }
+  std::sort(out.begin(), out.end(), [](const OpRecord& a, const OpRecord& b) {
+    return a.submit_ns != b.submit_ns ? a.submit_ns < b.submit_ns
+                                      : a.id < b.id;
+  });
+  return out;
+}
+
+std::string FormatOpRecord(const OpRecord& r) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "op %llu %-12s off=%llu len=%llu lat=%.3fus [",
+                static_cast<unsigned long long>(r.id), OpKindName(r.kind),
+                static_cast<unsigned long long>(r.offset),
+                static_cast<unsigned long long>(r.length),
+                static_cast<double>(r.latency_ns) / 1e3);
+  std::string out = buf;
+  bool first = true;
+  for (size_t s = 0; s < kNumStages; ++s) {
+    if (r.stage_ns[s] == 0) continue;
+    std::snprintf(buf, sizeof(buf), "%s%s=%.3fus", first ? "" : " ",
+                  StageName(static_cast<Stage>(s)),
+                  static_cast<double>(r.stage_ns[s]) / 1e3);
+    out += buf;
+    first = false;
+  }
+  out += ']';
+  if (!r.ok) out += " FAILED";
+  return out;
+}
+
+std::string OpTracker::FormatInFlight(sim::SimTime now) const {
+  std::string out = "in-flight ops: " + std::to_string(inflight_.size()) + "\n";
+  for (const OpRecord& r : InFlight(now)) {
+    out += "  " + FormatOpRecord(r) + "\n";
+  }
+  return out;
+}
+
+std::string OpTracker::FormatSlowOps(size_t limit) const {
+  size_t n = std::min(limit, slow_.size());
+  std::string out = "slowest " + std::to_string(n) + " ops:\n";
+  for (size_t i = 0; i < n; ++i) {
+    out += "  " + FormatOpRecord(slow_[i]) + "\n";
+  }
+  return out;
+}
+
+}  // namespace vde::obs

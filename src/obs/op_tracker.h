@@ -1,0 +1,69 @@
+// Op tracker: dumps in-flight ops and retains the N slowest completed ops
+// with their exclusive per-stage breakdowns (slow-op log), mirroring the
+// op tracker production RBD ships — but sim-clock deterministic.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace vde::obs {
+
+// Snapshot of one op — either completed (latency_ns final) or in-flight
+// (latency_ns = elapsed so far, ok meaningless).
+struct OpRecord {
+  uint64_t id = 0;
+  OpKind kind = OpKind::kRead;
+  uint64_t offset = 0;
+  uint64_t length = 0;
+  sim::SimTime submit_ns = 0;
+  sim::SimTime latency_ns = 0;
+  bool ok = true;
+  std::array<sim::SimTime, kNumStages> stage_ns{};
+};
+
+class OpTracker {
+ public:
+  // Retains at most `slow_capacity` completed records, slowest first.
+  explicit OpTracker(size_t slow_capacity) : slow_capacity_(slow_capacity) {}
+
+  // Registers a newly submitted op; the tracker shares ownership of its
+  // context until OnEnd.
+  void OnBegin(std::shared_ptr<TraceContext> ctx);
+
+  // Finalizes an op: removes it from the in-flight set and inserts it into
+  // the slow-op log if it ranks.
+  void OnEnd(const TraceContext& ctx, sim::SimTime end, bool ok);
+
+  size_t inflight_count() const { return inflight_.size(); }
+  uint64_t started() const { return started_; }
+  uint64_t finished() const { return finished_; }
+
+  // In-flight snapshot at `now`, oldest submit first; stage_ns includes the
+  // pending interval attributed to each op's current stage.
+  std::vector<OpRecord> InFlight(sim::SimTime now) const;
+
+  // Retained slowest completed ops, slowest first.
+  const std::vector<OpRecord>& SlowOps() const { return slow_; }
+
+  // Human-readable dumps (one op per line with a stage breakdown).
+  std::string FormatInFlight(sim::SimTime now) const;
+  std::string FormatSlowOps(size_t limit) const;
+
+ private:
+  size_t slow_capacity_;
+  uint64_t started_ = 0;
+  uint64_t finished_ = 0;
+  std::map<uint64_t, std::shared_ptr<TraceContext>> inflight_;
+  std::vector<OpRecord> slow_;  // sorted: slowest first
+};
+
+// Formats one record as a single line (shared by both dumps).
+std::string FormatOpRecord(const OpRecord& r);
+
+}  // namespace vde::obs

@@ -1,0 +1,155 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+namespace vde::obs {
+
+const char* StageName(Stage s) {
+  switch (s) {
+    case Stage::kQueue:
+      return "qos";
+    case Stage::kWb:
+      return "wb";
+    case Stage::kCrypto:
+      return "crypto";
+    case Stage::kStore:
+      return "store";
+    case Stage::kDevice:
+      return "device";
+    case Stage::kOther:
+      return "other";
+  }
+  return "?";
+}
+
+const char* OpKindName(OpKind k) {
+  switch (k) {
+    case OpKind::kRead:
+      return "read";
+    case OpKind::kWrite:
+      return "write";
+    case OpKind::kDiscard:
+      return "discard";
+    case OpKind::kWriteZeroes:
+      return "write_zeroes";
+    case OpKind::kFlush:
+      return "flush";
+  }
+  return "?";
+}
+
+Tracer::Tracer(size_t capacity) : capacity_(std::max<size_t>(capacity, 1)) {}
+
+void Tracer::Record(uint64_t op_id, Stage stage, sim::SimTime start,
+                    sim::SimTime dur) {
+  recorded_++;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(Span{op_id, stage, start, dur});
+    size_ = ring_.size();
+    return;
+  }
+  // Full: overwrite the oldest slot.
+  ring_[head_] = Span{op_id, stage, start, dur};
+  head_ = (head_ + 1) % capacity_;
+  dropped_++;
+}
+
+std::vector<Span> Tracer::Spans() const {
+  std::vector<Span> out;
+  out.reserve(size_);
+  for (size_t i = 0; i < size_; ++i) {
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::string Tracer::ExportChromeJson() const {
+  std::string out = "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  char buf[192];
+  bool first = true;
+  for (size_t i = 0; i < size_; ++i) {
+    const Span& s = ring_[(head_ + i) % ring_.size()];
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"name\":\"%s\",\"cat\":\"vde\",\"ph\":\"X\","
+                  "\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%llu}",
+                  first ? "" : ",", StageName(s.stage),
+                  static_cast<double>(s.start) / 1e3,
+                  static_cast<double>(s.dur) / 1e3,
+                  static_cast<unsigned long long>(s.op_id));
+    out += buf;
+    first = false;
+  }
+  out += "]}";
+  return out;
+}
+
+TraceContext::TraceContext(Tracer* tracer, uint64_t id, OpKind kind,
+                           uint64_t offset, uint64_t length,
+                           sim::SimTime submit)
+    : tracer_(tracer),
+      id_(id),
+      kind_(kind),
+      offset_(offset),
+      length_(length),
+      submit_(submit),
+      frontier_(submit) {}
+
+Stage TraceContext::Current() const {
+  for (size_t s = kNumStages - 1; s-- > 0;) {
+    // Walks kDevice..kQueue (kOther itself never nests).
+    if (active_[s] > 0) return static_cast<Stage>(s);
+  }
+  return Stage::kOther;
+}
+
+void TraceContext::AccountUpTo(sim::SimTime now) {
+  assert(now >= frontier_);
+  if (now > frontier_) {
+    stage_ns_[static_cast<size_t>(Current())] += now - frontier_;
+    frontier_ = now;
+  }
+}
+
+void TraceContext::Enter(Stage s) {
+  AccountUpTo(sim::Scheduler::Current().now());
+  active_[static_cast<size_t>(s)]++;
+}
+
+void TraceContext::Exit(Stage s) {
+  AccountUpTo(sim::Scheduler::Current().now());
+  assert(active_[static_cast<size_t>(s)] > 0);
+  active_[static_cast<size_t>(s)]--;
+}
+
+void TraceContext::RecordSpan(Stage s, sim::SimTime start,
+                              sim::SimTime dur) const {
+  if (tracer_ != nullptr) tracer_->Record(id_, s, start, dur);
+}
+
+std::array<sim::SimTime, kNumStages> TraceContext::StageNsAt(
+    sim::SimTime now) const {
+  std::array<sim::SimTime, kNumStages> out = stage_ns_;
+  if (now > frontier_) {
+    out[static_cast<size_t>(Current())] += now - frontier_;
+  }
+  return out;
+}
+
+SpanScope::SpanScope(TraceContext* ctx, Stage s) : ctx_(ctx), stage_(s) {
+  if (ctx_ != nullptr) {
+    begin_ = sim::Scheduler::Current().now();
+    ctx_->Enter(stage_);
+  }
+}
+
+void SpanScope::End() {
+  if (ctx_ == nullptr) return;
+  ctx_->Exit(stage_);
+  ctx_->RecordSpan(stage_, begin_,
+                   sim::Scheduler::Current().now() - begin_);
+  ctx_ = nullptr;
+}
+
+}  // namespace vde::obs

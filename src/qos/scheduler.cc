@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/metrics.h"
+
 namespace vde::qos {
 
 Scheduler::Scheduler() : Scheduler(Config()) {}
@@ -87,6 +89,25 @@ bool Scheduler::enabled(TenantId id) const { return Get(id).policy.enabled; }
 
 const TenantStats& Scheduler::stats(TenantId id) const {
   return Get(id).stats;
+}
+
+void Scheduler::ExportMetrics(obs::Metrics& node) const {
+  node.Gauge("total_queued", static_cast<double>(total_queued_));
+  node.Gauge("total_inflight", static_cast<double>(total_inflight_));
+  node.Counter("tenants", tenants_.size());
+  for (const auto& [id, t] : tenants_) {
+    obs::Metrics& tn = node.Child("tenant" + std::to_string(id));
+    tn.Counter("submitted", t.stats.submitted);
+    tn.Counter("dispatched", t.stats.dispatched);
+    tn.Counter("queued", t.stats.queued);
+    tn.Counter("throttled", t.stats.throttled);
+    tn.Counter("depth_deferred", t.stats.depth_deferred);
+    tn.Counter("wait_ns", t.stats.wait_ns);
+    tn.Gauge("cur_queue", static_cast<double>(t.stats.cur_queue));
+    tn.Gauge("peak_queue", static_cast<double>(t.stats.peak_queue));
+    tn.Gauge("inflight", static_cast<double>(t.stats.inflight));
+    tn.Gauge("peak_inflight", static_cast<double>(t.stats.peak_inflight));
+  }
 }
 
 uint64_t Scheduler::DeficitCost(const Queued& q) const {

@@ -35,6 +35,10 @@
 #include "qos/token_bucket.h"
 #include "sim/task.h"
 
+namespace vde::obs {
+class Metrics;
+}  // namespace vde::obs
+
 namespace vde::qos {
 
 // Per-tenant dispatch policy. The default (enabled = false) is a
@@ -122,6 +126,9 @@ class Scheduler {
   const TenantStats& stats(TenantId id) const;
   size_t total_queued() const { return total_queued_; }
   size_t total_inflight() const { return total_inflight_; }
+
+  // Exports host-wide totals plus a child per tenant into the registry.
+  void ExportMetrics(obs::Metrics& node) const;
 
  private:
   struct Queued {

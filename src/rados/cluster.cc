@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "obs/metrics.h"
+
 namespace vde::rados {
 
 // --- Osd ---
@@ -238,6 +240,36 @@ dev::DeviceStats Cluster::TotalDeviceStats() const {
     total.bytes_written += s.bytes_written;
   }
   return total;
+}
+
+void Cluster::ExportMetrics(obs::Metrics& node) const {
+  obs::Metrics& store = node.Child("store");
+  const objstore::StoreStats ss = TotalStoreStats();
+  store.Counter("transactions", ss.transactions);
+  store.Counter("journal_bytes", ss.journal_bytes);
+  store.Counter("rmw_sectors", ss.rmw_sectors);
+  store.Counter("apply_sectors_written", ss.apply_sectors_written);
+  store.Counter("clones", ss.clones);
+  store.Counter("objects_created", ss.objects_created);
+  store.Counter("trim_ops", ss.trim_ops);
+  store.Counter("bytes_trimmed", ss.bytes_trimmed);
+  store.Counter("bytes_restored", ss.bytes_restored);
+  store.Counter("trimmed_reads", ss.trimmed_reads);
+  obs::Metrics& space = node.Child("space");
+  const objstore::StoreSpace sp = TotalStoreSpace();
+  space.Gauge("total_bytes", static_cast<double>(sp.total_bytes));
+  space.Gauge("free_bytes", static_cast<double>(sp.free_bytes));
+  space.Gauge("punched_bytes", static_cast<double>(sp.punched_bytes));
+  space.Gauge("fragments", static_cast<double>(sp.fragments));
+  space.Gauge("punched_fragments", static_cast<double>(sp.punched_fragments));
+  obs::Metrics& device = node.Child("device");
+  const dev::DeviceStats ds = TotalDeviceStats();
+  device.Counter("read_ops", ds.read_ops);
+  device.Counter("write_ops", ds.write_ops);
+  device.Counter("sectors_read", ds.sectors_read);
+  device.Counter("sectors_written", ds.sectors_written);
+  device.Counter("bytes_read", ds.bytes_read);
+  device.Counter("bytes_written", ds.bytes_written);
 }
 
 }  // namespace vde::rados

@@ -17,6 +17,10 @@
 #include "rados/placement.h"
 #include "sim/sync.h"
 
+namespace vde::obs {
+class Metrics;
+}  // namespace vde::obs
+
 namespace vde::rados {
 
 // Software costs of the OSD op pipeline (queue, decode, PG lock, commit
@@ -135,6 +139,9 @@ class Cluster {
   // OSDs (what `ceph df` reports): benches assert TRIM reclamation here.
   objstore::StoreStats TotalStoreStats() const;
   objstore::StoreSpace TotalStoreSpace() const;
+
+  // Exports the aggregate store/space/device totals into the registry.
+  void ExportMetrics(obs::Metrics& node) const;
 
  private:
   explicit Cluster(ClusterConfig config);

@@ -11,6 +11,7 @@
 #include <memory>
 #include <utility>
 
+#include "obs/trace.h"
 #include "sim/sync.h"
 #include "util/status.h"
 
@@ -39,6 +40,13 @@ class Completion {
   // resolved completion returns immediately.
   sim::Gate::Awaiter Wait() { return gate_.Wait(); }
 
+  // Request trace, set by ImageRequest::Submit when observability is on
+  // (null otherwise). Lets callers inspect per-stage timings after Wait().
+  const std::shared_ptr<obs::TraceContext>& trace() const { return trace_; }
+  void set_trace(std::shared_ptr<obs::TraceContext> trace) {
+    trace_ = std::move(trace);
+  }
+
   // Resolves the completion (request internals only; must run on the sim
   // scheduler).
   void Finish(Status status, uint64_t bytes) {
@@ -55,6 +63,7 @@ class Completion {
   uint64_t bytes_ = 0;
   bool complete_ = false;
   Callback callback_;
+  std::shared_ptr<obs::TraceContext> trace_;
   sim::Gate gate_;
 };
 

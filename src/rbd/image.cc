@@ -124,6 +124,7 @@ Image::Image(rados::Cluster& cluster, std::string name, ImageOptions options)
   writeback_ = std::make_unique<Writeback>(*this, options_.writeback);
   iv_cache_ = std::make_unique<IvCache>(options_.iv_cache);
   trim_state_ = std::make_unique<TrimState>(*this);
+  obs_plane_ = std::make_unique<obs::Plane>(options_.obs);
   if (options_.qos_scheduler) {
     qos_tenant_ = options_.qos_scheduler->Attach(options_.qos);
   }
@@ -133,6 +134,46 @@ Image::~Image() {
   // The caller drains IO before dropping the image (same contract the
   // write-back buffer already imposes); the tenant slot is idle here.
   if (options_.qos_scheduler) options_.qos_scheduler->Detach(qos_tenant_);
+}
+
+namespace {
+// Counter-list drift guard: the struct is the X-macro fields plus the one
+// high-water mark (qos_peak_queue).
+#define VDE_COUNT_ONE(field) +1
+constexpr size_t kImageStatFields = 0 VDE_IMAGE_STATS_COUNTERS(VDE_COUNT_ONE);
+#undef VDE_COUNT_ONE
+static_assert(sizeof(ImageStats) == (kImageStatFields + 1) * sizeof(uint64_t),
+              "ImageStats field added without updating "
+              "VDE_IMAGE_STATS_COUNTERS");
+}  // namespace
+
+ImageStats ImageStats::Delta(const ImageStats& after,
+                             const ImageStats& before) {
+  ImageStats d;
+#define VDE_DELTA_ONE(field) d.field = after.field - before.field;
+  VDE_IMAGE_STATS_COUNTERS(VDE_DELTA_ONE)
+#undef VDE_DELTA_ONE
+  d.qos_peak_queue = after.qos_peak_queue;
+  return d;
+}
+
+void ExportImageStats(const ImageStats& s, obs::Metrics& node) {
+#define VDE_EXPORT_ONE(field) node.Counter(#field, s.field);
+  VDE_IMAGE_STATS_COUNTERS(VDE_EXPORT_ONE)
+#undef VDE_EXPORT_ONE
+  node.Gauge("qos_peak_queue", static_cast<double>(s.qos_peak_queue));
+}
+
+void Image::ExportMetrics(obs::Metrics& root) const {
+  ExportImageStats(stats(), root.Child("image"));
+  root.Child("image").Gauge("wb_staged_blocks",
+                            static_cast<double>(writeback_->staged_blocks()));
+  if (options_.qos_scheduler) {
+    options_.qos_scheduler->ExportMetrics(root.Child("qos"));
+  }
+  obs_plane_->ExportMetrics(root.Child("obs"));
+  cluster_.ExportMetrics(root.Child("cluster"));
+  ExportSim(sim::Scheduler::Current(), root.Child("sim"));
 }
 
 ImageStats Image::stats() const {
@@ -248,7 +289,7 @@ sim::Task<Result<std::shared_ptr<Image>>> Image::Open(
     rados::Cluster& cluster, const std::string& name,
     const std::string& passphrase, WritebackConfig writeback,
     std::shared_ptr<qos::Scheduler> qos_scheduler, qos::QosPolicy qos,
-    IvCacheConfig iv_cache, MetaStoreConfig meta_store) {
+    IvCacheConfig iv_cache, MetaStoreConfig meta_store, obs::Config obs) {
   auto io = cluster.ioctx();
   const std::string header_oid = "rbd_header." + name;
   auto raw = co_await io.Read(header_oid, 0, kHeaderFirstRead);
@@ -330,6 +371,7 @@ sim::Task<Result<std::shared_ptr<Image>>> Image::Open(
   options.qos = qos;
   options.iv_cache = iv_cache;
   options.meta_store = meta_store;
+  options.obs = obs;
   std::shared_ptr<Image> image(new Image(cluster, name, options));
   image->encrypted_ = encrypted;
   image->snaps_ = std::move(snaps);
@@ -363,7 +405,9 @@ sim::Task<Status> Image::Close() {
   co_return Status::Ok();
 }
 
-sim::Task<Status> Image::EnsureObjectState(uint64_t object_no) {
+sim::Task<Status> Image::EnsureObjectState(uint64_t object_no,
+                                           obs::TraceContext* trace) {
+  obs::SpanScope store_span(trace, obs::Stage::kStore);
   if (meta_store_ != nullptr) {
     VDE_CO_RETURN_IF_ERROR(co_await meta_store_->WarmObject(object_no));
   }

@@ -24,6 +24,8 @@
 
 #include "core/format.h"
 #include "core/luks_header.h"
+#include "obs/metrics.h"
+#include "obs/plane.h"
 #include "qos/scheduler.h"
 #include "rados/cluster.h"
 #include "rbd/completion.h"
@@ -65,7 +67,54 @@ struct ImageOptions {
   // a clean reopen against the same device starts warm. Disabled, or a
   // format without authenticated trims, is a zero-overhead passthrough.
   MetaStoreConfig meta_store;
+  // Client-side observability plane (not persisted): request tracing,
+  // per-stage latency histograms, slow-op tracking. Disabled (default) is
+  // a bit-identical sim-clock passthrough.
+  obs::Config obs;
 };
+
+// Every monotonic ImageStats counter, in declaration order. Drives
+// ImageStats::Delta, the metrics-registry export, and FioResult::ToJson —
+// add a field to the struct AND this list (a static_assert in image.cc
+// checks the count). qos_peak_queue is deliberately absent: it is a
+// high-water mark, not a monotonic counter.
+#define VDE_IMAGE_STATS_COUNTERS(X)                                       \
+  X(writes)                                                               \
+  X(reads)                                                                \
+  X(discards)                                                             \
+  X(flushes)                                                              \
+  X(bytes_written)                                                        \
+  X(bytes_read)                                                           \
+  X(bytes_discarded)                                                      \
+  X(rmw_blocks)                                                           \
+  X(rmw_merged)                                                           \
+  X(wb_hits)                                                              \
+  X(wb_stages)                                                            \
+  X(wb_flushes)                                                           \
+  X(iv_hits)                                                              \
+  X(iv_misses)                                                            \
+  X(iv_evictions)                                                         \
+  X(iv_invalidations)                                                     \
+  X(iv_meta_bytes_saved)                                                  \
+  X(iv_meta_bytes_fetched)                                                \
+  X(trim_zero_reads)                                                      \
+  X(trim_state_loads)                                                     \
+  X(trim_bitmap_updates)                                                  \
+  X(qos_submitted)                                                        \
+  X(qos_queued)                                                           \
+  X(qos_throttled)                                                        \
+  X(qos_wait_ns)                                                          \
+  X(meta_warm_hits)                                                       \
+  X(meta_recovered_rows)                                                  \
+  X(meta_spills)                                                          \
+  X(meta_epoch_rejections)                                                \
+  X(meta_cold_resets)                                                     \
+  X(meta_journal_flushes)                                                 \
+  X(meta_gc_rows)                                                         \
+  X(meta_kv_wal_bytes)                                                    \
+  X(meta_kv_wal_commits)                                                  \
+  X(meta_kv_flush_bytes)                                                  \
+  X(meta_kv_compaction_bytes)
 
 struct ImageStats {
   uint64_t writes = 0;
@@ -117,7 +166,14 @@ struct ImageStats {
   uint64_t meta_kv_wal_commits = 0;       // plane WAL commits
   uint64_t meta_kv_flush_bytes = 0;       // plane memtable-flush bytes
   uint64_t meta_kv_compaction_bytes = 0;  // plane compaction bytes
+
+  // after - before for every monotonic counter; qos_peak_queue carries the
+  // `after` high-water mark unchanged.
+  static ImageStats Delta(const ImageStats& after, const ImageStats& before);
 };
+
+// Exports every ImageStats field into a metrics node (one counter each).
+void ExportImageStats(const ImageStats& s, obs::Metrics& node);
 
 class Image {
  public:
@@ -138,7 +194,7 @@ class Image {
       const std::string& passphrase, WritebackConfig writeback = {},
       std::shared_ptr<qos::Scheduler> qos_scheduler = nullptr,
       qos::QosPolicy qos = {}, IvCacheConfig iv_cache = {},
-      MetaStoreConfig meta_store = {});
+      MetaStoreConfig meta_store = {}, obs::Config obs = {});
 
   ~Image();
 
@@ -221,6 +277,12 @@ class Image {
   const TrimState& trim_state() const { return *trim_state_; }
   // The persistent metadata plane, or null (disabled / passthrough).
   MetaStore* meta_store() const { return meta_store_.get(); }
+  // Observability plane (always present; disabled = null trace contexts).
+  obs::Plane& obs() const { return *obs_plane_; }
+  // Full metrics snapshot: image counters, write-back/qos/obs state, the
+  // cluster's store+device totals, and the sim core model — the one
+  // walkable tree replacing per-layer stats plumbing.
+  void ExportMetrics(obs::Metrics& root) const;
   rados::Cluster& cluster() const { return cluster_; }
   qos::Scheduler* qos_scheduler() const {
     return options_.qos_scheduler.get();
@@ -256,7 +318,9 @@ class Image {
   // persisted IV rows off the metadata plane (once per object), then
   // Ensures its discard bitmap (served from the plane on a warm open,
   // from the store otherwise). Replaces bare trim_state_->Ensure calls.
-  sim::Task<Status> EnsureObjectState(uint64_t object_no);
+  // Attributes its store round-trips to the request's kStore stage.
+  sim::Task<Status> EnsureObjectState(uint64_t object_no,
+                                      obs::TraceContext* trace = nullptr);
 
   // Flush ordering: write-class requests take a ticket at submit time and
   // retire it on completion; a flush barrier resolves once no ticket below
@@ -274,6 +338,7 @@ class Image {
   std::unique_ptr<IvCache> iv_cache_;
   std::unique_ptr<TrimState> trim_state_;
   std::unique_ptr<MetaStore> meta_store_;
+  std::unique_ptr<obs::Plane> obs_plane_;
   core::LuksHeader luks_;
   bool encrypted_ = false;
   bool closed_ = false;

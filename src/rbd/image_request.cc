@@ -14,6 +14,23 @@ namespace {
 
 using core::kBlockSize;
 
+// IoKind and obs::OpKind mirror each other so the obs module stays
+// rbd-independent; keep the numeric mapping in lockstep.
+static_assert(static_cast<uint8_t>(IoKind::kRead) ==
+              static_cast<uint8_t>(obs::OpKind::kRead));
+static_assert(static_cast<uint8_t>(IoKind::kWrite) ==
+              static_cast<uint8_t>(obs::OpKind::kWrite));
+static_assert(static_cast<uint8_t>(IoKind::kDiscard) ==
+              static_cast<uint8_t>(obs::OpKind::kDiscard));
+static_assert(static_cast<uint8_t>(IoKind::kWriteZeroes) ==
+              static_cast<uint8_t>(obs::OpKind::kWriteZeroes));
+static_assert(static_cast<uint8_t>(IoKind::kFlush) ==
+              static_cast<uint8_t>(obs::OpKind::kFlush));
+
+obs::OpKind ToOpKind(IoKind kind) {
+  return static_cast<obs::OpKind>(static_cast<uint8_t>(kind));
+}
+
 // A one-or-few-block sub-extent of a covering extent.
 core::ObjectExtent SubExtent(const core::ObjectExtent& cover, size_t blk,
                              size_t count) {
@@ -200,6 +217,12 @@ void ImageRequest::Submit(Image& image, IoKind kind, uint64_t offset,
   } else if (kind == IoKind::kFlush) {
     req->write_seq_ = image.next_write_seq_;  // barrier
   }
+  // Observability: the trace context is born here (queue stage open) and
+  // shared with the completion; Run() closes the queue stage when the
+  // request coroutine actually starts. Null when disabled.
+  req->trace_ = image.obs().BeginOp(ToOpKind(kind), offset, length);
+  req->completion_->set_trace(req->trace_);
+  if (req->trace_ != nullptr) req->trace_->Enter(obs::Stage::kQueue);
   // Admission: an enabled QoS tenant rides the shared dispatch queue (FIFO
   // per image, so holds and flush tickets — both taken above, in submission
   // order — are owned only by requests dispatched no later than ours);
@@ -216,6 +239,15 @@ void ImageRequest::Submit(Image& image, IoKind kind, uint64_t offset,
 }
 
 sim::Task<void> ImageRequest::Run(std::unique_ptr<ImageRequest> self) {
+  if (obs::TraceContext* t = self->ctx()) {
+    // The queue stage spans submit -> coroutine start (zero on the
+    // direct-spawn path, the qos dispatch wait otherwise).
+    const sim::SimTime now = sim::Scheduler::Current().now();
+    t->Exit(obs::Stage::kQueue);
+    if (now > t->submit_ns()) {
+      t->RecordSpan(obs::Stage::kQueue, t->submit_ns(), now - t->submit_ns());
+    }
+  }
   Status status = co_await self->Execute();
   if (self->seq_assigned_) self->image_.EndWriteIo(self->write_seq_);
   if (status.ok()) {
@@ -240,6 +272,8 @@ sim::Task<void> ImageRequest::Run(std::unique_ptr<ImageRequest> self) {
     }
   }
   const uint64_t bytes = status.ok() ? self->length_ : 0;
+  self->image_.obs().EndOp(self->trace_, sim::Scheduler::Current().now(),
+                           status.ok());
   self->completion_->Finish(std::move(status), bytes);
 }
 
@@ -327,6 +361,7 @@ sim::Task<Status> ImageRequest::ExecuteReadOp() {
   // own core inside ReadChunk, overlapping across objects.
   if (read_decrypted_bytes_ > 0 &&
       !sim::Scheduler::Current().core_model_enabled()) {
+    obs::SpanScope crypto_span(ctx(), obs::Stage::kCrypto);
     co_await sim::Sleep{image_.format_->CryptoCost(read_decrypted_bytes_)};
   }
   co_return Status::Ok();
@@ -339,7 +374,10 @@ MutByteSpan ImageRequest::ContiguousDst(uint64_t buf_off, uint64_t len) const {
 sim::Task<Status> ImageRequest::ReadChunk(size_t idx) {
   const Chunk& chunk = chunks_[idx];
   Writeback& wb = *image_.writeback_;
-  co_await wb.Acquire(holds_[idx]);
+  {
+    obs::SpanScope wb_span(ctx(), obs::Stage::kWb);
+    co_await wb.Acquire(holds_[idx]);
+  }
   HoldGuard held(wb, holds_[idx]);
 
   core::EncryptionFormat& fmt = *image_.format_;
@@ -376,7 +414,7 @@ sim::Task<Status> ImageRequest::ReadChunk(size_t idx) {
     const core::DiscardBitmap* zeros = nullptr;
     if (head && image_.trim_state_->enabled()) {
       VDE_CO_RETURN_IF_ERROR(
-          co_await image_.EnsureObjectState(chunk.cover.object_no));
+          co_await image_.EnsureObjectState(chunk.cover.object_no, ctx()));
       zeros = image_.trim_state_->Lookup(chunk.cover.object_no);
     }
     objstore::Transaction txn;
@@ -391,8 +429,11 @@ sim::Task<Status> ImageRequest::ReadChunk(size_t idx) {
       VDE_CO_RETURN_IF_ERROR(plan.Finish(objstore::ReadResult{}, out));
     } else {
       auto io = image_.cluster_.ioctx();
+      txn.trace = ctx();
+      obs::SpanScope store_span(ctx(), obs::Stage::kStore);
       auto got =
           co_await io.OperateRead(chunk.cover.oid, std::move(txn), snap_);
+      store_span.End();
       if (got.status().IsNotFound()) {
         // Never-written object: virtual disks read zeros.
         std::fill(out.begin(), out.end(), 0);
@@ -405,6 +446,7 @@ sim::Task<Status> ImageRequest::ReadChunk(size_t idx) {
         // core so chunks of different objects decrypt in parallel.
         sim::Scheduler& sched = sim::Scheduler::Current();
         if (sched.core_model_enabled()) {
+          obs::SpanScope crypto_span(ctx(), obs::Stage::kCrypto);
           co_await sim::ChargeCpu{sim::ShardOf(chunk.cover.oid),
                                   fmt.CryptoCost(cover_bytes)};
         }
@@ -453,6 +495,7 @@ sim::Task<Status> ImageRequest::ExecuteWriteOp() {
                                   c.cover.block_count);
     }
     if (through_bytes > 0) {
+      obs::SpanScope crypto_span(ctx(), obs::Stage::kCrypto);
       co_await sim::Sleep{
           image_.format_->IoCryptoCost(through_bytes, edge_blocks)};
     }
@@ -511,7 +554,7 @@ sim::Task<Status> ImageRequest::RmwReadEdges(const Chunk& chunk,
   const core::DiscardBitmap* zeros = nullptr;
   if (image_.trim_state_->enabled()) {
     VDE_CO_RETURN_IF_ERROR(
-        co_await image_.EnsureObjectState(chunk.cover.object_no));
+        co_await image_.EnsureObjectState(chunk.cover.object_no, ctx()));
     zeros = image_.trim_state_->Lookup(chunk.cover.object_no);
   }
   // All RMW sub-reads of this object ride ONE read transaction; each edge
@@ -531,9 +574,12 @@ sim::Task<Status> ImageRequest::RmwReadEdges(const Chunk& chunk,
   objstore::ReadResult fetched;
   if (!txn.ops.empty()) {
     auto io = image_.cluster_.ioctx();
+    txn.trace = ctx();
+    obs::SpanScope store_span(ctx(), obs::Stage::kStore);
     auto got =
         co_await io.OperateRead(chunk.cover.oid, std::move(txn),
                                 objstore::kHeadSnap);
+    store_span.End();
     if (got.status().IsNotFound()) co_return Status::Ok();  // reads as zeros
     if (!got.ok()) co_return got.status();
     fetched = std::move(*got);
@@ -558,6 +604,7 @@ sim::Task<Status> ImageRequest::RmwReadEdges(const Chunk& chunk,
   if (decrypted_blocks > 0) {
     // ChargeCpu degrades to Sleep with the core model off; enabled, the
     // RMW edge decrypt serializes with the object's other crypto work.
+    obs::SpanScope crypto_span(ctx(), obs::Stage::kCrypto);
     co_await sim::ChargeCpu{sim::ShardOf(chunk.cover.oid),
                             fmt.CryptoCost(decrypted_blocks * kBlockSize)};
   }
@@ -591,10 +638,15 @@ sim::Task<Status> ImageRequest::StageChunk(const Chunk& chunk) {
 sim::Task<Status> ImageRequest::WriteChunk(size_t idx) {
   const Chunk& chunk = chunks_[idx];
   Writeback& wb = *image_.writeback_;
-  co_await wb.Acquire(holds_[idx]);
+  {
+    obs::SpanScope wb_span(ctx(), obs::Stage::kWb);
+    co_await wb.Acquire(holds_[idx]);
+  }
   HoldGuard held(wb, holds_[idx]);
 
   if (StageEligible(chunk)) {
+    // Staging (and any eviction IO it triggers) is write-back work.
+    obs::SpanScope wb_span(ctx(), obs::Stage::kWb);
     co_return co_await StageChunk(chunk);
   }
 
@@ -605,6 +657,7 @@ sim::Task<Status> ImageRequest::WriteChunk(size_t idx) {
   {
     sim::Scheduler& sched = sim::Scheduler::Current();
     if (sched.core_model_enabled()) {
+      obs::SpanScope crypto_span(ctx(), obs::Stage::kCrypto);
       co_await sim::ChargeCpu{
           sim::ShardOf(chunk.cover.oid),
           image_.format_->IoCryptoCost(
@@ -626,7 +679,7 @@ sim::Task<Status> ImageRequest::WriteChunk(size_t idx) {
   const std::vector<std::pair<uint64_t, size_t>> written_range{
       {chunk.cover.first_block, chunk.cover.block_count}};
   VDE_CO_RETURN_IF_ERROR(
-      co_await image_.EnsureObjectState(chunk.cover.object_no));
+      co_await image_.EnsureObjectState(chunk.cover.object_no, ctx()));
   // First store mutation of the session clears the plane's clean flag
   // (write-through) so a crash cold-starts the next open.
   if (image_.meta_store_ != nullptr &&
@@ -646,8 +699,11 @@ sim::Task<Status> ImageRequest::WriteChunk(size_t idx) {
           co_await ts.Stage(chunk.cover.object_no, written_range, {}, txn);
       VDE_CO_RETURN_IF_ERROR(update.status());
       auto io = image_.cluster_.ioctx();
+      txn.trace = ctx();
+      obs::SpanScope store_span(ctx(), obs::Stage::kStore);
       VDE_CO_RETURN_IF_ERROR(co_await io.Operate(
           chunk.cover.oid, std::move(txn), image_.SnapContext()));
+      store_span.End();
       ts.Commit(std::move(*update));
       // Any staged blocks under this cover are fully superseded.
       wb.DropRange(chunk.cover.object_no, chunk.cover.first_block, last_block);
@@ -682,8 +738,11 @@ sim::Task<Status> ImageRequest::WriteChunk(size_t idx) {
       co_await ts.Stage(chunk.cover.object_no, written_range, {}, txn);
   VDE_CO_RETURN_IF_ERROR(update.status());
   auto io = image_.cluster_.ioctx();
+  txn.trace = ctx();
+  obs::SpanScope store_span(ctx(), obs::Stage::kStore);
   VDE_CO_RETURN_IF_ERROR(co_await io.Operate(chunk.cover.oid, std::move(txn),
                                              image_.SnapContext()));
+  store_span.End();
   ts.Commit(std::move(*update));
   // Staged edge content was folded in via RmwReadEdges; interior stages
   // are overwritten outright. Either way the buffer copy is superseded.
@@ -732,7 +791,10 @@ sim::Task<Status> ImageRequest::DiscardChunk(size_t idx) {
     // TRIM granularity: round inward; a sub-block discard is a no-op (and
     // registered no hold).
     if (first_full >= end_full) co_return Status::Ok();
-    co_await wb.Acquire(holds_[idx]);
+    {
+      obs::SpanScope wb_span(ctx(), obs::Stage::kWb);
+      co_await wb.Acquire(holds_[idx]);
+    }
     HoldGuard held(wb, holds_[idx]);
     const auto ext =
         SubExtent(chunk.cover, first_full, end_full - first_full);
@@ -747,7 +809,7 @@ sim::Task<Status> ImageRequest::DiscardChunk(size_t idx) {
         // record first (a reset-to-zero epoch would let an old sealed
         // bitmap replay through the floor check).
         VDE_CO_RETURN_IF_ERROR(
-            co_await image_.EnsureObjectState(chunk.cover.object_no));
+            co_await image_.EnsureObjectState(chunk.cover.object_no, ctx()));
         if (image_.meta_store_->NeedsDirtyMark()) {
           VDE_CO_RETURN_IF_ERROR(co_await image_.meta_store_->MarkDirty());
         }
@@ -756,8 +818,11 @@ sim::Task<Status> ImageRequest::DiscardChunk(size_t idx) {
       objstore::OsdOp op;
       op.type = objstore::OsdOp::Type::kRemove;
       txn.ops.push_back(std::move(op));
+      txn.trace = ctx();
+      obs::SpanScope store_span(ctx(), obs::Stage::kStore);
       Status s = co_await io.Operate(chunk.cover.oid, std::move(txn),
                                      image_.SnapContext());
+      store_span.End();
       if (!s.ok() && !s.IsNotFound()) co_return s;
       wb.DropRange(chunk.cover.object_no, ext.first_block,
                    ext.first_block + ext.block_count - 1);
@@ -779,7 +844,7 @@ sim::Task<Status> ImageRequest::DiscardChunk(size_t idx) {
       co_return Status::Ok();
     }
     VDE_CO_RETURN_IF_ERROR(
-        co_await image_.EnsureObjectState(chunk.cover.object_no));
+        co_await image_.EnsureObjectState(chunk.cover.object_no, ctx()));
     if (image_.meta_store_ != nullptr &&
         image_.meta_store_->NeedsDirtyMark()) {
       VDE_CO_RETURN_IF_ERROR(co_await image_.meta_store_->MarkDirty());
@@ -793,9 +858,12 @@ sim::Task<Status> ImageRequest::DiscardChunk(size_t idx) {
     auto update = co_await image_.trim_state_->Stage(chunk.cover.object_no,
                                                      {}, trimmed_range, txn);
     VDE_CO_RETURN_IF_ERROR(update.status());
+    txn.trace = ctx();
+    obs::SpanScope store_span(ctx(), obs::Stage::kStore);
     VDE_CO_RETURN_IF_ERROR(co_await io.Operate(chunk.cover.oid,
                                                std::move(txn),
                                                image_.SnapContext()));
+    store_span.End();
     image_.trim_state_->Commit(std::move(*update));
     // Trimmed blocks read zeros from now on; drop their staged copies so
     // a later flush cannot resurrect the data, then cache cleared markers
@@ -816,10 +884,13 @@ sim::Task<Status> ImageRequest::DiscardChunk(size_t idx) {
   // buffer when the block is parked there) and are re-encrypted. All of it
   // rides ONE per-object transaction. Only the edge blocks are buffered —
   // the interior needs no staging at all.
-  co_await wb.Acquire(holds_[idx]);
+  {
+    obs::SpanScope wb_span(ctx(), obs::Stage::kWb);
+    co_await wb.Acquire(holds_[idx]);
+  }
   HoldGuard held(wb, holds_[idx]);
   VDE_CO_RETURN_IF_ERROR(
-      co_await image_.EnsureObjectState(chunk.cover.object_no));
+      co_await image_.EnsureObjectState(chunk.cover.object_no, ctx()));
   if (image_.meta_store_ != nullptr &&
       image_.meta_store_->NeedsDirtyMark()) {
     VDE_CO_RETURN_IF_ERROR(co_await image_.meta_store_->MarkDirty());
@@ -881,11 +952,15 @@ sim::Task<Status> ImageRequest::DiscardChunk(size_t idx) {
       chunk.cover.object_no, edge_written, trimmed_range, txn);
   VDE_CO_RETURN_IF_ERROR(update.status());
   if (edge_blocks > 0) {
+    obs::SpanScope crypto_span(ctx(), obs::Stage::kCrypto);
     co_await sim::ChargeCpu{sim::ShardOf(chunk.cover.oid),
                             fmt.CryptoCost(edge_blocks * kBlockSize)};
   }
+  txn.trace = ctx();
+  obs::SpanScope store_span(ctx(), obs::Stage::kStore);
   VDE_CO_RETURN_IF_ERROR(co_await io.Operate(chunk.cover.oid, std::move(txn),
                                              image_.SnapContext()));
+  store_span.End();
   image_.trim_state_->Commit(std::move(*update));
   // Edge stages were folded into the zeroed blocks, interior stages are
   // cleared in the store: every staged copy under the cover is superseded
@@ -917,6 +992,9 @@ sim::Task<Status> ImageRequest::DiscardChunk(size_t idx) {
 // --- Flush ---
 
 sim::Task<Status> ImageRequest::ExecuteFlushOp() {
+  // The whole barrier — waiting out earlier writes, draining the staging
+  // buffer, committing the meta journal — is write-back work.
+  obs::SpanScope wb_span(ctx(), obs::Stage::kWb);
   // write_seq_ holds the barrier: every write-class ticket below it must
   // retire before the flush resolves. A retired staged write may still sit
   // in the volatile write-back buffer — drain it; flush is the durability

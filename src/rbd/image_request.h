@@ -18,6 +18,7 @@
 
 #include "core/format.h"
 #include "objstore/types.h"
+#include "obs/trace.h"
 #include "rbd/completion.h"
 #include "rbd/writeback.h"
 #include "sim/task.h"
@@ -102,6 +103,10 @@ class ImageRequest {
   MutByteSpan ContiguousDst(uint64_t buf_off, uint64_t len) const;
   ByteSpan ContiguousSrc(uint64_t buf_off, uint64_t len) const;
 
+  // Request trace, shared with the completion and the image's op tracker
+  // (null with observability disabled — every use is null-safe).
+  obs::TraceContext* ctx() const { return trace_.get(); }
+
   Image& image_;
   IoKind kind_;
   uint64_t offset_;
@@ -116,6 +121,7 @@ class ImageRequest {
   uint64_t write_seq_ = 0;  // flush-ordering ticket (write-class ops)
   bool seq_assigned_ = false;
   sim::Gate flush_gate_;
+  std::shared_ptr<obs::TraceContext> trace_;
 };
 
 }  // namespace vde::rbd

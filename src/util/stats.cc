@@ -80,6 +80,59 @@ double Histogram::Percentile(double p) const {
   return static_cast<double>(max_);
 }
 
+std::vector<double> Histogram::Quantiles(std::span<const double> ps) const {
+  std::vector<double> out(ps.size(), 0);
+  if (count_ == 0 || ps.empty()) return out;
+  size_t next = 0;
+  uint64_t seen = 0;
+  for (size_t b = 0; b < buckets_.size() && next < ps.size(); ++b) {
+    if (buckets_[b] == 0) continue;
+    // Resolve every requested quantile that lands in this bucket.
+    while (next < ps.size()) {
+      const double p = std::clamp(ps[next], 0.0, 100.0);
+      const double target = p / 100.0 * static_cast<double>(count_);
+      if (static_cast<double>(seen + buckets_[b]) < target) break;
+      const uint64_t low = BucketLow(b);
+      const uint64_t high =
+          b + 1 < buckets_.size() ? BucketLow(b + 1) : max_ + 1;
+      const double frac = (target - static_cast<double>(seen)) /
+                          static_cast<double>(buckets_[b]);
+      double v = static_cast<double>(low) +
+                 frac * static_cast<double>(high - low);
+      out[next++] = std::min(v, static_cast<double>(max_));
+    }
+    seen += buckets_[b];
+  }
+  // Anything left maps to the max (target beyond the last populated bucket).
+  for (; next < ps.size(); ++next) out[next] = static_cast<double>(max_);
+  return out;
+}
+
+Histogram Histogram::DeltaSince(const Histogram& before) const {
+  Histogram d;
+  size_t lowb = buckets_.size();
+  size_t highb = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    assert(buckets_[i] >= before.buckets_[i]);
+    d.buckets_[i] = buckets_[i] - before.buckets_[i];
+    if (d.buckets_[i] > 0) {
+      lowb = std::min(lowb, i);
+      highb = std::max(highb, i);
+    }
+  }
+  d.count_ = count_ - before.count_;
+  d.sum_ = sum_ - before.sum_;
+  if (d.count_ > 0) {
+    // Exact extrema of the window are gone; bound them by the populated
+    // bucket range intersected with the lifetime extrema.
+    d.min_ = std::max(min_, BucketLow(lowb));
+    d.max_ = highb + 1 < buckets_.size()
+                 ? std::min(max_, BucketLow(highb + 1) - 1)
+                 : max_;
+  }
+  return d;
+}
+
 std::string Histogram::Summary() const {
   char buf[256];
   std::snprintf(buf, sizeof(buf),
@@ -87,6 +140,22 @@ std::string Histogram::Summary() const {
                 static_cast<unsigned long long>(count_), Mean(),
                 Percentile(50), Percentile(99),
                 static_cast<unsigned long long>(max()));
+  return buf;
+}
+
+std::string Histogram::ToJson() const {
+  static constexpr double kPs[] = {50, 90, 99, 99.9};
+  std::vector<double> qs = Quantiles(kPs);
+  char buf[320];
+  std::snprintf(buf, sizeof(buf),
+                "{\"count\":%llu,\"sum\":%llu,\"min\":%llu,\"max\":%llu,"
+                "\"mean\":%.3f,\"p50\":%.3f,\"p90\":%.3f,\"p99\":%.3f,"
+                "\"p999\":%.3f}",
+                static_cast<unsigned long long>(count_),
+                static_cast<unsigned long long>(sum_),
+                static_cast<unsigned long long>(min()),
+                static_cast<unsigned long long>(max_), Mean(), qs[0], qs[1],
+                qs[2], qs[3]);
   return buf;
 }
 

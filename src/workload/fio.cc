@@ -12,59 +12,6 @@ uint64_t RoundUpBlock(uint64_t v) {
   return (v + core::kBlockSize - 1) / core::kBlockSize * core::kBlockSize;
 }
 
-// Counter delta `after - before`; high-water marks (qos_peak_queue) keep
-// the end-of-run value.
-rbd::ImageStats StatsDelta(const rbd::ImageStats& after,
-                           const rbd::ImageStats& before) {
-  rbd::ImageStats d;
-  d.writes = after.writes - before.writes;
-  d.reads = after.reads - before.reads;
-  d.discards = after.discards - before.discards;
-  d.flushes = after.flushes - before.flushes;
-  d.bytes_written = after.bytes_written - before.bytes_written;
-  d.bytes_read = after.bytes_read - before.bytes_read;
-  d.bytes_discarded = after.bytes_discarded - before.bytes_discarded;
-  d.rmw_blocks = after.rmw_blocks - before.rmw_blocks;
-  d.rmw_merged = after.rmw_merged - before.rmw_merged;
-  d.wb_hits = after.wb_hits - before.wb_hits;
-  d.wb_stages = after.wb_stages - before.wb_stages;
-  d.wb_flushes = after.wb_flushes - before.wb_flushes;
-  d.iv_hits = after.iv_hits - before.iv_hits;
-  d.iv_misses = after.iv_misses - before.iv_misses;
-  d.iv_evictions = after.iv_evictions - before.iv_evictions;
-  d.iv_invalidations = after.iv_invalidations - before.iv_invalidations;
-  d.iv_meta_bytes_saved = after.iv_meta_bytes_saved - before.iv_meta_bytes_saved;
-  d.iv_meta_bytes_fetched =
-      after.iv_meta_bytes_fetched - before.iv_meta_bytes_fetched;
-  d.trim_zero_reads = after.trim_zero_reads - before.trim_zero_reads;
-  d.trim_state_loads = after.trim_state_loads - before.trim_state_loads;
-  d.trim_bitmap_updates =
-      after.trim_bitmap_updates - before.trim_bitmap_updates;
-  d.qos_submitted = after.qos_submitted - before.qos_submitted;
-  d.qos_queued = after.qos_queued - before.qos_queued;
-  d.qos_throttled = after.qos_throttled - before.qos_throttled;
-  d.qos_wait_ns = after.qos_wait_ns - before.qos_wait_ns;
-  d.qos_peak_queue = after.qos_peak_queue;
-  d.meta_warm_hits = after.meta_warm_hits - before.meta_warm_hits;
-  d.meta_recovered_rows =
-      after.meta_recovered_rows - before.meta_recovered_rows;
-  d.meta_spills = after.meta_spills - before.meta_spills;
-  d.meta_epoch_rejections =
-      after.meta_epoch_rejections - before.meta_epoch_rejections;
-  d.meta_cold_resets = after.meta_cold_resets - before.meta_cold_resets;
-  d.meta_gc_rows = after.meta_gc_rows - before.meta_gc_rows;
-  d.meta_journal_flushes =
-      after.meta_journal_flushes - before.meta_journal_flushes;
-  d.meta_kv_wal_bytes = after.meta_kv_wal_bytes - before.meta_kv_wal_bytes;
-  d.meta_kv_wal_commits =
-      after.meta_kv_wal_commits - before.meta_kv_wal_commits;
-  d.meta_kv_flush_bytes =
-      after.meta_kv_flush_bytes - before.meta_kv_flush_bytes;
-  d.meta_kv_compaction_bytes =
-      after.meta_kv_compaction_bytes - before.meta_kv_compaction_bytes;
-  return d;
-}
-
 }  // namespace
 
 Status FioConfig::Validate() const {
@@ -173,6 +120,73 @@ std::string FioResult::Summary() const {
         static_cast<unsigned long long>(image.meta_kv_compaction_bytes >> 10));
     out += buf;
   }
+  if (has_stages) {
+    // Mean exclusive time per op in each stage — the per-op latency budget
+    // breakdown (sums to the mean end-to-end latency by construction).
+    std::string seg = " stages_us[";
+    bool first = true;
+    for (size_t s = 0; s < obs::kNumStages; ++s) {
+      if (stage_latency[s].count() == 0) continue;
+      const double mean_us =
+          static_cast<double>(stage_latency[s].sum()) /
+          static_cast<double>(stage_latency[s].count()) / 1e3;
+      std::snprintf(buf, sizeof(buf), "%s%s=%.1f", first ? "" : " ",
+                    obs::StageName(static_cast<obs::Stage>(s)), mean_us);
+      seg += buf;
+      first = false;
+    }
+    seg += "]";
+    if (!first) out += seg;
+  }
+  return out;
+}
+
+std::string FioResult::ToJson() const {
+  char buf[256];
+  std::string out = "{";
+  std::snprintf(
+      buf, sizeof(buf),
+      "\"ops\":%llu,\"read_ops\":%llu,\"write_ops\":%llu,"
+      "\"discards\":%llu,\"bytes\":%llu,\"duration_ns\":%llu,",
+      static_cast<unsigned long long>(ops),
+      static_cast<unsigned long long>(read_ops),
+      static_cast<unsigned long long>(write_ops),
+      static_cast<unsigned long long>(discards),
+      static_cast<unsigned long long>(bytes),
+      static_cast<unsigned long long>(duration));
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "\"bandwidth_mbps\":%.6g,\"iops\":%.6g,", BandwidthMBps(),
+                Iops());
+  out += buf;
+  out += "\"latency_ns\":" + latency_ns.ToJson();
+  if (!core_util.empty()) {
+    out += ",\"core_util\":[";
+    for (size_t i = 0; i < core_util.size(); ++i) {
+      std::snprintf(buf, sizeof(buf), "%s%.6g", i == 0 ? "" : ",",
+                    core_util[i]);
+      out += buf;
+    }
+    out += "]";
+  }
+  if (has_stages) {
+    out += ",\"stages_ns\":{";
+    bool first = true;
+    for (size_t s = 0; s < obs::kNumStages; ++s) {
+      if (stage_latency[s].count() == 0) continue;
+      if (!first) out += ",";
+      out += "\"";
+      out += obs::StageName(static_cast<obs::Stage>(s));
+      out += "\":" + stage_latency[s].ToJson();
+      first = false;
+    }
+    out += "}";
+  }
+  if (!metrics.empty()) {
+    out += ",\"metrics\":";
+    metrics.AppendJson(out);
+  }
+  out += "}";
   return out;
 }
 
@@ -411,6 +425,7 @@ sim::Task<void> FioRunner::Worker(size_t worker_id, FioResult* result,
       measuring_ = true;
       measure_start_ = sim::Scheduler::Current().now();
       busy_at_start_ = sim::Scheduler::Current().core_busy_ns();
+      stages_at_start_ = image_.obs().StageSnapshot();
     }
     const uint64_t offset = NextOffset();
     const bool do_discard =
@@ -509,6 +524,7 @@ sim::Task<Result<FioResult>> FioRunner::Run() {
   measure_start_ = sim::Scheduler::Current().now();
   measure_end_ = measure_start_;
   busy_at_start_ = sim::Scheduler::Current().core_busy_ns();
+  stages_at_start_ = image_.obs().StageSnapshot();
   const rbd::ImageStats stats_before = image_.stats();
 
   std::vector<sim::Task<void>> workers;
@@ -518,8 +534,21 @@ sim::Task<Result<FioResult>> FioRunner::Run() {
   co_await sim::WhenAll(std::move(workers));
 
   result.duration = measure_end_ - measure_start_;
-  result.image = StatsDelta(image_.stats(), stats_before);
+  result.image = rbd::ImageStats::Delta(image_.stats(), stats_before);
   result.store = image_.cluster().TotalStoreSpace();
+  if (image_.obs().enabled()) {
+    // Stage breakdown over the measured window: whatever the plane
+    // accumulated since the window opened (ops straddling the warmup
+    // boundary land on whichever side completed them — same convention as
+    // the image counter delta above).
+    const std::array<Histogram, obs::kNumStages> now_stages =
+        image_.obs().StageSnapshot();
+    for (size_t s = 0; s < obs::kNumStages; ++s) {
+      result.stage_latency[s] = now_stages[s].DeltaSince(stages_at_start_[s]);
+    }
+    result.has_stages = true;
+  }
+  image_.ExportMetrics(result.metrics);
   // Per-core utilization over the measured window (core model only; the
   // busy counters monotonically accumulate, so the delta is this run's).
   const std::vector<sim::SimTime>& busy_now =

@@ -8,10 +8,13 @@
 // 8 KiB+512 accesses). A discard percentage mixes TRIM into any pattern.
 #pragma once
 
+#include <array>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "rbd/image.h"
 #include "util/rng.h"
 #include "util/stats.h"
@@ -90,6 +93,15 @@ struct FioResult {
   // Fraction of the measured window each simulated core spent busy, in
   // core order. Empty when the sim's N-core CPU model is disabled.
   std::vector<double> core_util;
+  // Per-stage exclusive latency histograms over the measured window,
+  // indexed by obs::Stage — where each op's end-to-end time was actually
+  // spent (queue wait, write-back, crypto, store, device). Populated only
+  // when the image was opened with observability enabled (has_stages).
+  std::array<Histogram, obs::kNumStages> stage_latency;
+  bool has_stages = false;
+  // Full metrics-registry snapshot at the end of the run: image counters,
+  // qos, cluster store/space/device totals, obs plane, and sim core state.
+  obs::Metrics metrics;
 
   double BandwidthMBps() const {
     return duration == 0
@@ -105,6 +117,10 @@ struct FioResult {
   // from the (warmup-excluded) histogram, the read/write split for mixed
   // runs, and — when active — the write-back and QoS counters.
   std::string Summary() const;
+
+  // Machine-readable result: throughput, latency percentiles, the
+  // per-stage breakdown (when present), and the full metrics registry.
+  std::string ToJson() const;
 };
 
 class FioRunner {
@@ -175,6 +191,9 @@ class FioRunner {
   sim::SimTime measure_start_ = 0;
   sim::SimTime measure_end_ = 0;
   std::vector<sim::SimTime> busy_at_start_;  // core busy_ns at window open
+  // Obs-plane stage histograms at window open (DeltaSince at close gives
+  // the measured-window breakdown without per-op bookkeeping here).
+  std::array<Histogram, obs::kNumStages> stages_at_start_;
 };
 
 // One tenant of a multi-image run: a name for reporting, the image to
