@@ -84,8 +84,9 @@ PipePoint RunFioPoint(size_t cores, uint64_t stripe_unit,
 
     std::vector<std::shared_ptr<rbd::Image>> imgs;
     for (size_t i = 0; i < images; ++i) {
-      auto image = co_await rbd::Image::Create(
-          **cluster, "pipe" + std::to_string(i), "pw", options);
+      std::string name = "pipe";
+      name += std::to_string(i);
+      auto image = co_await rbd::Image::Create(**cluster, name, "pw", options);
       if (!image.ok()) co_return;
       imgs.push_back(std::move(*image));
     }
@@ -94,7 +95,9 @@ PipePoint RunFioPoint(size_t cores, uint64_t stripe_unit,
     for (size_t i = 0; i < images; ++i) {
       workload::FioConfig t = fio;
       t.seed = 7 + i;
-      tenants.push_back({"t" + std::to_string(i), imgs[i].get(), t,
+      std::string name = "t";
+      name += std::to_string(i);
+      tenants.push_back({std::move(name), imgs[i].get(), t,
                          /*background=*/false});
     }
     workload::MultiFioRunner multi(std::move(tenants));

@@ -32,6 +32,15 @@
 // (per-core utilization is reported in the summary's cores[...] segment);
 // --stripe-unit=SIZE / --stripe-count=N stripe the guest's linear space
 // across objects RBD-style, fanning sequential streams over cores.
+// Compression: --compress runs every written block through the in-tree LZ
+// codec before encryption (a metadata-free layout auto-upgrades to
+// xts-random/object-end — the compressed length needs a per-block record)
+// and sets the object store's allocator to 512 B units so the tail trims
+// of short ciphertexts reclaim real capacity; --compressibility=PCT makes
+// the workload's written blocks PCT-percent compressible (default 0:
+// incompressible random fill); --min-gain=PCT overrides the minimum space
+// gain a block must achieve to be stored compressed (implies --compress).
+// The summary grows a compress[...] segment with the achieved ratio.
 // Observability: --obs enables request tracing + the per-stage latency
 // breakdown (the summary grows a stages_us[...] segment); --json=PATH
 // writes the machine-readable result (throughput, percentiles, stage
@@ -78,6 +87,9 @@ struct Args {
   uint64_t stripe_unit = 0;    // 0 = object_size (no striping)
   uint64_t stripe_count = 0;   // 0 = 1
   bool obs = false;
+  bool compress = false;
+  uint32_t compressibility = 0;  // % of each written block that compresses
+  uint32_t min_gain = 0;         // 0 = the spec default
   std::string json_path;
   std::string trace_path;
   size_t slow_ops = 0;
@@ -168,6 +180,26 @@ bool Parse(int argc, char** argv, Args& args) {
       args.stripe_count = std::stoull(v);
     } else if (arg == "--obs") {
       args.obs = true;
+    } else if (arg == "--compress") {
+      args.compress = true;
+    } else if (const char* v = value("--compressibility=")) {
+      char* end = nullptr;
+      const unsigned long pct = std::strtoul(v, &end, 10);
+      if (end == v || *end != '\0' || pct > 100) {
+        std::fprintf(stderr,
+                     "--compressibility must be a percentage in 0..100\n");
+        return false;
+      }
+      args.compressibility = static_cast<uint32_t>(pct);
+    } else if (const char* v = value("--min-gain=")) {
+      char* end = nullptr;
+      const unsigned long pct = std::strtoul(v, &end, 10);
+      if (end == v || *end != '\0' || pct == 0 || pct >= 100) {
+        std::fprintf(stderr, "--min-gain must be a percentage in 1..99\n");
+        return false;
+      }
+      args.compress = true;
+      args.min_gain = static_cast<uint32_t>(pct);
     } else if (const char* v = value("--json=")) {
       args.json_path = v;
       args.obs = true;
@@ -233,8 +265,23 @@ bool Parse(int argc, char** argv, Args& args) {
   return true;
 }
 
-sim::Task<void> Run(const Args& args, bool* ok) {
-  auto cluster = co_await rados::Cluster::Create(rados::ClusterConfig{});
+sim::Task<void> Run(Args args, bool* ok) {
+  rados::ClusterConfig cluster_config;
+  if (args.compress) {
+    // Sub-block tail trims of short ciphertexts only release capacity at a
+    // finer allocator granularity than the 4 KiB device sector.
+    cluster_config.store.alloc_unit = 512;
+    // The codec needs a per-block metadata record to carry the compressed
+    // length; upgrade the metadata-free default to the paper's layout.
+    if (args.spec.layout == core::IvLayout::kNone &&
+        args.spec.mode != core::CipherMode::kGcmRandom) {
+      args.spec.mode = core::CipherMode::kXtsRandom;
+      args.spec.layout = core::IvLayout::kObjectEnd;
+    }
+    args.spec.compression.codec = core::Compression::kLz;
+    if (args.min_gain > 0) args.spec.compression.min_gain_pct = args.min_gain;
+  }
+  auto cluster = co_await rados::Cluster::Create(cluster_config);
   if (!cluster.ok()) co_return;
   // Local device backing the persistent metadata plane; reopening the
   // image against the SAME device is what makes the warm start possible.
@@ -280,6 +327,7 @@ sim::Task<void> Run(const Args& args, bool* ok) {
   fio.queue_depth = args.qd;
   fio.total_ops = args.ops;
   fio.working_set = std::max<uint64_t>(args.ops * args.bs, 512ull << 20);
+  fio.compressibility_pct = args.compressibility;
   fio.verify = args.verify;
   if (Status s = fio.Validate(); !s.ok()) {
     std::printf("invalid config: %s\n", s.ToString().c_str());
@@ -472,6 +520,8 @@ int main(int argc, char** argv) {
         "               [--meta-store] [--reopen]\n"
         "               [--cores=N] [--stripe-unit=SIZE] "
         "[--stripe-count=N]\n"
+        "               [--compress] [--compressibility=PCT] "
+        "[--min-gain=PCT]\n"
         "               [--obs] [--json=PATH] [--trace=PATH] "
         "[--slow-ops=N]\n");
     return 2;

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cstring>
 
+#include "util/lz.h"
+
 namespace vde::core {
 
 namespace {
@@ -13,6 +15,19 @@ using objstore::Transaction;
 constexpr size_t kIvSize = 16;
 constexpr size_t kHmacTagSize = 32;
 constexpr size_t kGcmMetaSize = crypto::kGcmIvSize + crypto::kGcmTagSize;
+
+// Compression-enabled formats prepend [codec u8][stored_len u16le] to every
+// per-block metadata row. A written block's header is never all-zero
+// (verbatim is {kNone, 4096}), so the all-zero cleared marker is preserved.
+constexpr size_t kCompressHeaderSize = 3;
+// Shortest ciphertext we store: XTS ciphertext stealing needs one full AES
+// block, so compressed payloads are zero-padded up to it before encryption
+// (the header records the true compressed length; the pad is dropped after
+// decrypt).
+constexpr size_t kMinCipherLen = 16;
+
+// Bytes a compressed payload occupies on disk (and under the cipher).
+size_t StoredLen(size_t clen) { return std::max(clen, kMinCipherLen); }
 
 Bytes DeriveSubkey(ByteSpan master, std::string_view label, size_t n) {
   Bytes out(n);
@@ -218,14 +233,18 @@ class RandomIvFormat final : public EncryptionFormat {
                    Transaction& txn, IvRows* ivs_out) override {
     assert(plain.size() == ext.block_count * kBlockSize);
     const size_t meta = spec_.MetaPerBlock();
-    // Per-block ciphertext and metadata.
+    // Per-block ciphertext and metadata. With compression on, a block's
+    // ciphertext occupies only stored[b] bytes at the head of its 4 KiB
+    // slot (the buffer's zero tail fills the rest of the slot on disk, and
+    // a tail trim below releases its capacity).
     Bytes cipher(plain.size());
     Bytes metas(ext.block_count * meta);
+    std::vector<size_t> stored(ext.block_count, kBlockSize);
     for (size_t b = 0; b < ext.block_count; ++b) {
-      EncryptBlock(ext.image_block + b,
-                   plain.subspan(b * kBlockSize, kBlockSize),
-                   MutByteSpan(cipher.data() + b * kBlockSize, kBlockSize),
-                   MutByteSpan(metas.data() + b * meta, meta));
+      stored[b] = EncryptBlock(
+          ext.image_block + b, plain.subspan(b * kBlockSize, kBlockSize),
+          MutByteSpan(cipher.data() + b * kBlockSize, kBlockSize),
+          MutByteSpan(metas.data() + b * meta, meta));
     }
     if (ivs_out != nullptr) {
       for (size_t b = 0; b < ext.block_count; ++b) {
@@ -275,6 +294,22 @@ class RandomIvFormat final : public EncryptionFormat {
       }
       case IvLayout::kNone:
         return Status::InvalidArgument("random IV requires a layout");
+    }
+    // Short ciphertexts become genuinely sparse: release each block's slot
+    // tail through the store's punched pool, in the SAME transaction as the
+    // data and metadata ops (§3.1 atomicity — a reader never sees the data
+    // without its tail state). A rewrite's full-slot data op restores the
+    // punched range before the new tail trim re-punches it.
+    if (HeaderBytes() > 0) {
+      const size_t slot = spec_.layout == IvLayout::kUnaligned
+                              ? kBlockSize + meta
+                              : kBlockSize;
+      for (size_t b = 0; b < ext.block_count; ++b) {
+        if (stored[b] < kBlockSize) {
+          txn.ops.push_back(TrimOp((ext.first_block + b) * slot + stored[b],
+                                   kBlockSize - stored[b]));
+        }
+      }
     }
     return Status::Ok();
   }
@@ -707,64 +742,155 @@ class RandomIvFormat final : public EncryptionFormat {
     iv_mask_->EncryptBlock(block, mask);
   }
 
-  void EncryptBlock(uint64_t lba, ByteSpan plain, MutByteSpan cipher,
-                    MutByteSpan meta_out) {
+  // Per-block metadata header bytes (compression on: [codec][stored u16le]).
+  size_t HeaderBytes() const {
+    return spec_.compression.enabled() ? kCompressHeaderSize : 0;
+  }
+
+  // Largest compressed size worth storing: the block must gain at least
+  // min_gain_pct of its logical size, and always at least one byte.
+  size_t CompressLimit() const {
+    const size_t gain =
+        static_cast<size_t>(kBlockSize) * spec_.compression.min_gain_pct / 100;
+    return kBlockSize - std::max<size_t>(gain, 1);
+  }
+
+  // Encrypts one block (compressing first when the spec has a codec) into
+  // the head of `cipher` and fills its metadata row. Returns the stored
+  // ciphertext length: kBlockSize for verbatim/uncompressed blocks, else
+  // the padded compressed length — the caller trims the slot tail past it.
+  // `cipher`'s tail beyond the returned length must arrive zeroed (MakeWrite
+  // hands out slices of a fresh buffer).
+  size_t EncryptBlock(uint64_t lba, ByteSpan plain, MutByteSpan cipher,
+                      MutByteSpan meta_out) {
+    const size_t header = HeaderBytes();
+    Bytes packed;
+    ByteSpan payload = plain;
+    if (header > 0) {
+      compress_stats_.in_bytes += plain.size();
+      packed.resize(CompressLimit());
+      const size_t clen = LzCompress(plain, packed);
+      if (clen > 0) {
+        packed.resize(StoredLen(clen), 0);  // zero-pad up to the cipher floor
+        payload = packed;
+        compress_stats_.compressed_blocks++;
+        compress_stats_.stored_bytes += payload.size();
+        meta_out[0] = static_cast<uint8_t>(spec_.compression.codec);
+        StoreU16Le(meta_out.data() + 1, static_cast<uint16_t>(clen));
+      } else {
+        compress_stats_.verbatim_blocks++;
+        compress_stats_.stored_bytes += kBlockSize;
+        meta_out[0] = static_cast<uint8_t>(Compression::kNone);
+        StoreU16Le(meta_out.data() + 1, static_cast<uint16_t>(kBlockSize));
+      }
+    }
+    const ByteSpan hdr = ByteSpan(meta_out.data(), header);
+    const MutByteSpan base = meta_out.subspan(header);
+    const MutByteSpan ct = cipher.subspan(0, payload.size());
     if (spec_.mode == CipherMode::kGcmRandom) {
-      // meta = nonce (12) || tag (16); AAD binds the LBA.
-      rng_.Generate(meta_out.subspan(0, crypto::kGcmIvSize));
-      uint8_t aad[8];
+      // meta = nonce (12) || tag (16); AAD binds the LBA (and, with
+      // compression, the codec/length header — a tampered header fails
+      // authentication before it can misdirect the decompressor).
+      rng_.Generate(base.subspan(0, crypto::kGcmIvSize));
+      uint8_t aad[8 + kCompressHeaderSize];
       StoreU64Le(aad, lba);
-      gcm_->Seal(meta_out.subspan(0, crypto::kGcmIvSize), ByteSpan(aad, 8),
-                 plain, cipher, meta_out.subspan(crypto::kGcmIvSize));
-      return;
+      std::memcpy(aad + 8, hdr.data(), header);
+      gcm_->Seal(base.subspan(0, crypto::kGcmIvSize),
+                 ByteSpan(aad, 8 + header), payload, ct,
+                 base.subspan(crypto::kGcmIvSize));
+      return payload.size();
     }
     // meta = random IV (16) [|| HMAC tag (32)].
-    rng_.Generate(meta_out.subspan(0, kIvSize));
+    rng_.Generate(base.subspan(0, kIvSize));
     uint8_t tweak[16];
     LbaMask(lba, tweak);
-    for (size_t i = 0; i < kIvSize; ++i) tweak[i] ^= meta_out[i];
-    xts_->Encrypt(ByteSpan(tweak, 16), plain, cipher);
+    for (size_t i = 0; i < kIvSize; ++i) tweak[i] ^= base[i];
+    xts_->Encrypt(ByteSpan(tweak, 16), payload, ct);
     if (spec_.integrity == Integrity::kHmac) {
       crypto::HmacSha256Stream mac(hmac_key_);
-      mac.Update(cipher);
+      mac.Update(hdr);  // no-op with compression off: identical preimage
+      mac.Update(ct);
       uint8_t lba_le[8];
       StoreU64Le(lba_le, lba);
       mac.Update(ByteSpan(lba_le, 8));
-      mac.Update(meta_out.subspan(0, kIvSize));
+      mac.Update(base.subspan(0, kIvSize));
       const auto tag = mac.Finish();
-      std::memcpy(meta_out.data() + kIvSize, tag.data(), kHmacTagSize);
+      std::memcpy(base.data() + kIvSize, tag.data(), kHmacTagSize);
     }
+    return payload.size();
   }
 
   Status DecryptBlock(uint64_t lba, ByteSpan cipher, ByteSpan meta,
                       MutByteSpan plain) {
+    // With compression on, the row leads with [codec][stored length]; only
+    // that many ciphertext bytes are live (the slot tail is trimmed junk).
+    const size_t header = HeaderBytes();
+    uint8_t codec = static_cast<uint8_t>(Compression::kNone);
+    size_t clen = kBlockSize;
+    if (header > 0) {
+      if (meta.size() != spec_.MetaPerBlock()) {
+        return Status::Corruption("metadata row size mismatch");
+      }
+      codec = meta[0];
+      clen = LoadU16Le(meta.data() + 1);
+      if (codec > static_cast<uint8_t>(Compression::kLz) || clen == 0 ||
+          clen > kBlockSize ||
+          (codec == static_cast<uint8_t>(Compression::kNone) &&
+           clen != kBlockSize)) {
+        return Status::Corruption("bad compression header");
+      }
+      cipher = cipher.subspan(0, StoredLen(clen));
+    }
+    const ByteSpan hdr = ByteSpan(meta.data(), header);
+    const ByteSpan base = meta.subspan(header);
+    const bool compressed = codec != static_cast<uint8_t>(Compression::kNone);
+    Bytes scratch;
+    MutByteSpan dst = plain;
+    if (compressed) {
+      scratch.resize(cipher.size());
+      dst = scratch;
+    }
     if (spec_.mode == CipherMode::kGcmRandom) {
-      uint8_t aad[8];
+      uint8_t aad[8 + kCompressHeaderSize];
       StoreU64Le(aad, lba);
-      if (!gcm_->Open(meta.subspan(0, crypto::kGcmIvSize), ByteSpan(aad, 8),
-                      cipher, plain, meta.subspan(crypto::kGcmIvSize))) {
+      std::memcpy(aad + 8, hdr.data(), header);
+      if (!gcm_->Open(base.subspan(0, crypto::kGcmIvSize),
+                      ByteSpan(aad, 8 + header), cipher, dst,
+                      base.subspan(crypto::kGcmIvSize))) {
         return Status::Corruption("GCM authentication failed");
       }
-      return Status::Ok();
+      return compressed ? Expand(ByteSpan(scratch).first(clen), plain)
+                        : Status::Ok();
     }
     if (spec_.integrity == Integrity::kHmac) {
       crypto::HmacSha256Stream mac(hmac_key_);
+      mac.Update(hdr);
       mac.Update(cipher);
       uint8_t lba_le[8];
       StoreU64Le(lba_le, lba);
       mac.Update(ByteSpan(lba_le, 8));
-      mac.Update(meta.subspan(0, kIvSize));
+      mac.Update(base.subspan(0, kIvSize));
       const auto tag = mac.Finish();
       if (!ConstantTimeEqual(ByteSpan(tag.data(), kHmacTagSize),
-                             meta.subspan(kIvSize, kHmacTagSize))) {
+                             base.subspan(kIvSize, kHmacTagSize))) {
         return Status::Corruption("HMAC verification failed");
       }
     }
     uint8_t tweak[16];
     LbaMask(lba, tweak);
-    for (size_t i = 0; i < kIvSize; ++i) tweak[i] ^= meta[i];
-    xts_->Decrypt(ByteSpan(tweak, 16), cipher, plain);
-    return Status::Ok();
+    for (size_t i = 0; i < kIvSize; ++i) tweak[i] ^= base[i];
+    xts_->Decrypt(ByteSpan(tweak, 16), cipher, dst);
+    return compressed ? Expand(ByteSpan(scratch).first(clen), plain)
+                      : Status::Ok();
+  }
+
+  // Decompression tail of DecryptBlock: `packed` is the true-length
+  // compressed plaintext (pad already stripped). The codec's own bounds
+  // checks make a corrupted-but-authentic stream (impossible under
+  // HMAC/GCM, reachable without integrity) fail closed.
+  Status Expand(ByteSpan packed, MutByteSpan plain) {
+    compress_stats_.decompressed_blocks++;
+    return LzDecompress(packed, plain);
   }
 
   uint64_t object_size_;
@@ -783,6 +909,21 @@ sim::SimTime EncryptionFormat::CryptoCost(size_t bytes) const {
   const double gbps = spec_.mode == CipherMode::kWideLba ? 0.9 : 2.5;
   return 2 * sim::kUs +
          static_cast<sim::SimTime>(static_cast<double>(bytes) / gbps);
+}
+
+sim::SimTime EncryptionFormat::CompressCost(size_t bytes) const {
+  if (!spec_.compression.enabled() || bytes == 0) return 0;
+  // LZ-class match finding streams at ~2.0 GB/s; setup (hash-table clear,
+  // no key schedule or EVP context) is far below a cipher call's 2 us.
+  return 300 * sim::kNs +
+         static_cast<sim::SimTime>(static_cast<double>(bytes) / 2.0);
+}
+
+sim::SimTime EncryptionFormat::DecompressCost(size_t bytes) const {
+  if (!spec_.compression.enabled() || bytes == 0) return 0;
+  // Decode is copy-dominated: ~3.5 GB/s, near-zero setup.
+  return 100 * sim::kNs +
+         static_cast<sim::SimTime>(static_cast<double>(bytes) / 3.5);
 }
 
 sim::SimTime EncryptionFormat::SubBlockMergeCost() const {
@@ -866,10 +1007,12 @@ std::string EncryptionSpec::Name() const {
     case IvLayout::kOmap: name += "/omap"; break;
   }
   if (integrity == Integrity::kHmac) name += "+hmac";
+  if (compression.enabled()) name += "+lz";
   return name;
 }
 
 size_t EncryptionSpec::MetaPerBlock() const {
+  size_t base = 0;
   switch (mode) {
     case CipherMode::kNone:
     case CipherMode::kXtsLba:
@@ -877,11 +1020,16 @@ size_t EncryptionSpec::MetaPerBlock() const {
     case CipherMode::kWideLba:
       return 0;
     case CipherMode::kXtsRandom:
-      return integrity == Integrity::kHmac ? kIvSize + kHmacTagSize : kIvSize;
+      base = integrity == Integrity::kHmac ? kIvSize + kHmacTagSize : kIvSize;
+      break;
     case CipherMode::kGcmRandom:
-      return kGcmMetaSize;
+      base = kGcmMetaSize;
+      break;
   }
-  return 0;
+  // Compression rides the per-block record: [codec u8][stored_len u16le]
+  // ahead of the IV/tag bytes. Off, the record is byte-identical to before.
+  if (compression.enabled()) base += kCompressHeaderSize;
+  return base;
 }
 
 std::unique_ptr<EncryptionFormat> MakeFormat(const EncryptionSpec& spec,
@@ -893,6 +1041,10 @@ std::unique_ptr<EncryptionFormat> MakeFormat(const EncryptionSpec& spec,
     case CipherMode::kXtsLba:
     case CipherMode::kXtsEssiv:
     case CipherMode::kWideLba: {
+      // Compression needs a per-block record to carry {codec, stored_len};
+      // length-preserving formats have nowhere to put one — which is the
+      // paper's point.
+      if (spec.compression.enabled()) return nullptr;
       static const Bytes kDummy(64, 0);
       return std::make_unique<DeterministicFormat>(
           spec, spec.mode == CipherMode::kNone ? ByteSpan(kDummy)

@@ -43,6 +43,17 @@ struct ObjectExtent {
 // trimmed or never written and must read as zeros.
 using IvRows = std::vector<Bytes>;
 
+// Running totals of the compression stage (all zero with compression off).
+// Callers snapshot deltas around the synchronous MakeWrite/FinishRead calls
+// to attribute CPU charges and mirror image-level counters.
+struct CompressStats {
+  uint64_t in_bytes = 0;          // logical bytes fed to the compressor
+  uint64_t stored_bytes = 0;      // ciphertext bytes kept (verbatim = 4096)
+  uint64_t compressed_blocks = 0; // blocks stored under a real codec tag
+  uint64_t verbatim_blocks = 0;   // blocks that failed the min-gain bar
+  uint64_t decompressed_blocks = 0;  // compressed blocks expanded on read
+};
+
 class EncryptionFormat {
  public:
   virtual ~EncryptionFormat() = default;
@@ -202,11 +213,25 @@ class EncryptionFormat {
     return CryptoCost(io_bytes) + edge_blocks * SubBlockMergeCost();
   }
 
+  // Modeled CPU time of the compression stage over `bytes`. Compression is
+  // pay-to-try: every written block streams through the compressor (LZ-class
+  // match finding ~2.0 GB/s) whether or not it shrinks; decompression only
+  // runs over blocks actually stored compressed (~3.5 GB/s — copy-dominated,
+  // like the bench_crypto small-size points a short setup constant covers).
+  // Both are 0 when the spec has no codec, so compression-off charges are
+  // bit-identical to pre-compression behavior.
+  sim::SimTime CompressCost(size_t bytes) const;
+  sim::SimTime DecompressCost(size_t bytes) const;
+
+  // Compression-stage totals since construction (all zero when off).
+  const CompressStats& compress_stats() const { return compress_stats_; }
+
   const EncryptionSpec& spec() const { return spec_; }
 
  protected:
   explicit EncryptionFormat(EncryptionSpec spec) : spec_(spec) {}
   EncryptionSpec spec_;
+  CompressStats compress_stats_;
 };
 
 // Builds the format for `spec`. `master_key` must be kMasterKeySize bytes;

@@ -40,6 +40,24 @@ enum class Integrity {
   kHmac,  // HMAC-SHA256 tag over (ciphertext, lba) stored with the IV
 };
 
+// Block codec for the compression-before-encryption stage (§3.1: once
+// encryption stops being length-preserving, per-block metadata can carry a
+// compressed length and short ciphertexts become sparse extents).
+enum class Compression : uint8_t {
+  kNone = 0,  // also the per-block verbatim tag for incompressible blocks
+  kLz = 1,    // in-tree LZ-class codec (util/lz.h)
+};
+
+struct CompressionSpec {
+  Compression codec = Compression::kNone;
+  // Minimum space gain (percent of kBlockSize) a compressed block must
+  // achieve to be stored compressed; below it the block goes verbatim.
+  // Gains below one 512 B allocation unit can never reclaim capacity.
+  uint32_t min_gain_pct = 13;
+
+  bool enabled() const { return codec != Compression::kNone; }
+};
+
 struct EncryptionSpec {
   CipherMode mode = CipherMode::kXtsLba;
   IvLayout layout = IvLayout::kNone;
@@ -47,6 +65,10 @@ struct EncryptionSpec {
   crypto::Backend backend = crypto::Backend::kOpenssl;
   // Deterministic IV stream for reproducible benches (0 = system entropy).
   uint64_t iv_seed = 0;
+  // Compress-before-encrypt stage. Only meaningful on metadata-bearing
+  // random-IV formats (the per-block record is where compressed_len lives);
+  // MakeFormat rejects it elsewhere.
+  CompressionSpec compression{};
 
   // Short human-readable id, e.g. "xts-random/object-end".
   std::string Name() const;

@@ -82,8 +82,9 @@ sim::Task<Status> ObjectStore::Init() {
   if (!kv.ok()) co_return kv.status();
   kv_ = std::move(kv).value();
 
-  alloc_ = std::make_unique<dev::ExtentAllocator>(cap - data_base_,
-                                                  device_->sector_size());
+  alloc_ = std::make_unique<dev::ExtentAllocator>(
+      cap - data_base_, config_.alloc_unit != 0 ? config_.alloc_unit
+                                                : device_->sector_size());
   co_return Status::Ok();
 }
 

@@ -79,6 +79,12 @@ struct StoreConfig {
   // Per-object allocation: object payload + slack for end-of-object
   // metadata regions (IVs/tags) written past the nominal object size.
   uint64_t max_object_size = (4ull << 20) + (1ull << 20);
+  // Granularity of the object-data extent allocator. 0 = the device sector
+  // size (the classic layout). Compression-enabled images set 512 so the
+  // sub-block tail trims of short ciphertexts release real capacity: at
+  // sector (4 KiB) granularity a tail punch inside one block can never
+  // cover a whole allocation unit.
+  uint32_t alloc_unit = 0;
   kv::KvOptions kv;
   CostModel costs;
 };

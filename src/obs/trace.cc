@@ -14,6 +14,8 @@ const char* StageName(Stage s) {
       return "wb";
     case Stage::kCrypto:
       return "crypto";
+    case Stage::kCompress:
+      return "compress";
     case Stage::kStore:
       return "store";
     case Stage::kDevice:

@@ -12,8 +12,8 @@
 // per-span sums double-count overlapping work. The context instead keeps a
 // single time frontier plus per-stage nesting counters; every stage
 // entry/exit first attributes the elapsed interval [frontier, now) to the
-// DEEPEST currently-active stage (device > store > crypto > wb > queue,
-// none active = other). The per-stage durations therefore partition the
+// DEEPEST currently-active stage (device > store > compress > crypto > wb >
+// queue, none active = other). The per-stage durations therefore partition the
 // op's end-to-end latency exactly — sum(stage_ns) == latency, always.
 //
 // Everything here only READS the sim clock (Scheduler::Current().now());
@@ -34,14 +34,17 @@ namespace vde::obs {
 // several stages are active at once. kOther absorbs time outside every
 // instrumented stage (metadata plane, client-side bookkeeping).
 enum class Stage : uint8_t {
-  kQueue = 0,   // qos dispatch wait (submit -> request coroutine start)
-  kWb = 1,      // write-back: hold acquisition + staging-buffer work
-  kCrypto = 2,  // format encrypt/decrypt cost
-  kStore = 3,   // object-store transaction round-trips
-  kDevice = 4,  // device IO inside the store (journal, data, kv)
-  kOther = 5,   // everything unattributed
+  kQueue = 0,     // qos dispatch wait (submit -> request coroutine start)
+  kWb = 1,        // write-back: hold acquisition + staging-buffer work
+  kCrypto = 2,    // format encrypt/decrypt cost
+  kCompress = 3,  // block codec work (compress on write, expand on read);
+                  // deeper than crypto so a compress charge inside a crypto
+                  // bracket attributes to the codec, not the cipher
+  kStore = 4,     // object-store transaction round-trips
+  kDevice = 5,    // device IO inside the store (journal, data, kv)
+  kOther = 6,     // everything unattributed
 };
-inline constexpr size_t kNumStages = 6;
+inline constexpr size_t kNumStages = 7;
 
 const char* StageName(Stage s);
 

@@ -47,6 +47,13 @@ Bytes SerializeMetadata(const ImageOptions& options,
   const Bytes luks_blob = luks.Serialize();
   AppendU32Le(out, static_cast<uint32_t>(luks_blob.size()));
   AppendBytes(out, luks_blob);
+  // Compression spec, appended only when enabled: compression-off headers
+  // stay byte-identical to pre-compression images, and Open treats the
+  // fields as optional, so both directions stay compatible.
+  if (options.enc.compression.enabled()) {
+    AppendU8(out, static_cast<uint8_t>(options.enc.compression.codec));
+    AppendU32Le(out, options.enc.compression.min_gain_pct);
+  }
   // CRC32-C trailer over everything before it. The store pads short reads
   // with zeros, so a genuinely truncated header object would otherwise
   // parse its padding as zeroed metadata; the checksum catches that (and
@@ -212,6 +219,14 @@ ImageStats Image::stats() const {
     s.meta_kv_flush_bytes = kvs.bytes_flushed;
     s.meta_kv_compaction_bytes = kvs.bytes_compacted;
   }
+  if (format_ != nullptr) {
+    const core::CompressStats& c = format_->compress_stats();
+    s.compress_in_bytes = c.in_bytes;
+    s.compress_stored_bytes = c.stored_bytes;
+    s.compress_blocks = c.compressed_blocks;
+    s.compress_verbatim_blocks = c.verbatim_blocks;
+    s.compress_expanded_blocks = c.decompressed_blocks;
+  }
   return s;
 }
 
@@ -261,6 +276,20 @@ sim::Task<Result<std::shared_ptr<Image>>> Image::Create(
   if (!ValidStripeGeometry(normalized)) {
     co_return Status::InvalidArgument(
         "stripe unit must be a block-aligned divisor of the object size");
+  }
+  if (normalized.enc.compression.enabled()) {
+    // The compressed length lives in the per-block metadata record, so the
+    // codec only composes with metadata-bearing random-IV formats.
+    core::EncryptionSpec plain = normalized.enc;
+    plain.compression = {};
+    if (plain.MetaPerBlock() == 0) {
+      co_return Status::InvalidArgument(
+          "compression requires a random-IV format with per-block metadata");
+    }
+    if (normalized.enc.compression.min_gain_pct >= 100) {
+      co_return Status::InvalidArgument(
+          "compression min_gain_pct must be below 100");
+    }
   }
   std::shared_ptr<Image> image(new Image(cluster, name, normalized));
   image->encrypted_ = options.enc.mode != core::CipherMode::kNone;
@@ -362,6 +391,21 @@ sim::Task<Result<std::shared_ptr<Image>>> Image::Open(
   ByteSpan luks_blob;
   if (!in.U32(&luks_len) || !in.Span(luks_len, &luks_blob)) {
     co_return corrupt;
+  }
+  // Optional trailing compression spec (absent on compression-off and
+  // pre-compression headers).
+  uint8_t codec = 0;
+  if (in.U8(&codec)) {
+    if (codec == 0 || codec > static_cast<uint8_t>(core::Compression::kLz) ||
+        !in.U32(&options.enc.compression.min_gain_pct) ||
+        options.enc.compression.min_gain_pct >= 100) {
+      co_return Status::Corruption("bad image header compression spec");
+    }
+    options.enc.compression.codec = static_cast<core::Compression>(codec);
+    if (options.enc.MetaPerBlock() == 0) {
+      co_return Status::Corruption(
+          "bad image header: compression on a metadata-free format");
+    }
   }
 
   // Write-back, QoS, and IV-cache configuration are client-side runtime

@@ -114,7 +114,12 @@ struct ImageOptions {
   X(meta_kv_wal_bytes)                                                    \
   X(meta_kv_wal_commits)                                                  \
   X(meta_kv_flush_bytes)                                                  \
-  X(meta_kv_compaction_bytes)
+  X(meta_kv_compaction_bytes)                                             \
+  X(compress_in_bytes)                                                    \
+  X(compress_stored_bytes)                                                \
+  X(compress_blocks)                                                      \
+  X(compress_verbatim_blocks)                                             \
+  X(compress_expanded_blocks)
 
 struct ImageStats {
   uint64_t writes = 0;
@@ -166,6 +171,14 @@ struct ImageStats {
   uint64_t meta_kv_wal_commits = 0;       // plane WAL commits
   uint64_t meta_kv_flush_bytes = 0;       // plane memtable-flush bytes
   uint64_t meta_kv_compaction_bytes = 0;  // plane compaction bytes
+  // Compression-stage counters, mirrored from the format's CompressStats
+  // (all zero with compression off). stored/in is the achieved physical
+  // ratio; verbatim blocks count toward in/stored at full block size.
+  uint64_t compress_in_bytes = 0;         // plaintext bytes offered
+  uint64_t compress_stored_bytes = 0;     // ciphertext bytes stored
+  uint64_t compress_blocks = 0;           // blocks stored compressed
+  uint64_t compress_verbatim_blocks = 0;  // blocks stored verbatim
+  uint64_t compress_expanded_blocks = 0;  // blocks decompressed on read
 
   // after - before for every monotonic counter; qos_peak_queue carries the
   // `after` high-water mark unchanged.

@@ -364,6 +364,14 @@ sim::Task<Status> ImageRequest::ExecuteReadOp() {
     obs::SpanScope crypto_span(ctx(), obs::Stage::kCrypto);
     co_await sim::Sleep{image_.format_->CryptoCost(read_decrypted_bytes_)};
   }
+  // Expansion of compressed blocks (only those actually stored compressed;
+  // zero with compression off, so the event stream is untouched then).
+  if (read_expanded_blocks_ > 0 &&
+      !sim::Scheduler::Current().core_model_enabled()) {
+    obs::SpanScope compress_span(ctx(), obs::Stage::kCompress);
+    co_await sim::Sleep{image_.format_->DecompressCost(read_expanded_blocks_ *
+                                                       kBlockSize)};
+  }
   co_return Status::Ok();
 }
 
@@ -440,8 +448,15 @@ sim::Task<Status> ImageRequest::ReadChunk(size_t idx) {
       } else if (!got.ok()) {
         co_return got.status();
       } else {
+        // Finish is synchronous, so the decompressed-blocks delta around it
+        // is exactly this cover's expansions (no interleaving).
+        const uint64_t expanded_before =
+            fmt.compress_stats().decompressed_blocks;
         VDE_CO_RETURN_IF_ERROR(plan.Finish(*got, out));
+        const uint64_t expanded =
+            fmt.compress_stats().decompressed_blocks - expanded_before;
         read_decrypted_bytes_ += cover_bytes;
+        read_expanded_blocks_ += expanded;
         // Pipelined decrypt: charge this chunk's covers on the object's
         // core so chunks of different objects decrypt in parallel.
         sim::Scheduler& sched = sim::Scheduler::Current();
@@ -449,6 +464,13 @@ sim::Task<Status> ImageRequest::ReadChunk(size_t idx) {
           obs::SpanScope crypto_span(ctx(), obs::Stage::kCrypto);
           co_await sim::ChargeCpu{sim::ShardOf(chunk.cover.oid),
                                   fmt.CryptoCost(cover_bytes)};
+          crypto_span.End();
+          if (expanded > 0) {
+            obs::SpanScope compress_span(ctx(), obs::Stage::kCompress);
+            co_await sim::ChargeCpu{
+                sim::ShardOf(chunk.cover.oid),
+                fmt.DecompressCost(expanded * kBlockSize)};
+          }
         }
       }
     }
@@ -487,10 +509,12 @@ sim::Task<Status> ImageRequest::ExecuteWriteOp() {
   // the target object's core, so chunks encrypt in parallel.
   if (!sim::Scheduler::Current().core_model_enabled()) {
     uint64_t through_bytes = 0;
+    uint64_t cover_bytes = 0;
     size_t edge_blocks = 0;
     for (const auto& c : chunks_) {
       if (StageEligible(c)) continue;
       through_bytes += c.byte_len;
+      cover_bytes += c.cover.block_count * uint64_t{kBlockSize};
       edge_blocks += PartialEdges(c.byte_off, c.byte_len,
                                   c.cover.block_count);
     }
@@ -498,6 +522,14 @@ sim::Task<Status> ImageRequest::ExecuteWriteOp() {
       obs::SpanScope crypto_span(ctx(), obs::Stage::kCrypto);
       co_await sim::Sleep{
           image_.format_->IoCryptoCost(through_bytes, edge_blocks)};
+    }
+    // Pay-to-try compression: MakeWrite feeds every covering block through
+    // the codec, shrunk or not. Zero cost (and zero events) with no codec.
+    const sim::SimTime compress_cost =
+        image_.format_->CompressCost(cover_bytes);
+    if (compress_cost > 0) {
+      obs::SpanScope compress_span(ctx(), obs::Stage::kCompress);
+      co_await sim::Sleep{compress_cost};
     }
   }
 
@@ -587,6 +619,7 @@ sim::Task<Status> ImageRequest::RmwReadEdges(const Chunk& chunk,
 
   size_t data_off = 0;
   size_t decrypted_blocks = 0;
+  const uint64_t expanded_before = fmt.compress_stats().decompressed_blocks;
   for (size_t i = 0; i < from_store.size(); ++i) {
     const size_t nbytes = plans[i].read_bytes();
     if (data_off + nbytes > fetched.data.size()) {
@@ -607,6 +640,13 @@ sim::Task<Status> ImageRequest::RmwReadEdges(const Chunk& chunk,
     obs::SpanScope crypto_span(ctx(), obs::Stage::kCrypto);
     co_await sim::ChargeCpu{sim::ShardOf(chunk.cover.oid),
                             fmt.CryptoCost(decrypted_blocks * kBlockSize)};
+  }
+  const uint64_t expanded =
+      fmt.compress_stats().decompressed_blocks - expanded_before;
+  if (expanded > 0) {
+    obs::SpanScope compress_span(ctx(), obs::Stage::kCompress);
+    co_await sim::ChargeCpu{sim::ShardOf(chunk.cover.oid),
+                            fmt.DecompressCost(expanded * kBlockSize)};
   }
   co_return Status::Ok();
 }
@@ -663,6 +703,13 @@ sim::Task<Status> ImageRequest::WriteChunk(size_t idx) {
           image_.format_->IoCryptoCost(
               chunk.byte_len, PartialEdges(chunk.byte_off, chunk.byte_len,
                                            chunk.cover.block_count))};
+      crypto_span.End();
+      const sim::SimTime compress_cost = image_.format_->CompressCost(
+          chunk.cover.block_count * size_t{kBlockSize});
+      if (compress_cost > 0) {
+        obs::SpanScope compress_span(ctx(), obs::Stage::kCompress);
+        co_await sim::ChargeCpu{sim::ShardOf(chunk.cover.oid), compress_cost};
+      }
     }
   }
 
@@ -955,6 +1002,13 @@ sim::Task<Status> ImageRequest::DiscardChunk(size_t idx) {
     obs::SpanScope crypto_span(ctx(), obs::Stage::kCrypto);
     co_await sim::ChargeCpu{sim::ShardOf(chunk.cover.oid),
                             fmt.CryptoCost(edge_blocks * kBlockSize)};
+    crypto_span.End();
+    const sim::SimTime compress_cost =
+        fmt.CompressCost(edge_blocks * size_t{kBlockSize});
+    if (compress_cost > 0) {
+      obs::SpanScope compress_span(ctx(), obs::Stage::kCompress);
+      co_await sim::ChargeCpu{sim::ShardOf(chunk.cover.oid), compress_cost};
+    }
   }
   txn.trace = ctx();
   obs::SpanScope store_span(ctx(), obs::Stage::kStore);

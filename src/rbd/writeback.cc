@@ -119,9 +119,14 @@ sim::Task<Status> Writeback::ReadBlock(uint64_t object_no, uint64_t block,
     co_return Status::Ok();
   }
   if (!got.ok()) co_return got.status();
+  const uint64_t expanded_before = fmt.compress_stats().decompressed_blocks;
   VDE_CO_RETURN_IF_ERROR(plan.Finish(*got, out));
   // Decrypt on the object's core (plain Sleep with the core model off).
   co_await sim::ChargeCpu{sim::ShardOf(ext.oid), fmt.CryptoCost(kBlockSize)};
+  if (fmt.compress_stats().decompressed_blocks > expanded_before) {
+    co_await sim::ChargeCpu{sim::ShardOf(ext.oid),
+                            fmt.DecompressCost(kBlockSize)};
+  }
   co_return Status::Ok();
 }
 
@@ -270,6 +275,11 @@ sim::Task<Status> Writeback::WriteOutStage(uint64_t object_no, uint64_t block,
   // Flush-time encrypt charges the object's core (plain Sleep when off).
   co_await sim::ChargeCpu{sim::ShardOf(image_.ObjectName(object_no)),
                           fmt.CryptoCost(kBlockSize)};
+  if (const sim::SimTime compress_cost = fmt.CompressCost(kBlockSize);
+      compress_cost > 0) {
+    co_await sim::ChargeCpu{sim::ShardOf(image_.ObjectName(object_no)),
+                            compress_cost};
+  }
   auto io = image_.cluster_.ioctx();
   Status applied = co_await io.Operate(image_.ObjectName(object_no),
                                        std::move(txn), image_.SnapContext());

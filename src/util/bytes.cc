@@ -81,6 +81,10 @@ uint64_t LoadU64Le(const uint8_t* p) {
   for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
   return v;
 }
+void StoreU16Le(uint8_t* p, uint16_t v) {
+  p[0] = static_cast<uint8_t>(v);
+  p[1] = static_cast<uint8_t>(v >> 8);
+}
 void StoreU32Le(uint8_t* p, uint32_t v) {
   for (int i = 0; i < 4; ++i) p[i] = static_cast<uint8_t>(v >> (8 * i));
 }

@@ -41,6 +41,7 @@ void AppendU64Le(Bytes& out, uint64_t v);
 uint16_t LoadU16Le(const uint8_t* p);
 uint32_t LoadU32Le(const uint8_t* p);
 uint64_t LoadU64Le(const uint8_t* p);
+void StoreU16Le(uint8_t* p, uint16_t v);
 void StoreU32Le(uint8_t* p, uint32_t v);
 void StoreU64Le(uint8_t* p, uint64_t v);
 

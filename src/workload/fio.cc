@@ -31,6 +31,10 @@ Status FioConfig::Validate() const {
   if (rw_mix_pct < -1 || rw_mix_pct > 100) {
     return Status::InvalidArgument("fio: rw_mix_pct must be in -1..100");
   }
+  if (compressibility_pct > 100) {
+    return Status::InvalidArgument(
+        "fio: compressibility_pct must be in 0..100");
+  }
   return Status::Ok();
 }
 
@@ -74,6 +78,19 @@ std::string FioResult::Summary() const {
                   static_cast<unsigned long long>(image.trim_zero_reads),
                   static_cast<unsigned long long>(image.trim_bitmap_updates),
                   static_cast<unsigned long long>(image.trim_state_loads));
+    out += buf;
+  }
+  if (image.compress_in_bytes > 0 || image.compress_expanded_blocks > 0) {
+    std::snprintf(
+        buf, sizeof(buf),
+        " compress[ratio=%.2f blocks=%llu verbatim=%llu expanded=%llu]",
+        image.compress_in_bytes == 0
+            ? 0.0
+            : static_cast<double>(image.compress_stored_bytes) /
+                  static_cast<double>(image.compress_in_bytes),
+        static_cast<unsigned long long>(image.compress_blocks),
+        static_cast<unsigned long long>(image.compress_verbatim_blocks),
+        static_cast<unsigned long long>(image.compress_expanded_blocks));
     out += buf;
   }
   if (discards > 0) {
@@ -160,6 +177,18 @@ std::string FioResult::ToJson() const {
                 Iops());
   out += buf;
   out += "\"latency_ns\":" + latency_ns.ToJson();
+  if (image.compress_in_bytes > 0 || image.compress_expanded_blocks > 0) {
+    std::snprintf(
+        buf, sizeof(buf),
+        ",\"compress\":{\"in_bytes\":%llu,\"stored_bytes\":%llu,"
+        "\"blocks\":%llu,\"verbatim_blocks\":%llu,\"expanded_blocks\":%llu}",
+        static_cast<unsigned long long>(image.compress_in_bytes),
+        static_cast<unsigned long long>(image.compress_stored_bytes),
+        static_cast<unsigned long long>(image.compress_blocks),
+        static_cast<unsigned long long>(image.compress_verbatim_blocks),
+        static_cast<unsigned long long>(image.compress_expanded_blocks));
+    out += buf;
+  }
   if (!core_util.empty()) {
     out += ",\"core_util\":[";
     for (size_t i = 0; i < core_util.size(); ++i) {
@@ -220,8 +249,21 @@ FioRunner::FioRunner(rbd::Image& image, FioConfig config)
 void FioRunner::FillBlock(uint64_t offset, MutByteSpan out) const {
   // Content = xoshiro stream seeded by (workload seed, block number):
   // reproducible without storing a model of the whole image.
-  Rng content(config_.seed * 0x9E3779B97F4A7C15ULL + offset / core::kBlockSize);
-  content.Fill(out);
+  const uint64_t block_no = offset / core::kBlockSize;
+  Rng content(config_.seed * 0x9E3779B97F4A7C15ULL + block_no);
+  if (config_.compressibility_pct == 0) {
+    content.Fill(out);
+    return;
+  }
+  // Mixed fill: the leading compressibility_pct% of the block is a single
+  // repeated byte (an LZ codec reduces it to almost nothing), the tail is
+  // the same random stream as the classic fill — so the achieved stored/
+  // logical ratio tracks (100 - compressibility_pct)% closely.
+  const size_t repeat =
+      out.size() * std::min<uint32_t>(config_.compressibility_pct, 100) / 100;
+  const uint8_t run = static_cast<uint8_t>((config_.seed ^ block_no) | 1);
+  std::fill(out.begin(), out.begin() + static_cast<long>(repeat), run);
+  content.Fill(out.subspan(repeat));
 }
 
 void FioRunner::ExpectedRange(uint64_t offset, MutByteSpan out) const {
@@ -448,10 +490,12 @@ sim::Task<void> FioRunner::Worker(size_t worker_id, FioResult* result,
       }
     } else if (do_write) {
       was_write = true;
-      if (config_.verify) {
-        // Content-true writes keep the verify model consistent.
+      if (config_.verify || config_.compressibility_pct > 0) {
+        // Content-true writes keep the verify model consistent — and carry
+        // the compressibility shape, which the cheap stamped payload below
+        // (pure random) would defeat.
         ExpectedRange(offset, write_buf);
-        MarkWrite(offset, config_.io_size);
+        if (config_.verify) MarkWrite(offset, config_.io_size);
       } else {
         // Vary the payload cheaply per op (keeps real encryption honest
         // without regenerating the whole buffer).

@@ -41,6 +41,13 @@ struct FioConfig {
   uint64_t working_set = 0;      // byte span of the image touched
                                  // (0 = total_ops * io_size, capped to image)
   uint64_t seed = 1;
+  // Percent of each written 4 KiB block filled with a repeating run (the
+  // rest stays seed-random): models guest data compressibility for the
+  // compress-before-encrypt stage. A codec-enabled image stores roughly
+  // (100 - compressibility_pct)% of each block. 0 keeps the classic pure-
+  // random fill byte-identical. Verify mode composes: the content model is
+  // deterministic per (seed, block) either way.
+  uint32_t compressibility_pct = 0;
   bool verify = false;           // reads check content written by Prefill.
                                  // Valid at any queue depth: the image
                                  // applies overlapping IO in submission
