@@ -41,6 +41,14 @@
 // incompressible random fill); --min-gain=PCT overrides the minimum space
 // gain a block must achieve to be stored compressed (implies --compress).
 // The summary grows a compress[...] segment with the achieved ratio.
+// Scale-out cluster: --osds=N (total, spread over --nodes=N nodes),
+// --replication=N, --pg-count=N size the data plane; --kill-osd-at=MS
+// marks OSD 0 down that many milliseconds into the measured run (writes
+// keep committing degraded; pair with --replication>=2 and --verify to
+// check no data is lost), then waits for background recovery to finish
+// and prints its counters. --tenant-qos[=R:W:L] turns on the cluster-side
+// mClock dequeue and tags the image's ops with tenant 1 (reservation R
+// IOPS, weight W, limit L IOPS; bare flag = weight-only defaults).
 // Observability: --obs enables request tracing + the per-stage latency
 // breakdown (the summary grows a stages_us[...] segment); --json=PATH
 // writes the machine-readable result (throughput, percentiles, stage
@@ -93,6 +101,14 @@ struct Args {
   std::string json_path;
   std::string trace_path;
   size_t slow_ops = 0;
+  size_t osds = 0;          // 0 = cluster default (nodes * 9)
+  size_t nodes = 0;         // 0 = cluster default (3)
+  size_t replication = 0;   // 0 = cluster default (3)
+  uint32_t pg_count = 0;    // 0 = cluster default
+  uint64_t kill_osd_at_ms = 0;  // 0 = no failure injection
+  bool tenant_qos = false;
+  rados::TenantSpec tenant{/*id=*/1, /*reservation_iops=*/0, /*weight=*/1.0,
+                           /*limit_iops=*/0};
   core::EncryptionSpec spec;
 
   bool UseQos() const { return qos_iops > 0 || qos_bw > 0 || qos_depth > 0; }
@@ -218,6 +234,32 @@ bool Parse(int argc, char** argv, Args& args) {
     } else if (arg == "--slow-ops" && i + 1 < argc) {
       args.slow_ops = std::stoul(argv[++i]);
       args.obs = true;
+    } else if (const char* v = value("--osds=")) {
+      args.osds = std::stoul(v);
+    } else if (const char* v = value("--nodes=")) {
+      args.nodes = std::stoul(v);
+    } else if (const char* v = value("--replication=")) {
+      args.replication = std::stoul(v);
+    } else if (const char* v = value("--pg-count=")) {
+      args.pg_count = static_cast<uint32_t>(std::stoul(v));
+    } else if (const char* v = value("--kill-osd-at=")) {
+      args.kill_osd_at_ms = std::stoull(v);
+      if (args.kill_osd_at_ms == 0) {
+        std::fprintf(stderr, "--kill-osd-at must be a positive ms offset\n");
+        return false;
+      }
+    } else if (arg == "--tenant-qos") {
+      args.tenant_qos = true;
+    } else if (const char* v = value("--tenant-qos=")) {
+      args.tenant_qos = true;
+      double r = 0, w = 1, l = 0;
+      if (std::sscanf(v, "%lf:%lf:%lf", &r, &w, &l) != 3 || w <= 0) {
+        std::fprintf(stderr, "--tenant-qos wants R:W:L (weight > 0)\n");
+        return false;
+      }
+      args.tenant.reservation_iops = r;
+      args.tenant.weight = w;
+      args.tenant.limit_iops = l;
     } else if (const char* v = value("--ops=")) {
       args.ops = std::stoull(v);
     } else if (const char* v = value("--qd=")) {
@@ -265,8 +307,42 @@ bool Parse(int argc, char** argv, Args& args) {
   return true;
 }
 
+// Failure injection: marks `osd` down `at` ns after spawn (during the
+// measured run); recovery is kicked by MarkOsdDown itself.
+sim::Task<void> KillOsdAfter(rados::Cluster& cluster, sim::SimTime at,
+                             size_t osd) {
+  co_await sim::Sleep{at};
+  std::printf("  [%.1f ms] marking osd.%zu down\n",
+              static_cast<double>(sim::Scheduler::Current().now()) / 1e6,
+              osd);
+  cluster.MarkOsdDown(osd);
+}
+
 sim::Task<void> Run(Args args, bool* ok) {
   rados::ClusterConfig cluster_config;
+  if (args.nodes > 0) cluster_config.nodes = args.nodes;
+  if (args.osds > 0) {
+    if (args.osds % cluster_config.nodes != 0) {
+      std::printf("--osds must be a multiple of --nodes (%zu)\n",
+                  cluster_config.nodes);
+      co_return;
+    }
+    cluster_config.osds_per_node = args.osds / cluster_config.nodes;
+  }
+  if (args.replication > 0) {
+    if (args.replication > cluster_config.nodes) {
+      std::printf("--replication cannot exceed --nodes (%zu)\n",
+                  cluster_config.nodes);
+      co_return;
+    }
+    cluster_config.replication = args.replication;
+  }
+  if (args.pg_count > 0) cluster_config.pg_count = args.pg_count;
+  if (args.kill_osd_at_ms > 0 && cluster_config.replication < 2) {
+    std::printf("--kill-osd-at needs --replication>=2 to survive\n");
+    co_return;
+  }
+  if (args.tenant_qos) cluster_config.qos.enabled = true;
   if (args.compress) {
     // Sub-block tail trims of short ciphertexts only release capacity at a
     // finer allocator granularity than the 4 KiB device sector.
@@ -313,6 +389,7 @@ sim::Task<void> Run(Args args, bool* ok) {
   if (args.slow_ops > 0) {
     options.obs.slow_ops = std::max(options.obs.slow_ops, args.slow_ops);
   }
+  if (args.tenant_qos) options.tenant = args.tenant;
   auto image = co_await rbd::Image::Create(**cluster, "fio", "pw", options);
   if (!image.ok()) co_return;
 
@@ -351,10 +428,19 @@ sim::Task<void> Run(Args args, bool* ok) {
     co_await (*cluster)->Drain();
   }
 
+  if (args.kill_osd_at_ms > 0) {
+    sim::Scheduler::Current().Spawn(KillOsdAfter(
+        **cluster, args.kill_osd_at_ms * sim::kMs, /*osd=*/0));
+  }
   auto result = co_await runner.Run();
   if (!result.ok()) {
     std::printf("run failed: %s\n", result.status().ToString().c_str());
     co_return;
+  }
+  if (args.kill_osd_at_ms > 0) {
+    // Let background recovery settle before reporting: a clean exit means
+    // the degraded object count really returned to zero.
+    co_await (*cluster)->WaitForClean();
   }
   const char* direction = args.rw_mix_pct >= 0
                               ? "rwmix"
@@ -423,6 +509,54 @@ sim::Task<void> Run(Args args, bool* ok) {
                   static_cast<unsigned long long>(is.meta_cold_resets),
                   static_cast<unsigned long long>(is.meta_kv_wal_commits));
     }
+  }
+  const bool cluster_flags = args.osds > 0 || args.nodes > 0 ||
+                             args.replication > 0 || args.pg_count > 0 ||
+                             args.kill_osd_at_ms > 0 || args.tenant_qos;
+  if (cluster_flags) {
+    const rados::ClusterStats& cs = (*cluster)->stats();
+    std::printf("  cluster: osds=%zu nodes=%zu repl=%zu pgs=%u epoch=%llu "
+                "refreshes=%llu redirects=%llu timeouts=%llu "
+                "degraded_writes=%llu\n",
+                (*cluster)->osd_count(), cluster_config.nodes,
+                cluster_config.replication, cluster_config.pg_count,
+                static_cast<unsigned long long>(
+                    (*cluster)->placement().map().epoch()),
+                static_cast<unsigned long long>(cs.map_refreshes),
+                static_cast<unsigned long long>(cs.eagain_redirects),
+                static_cast<unsigned long long>(cs.osd_timeouts),
+                static_cast<unsigned long long>(cs.degraded_writes));
+  }
+  if (args.kill_osd_at_ms > 0) {
+    const rados::RecoveryStats& rs = (*cluster)->recovery().stats();
+    std::printf("  recovery: pushed=%llu bytes=%llu inline_pulls=%llu "
+                "stale=%llu unrecoverable=%llu degraded_now=%zu\n",
+                static_cast<unsigned long long>(rs.objects_pushed),
+                static_cast<unsigned long long>(rs.bytes_pushed),
+                static_cast<unsigned long long>(rs.inline_pulls),
+                static_cast<unsigned long long>(rs.stale_pushes),
+                static_cast<unsigned long long>(rs.objects_unrecoverable),
+                (*cluster)->DegradedObjectCount());
+  }
+  if (args.tenant_qos) {
+    // Sum the image tenant's mClock counters across OSDs.
+    uint64_t admitted = 0, queued = 0, rdisp = 0;
+    double wait_ms = 0;
+    for (size_t i = 0; i < (*cluster)->osd_count(); ++i) {
+      const auto* q = (*cluster)->osd(i).qos();
+      if (q == nullptr) continue;
+      auto it = q->tenant_stats().find(args.tenant.id);
+      if (it == q->tenant_stats().end()) continue;
+      admitted += it->second.admitted;
+      queued += it->second.queued;
+      rdisp += it->second.reservation_dispatches;
+      wait_ms += static_cast<double>(it->second.wait_ns) / 1e6;
+    }
+    std::printf("  mclock: admitted=%llu queued=%llu res_dispatch=%llu "
+                "wait_ms=%.1f\n",
+                static_cast<unsigned long long>(admitted),
+                static_cast<unsigned long long>(queued),
+                static_cast<unsigned long long>(rdisp), wait_ms);
   }
   if (args.verify && !args.is_write) {
     std::printf("  verify: all reads matched\n");
@@ -523,7 +657,10 @@ int main(int argc, char** argv) {
         "               [--compress] [--compressibility=PCT] "
         "[--min-gain=PCT]\n"
         "               [--obs] [--json=PATH] [--trace=PATH] "
-        "[--slow-ops=N]\n");
+        "[--slow-ops=N]\n"
+        "               [--osds=N] [--nodes=N] [--replication=N] "
+        "[--pg-count=N]\n"
+        "               [--kill-osd-at=MS] [--tenant-qos[=R:W:L]]\n");
     return 2;
   }
   sim::Scheduler sched;

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cmath>
+#include <limits>
 #include <memory>
 #include <string>
 
@@ -33,13 +34,28 @@ class Pipe {
       : lanes_(lanes),
         ns_per_byte_(static_cast<double>(lanes) / aggregate_gbps) {}
 
-  // Occupies one lane for the serialization time of `bytes`.
+  // Serialization time of `bytes` on one lane, clamped so an absurd byte
+  // count saturates instead of overflowing the llround/SimTime conversion.
+  sim::SimTime SerializationNs(size_t bytes) const {
+    const double ns = static_cast<double>(bytes) * ns_per_byte_;
+    constexpr double kMaxNs = 9.0e18;  // < SimTime max, exact in double
+    if (!(ns < kMaxNs)) return static_cast<sim::SimTime>(kMaxNs);
+    return static_cast<sim::SimTime>(std::llround(ns));
+  }
+
+  // Occupies one lane for the serialization time of `bytes`. Zero-byte
+  // transfers are free: no lane, no sleep, no accounting. The byte gauge is
+  // charged once at admission (before the lane wait), so a transfer can
+  // never be double-counted however the coroutine is resumed, and the add
+  // saturates instead of wrapping.
   sim::Task<void> Transfer(size_t bytes) {
+    if (bytes == 0) co_return;
+    bytes_ = bytes > std::numeric_limits<uint64_t>::max() - bytes_
+                 ? std::numeric_limits<uint64_t>::max()
+                 : bytes_ + bytes;
     co_await lanes_.Acquire();
     sim::SemGuard guard(lanes_);
-    co_await sim::Sleep{static_cast<sim::SimTime>(
-        std::llround(static_cast<double>(bytes) * ns_per_byte_))};
-    bytes_ += bytes;
+    co_await sim::Sleep{SerializationNs(bytes)};
   }
 
   uint64_t bytes_transferred() const { return bytes_; }
@@ -70,7 +86,10 @@ class Nic {
 // Sends `bytes` from `src` to `dst`. Egress and ingress serialization
 // overlap (cut-through, as on a real switched fabric): the message takes
 // max(egress, ingress) serialization time plus one propagation delay.
+// Zero-byte sends are free — nothing crosses the wire, so they charge
+// neither serialization nor propagation.
 inline sim::Task<void> Send(Nic& src, Nic& dst, size_t bytes) {
+  if (bytes == 0) co_return;
   std::vector<sim::Task<void>> halves;
   halves.push_back(src.egress().Transfer(bytes));
   halves.push_back(dst.ingress().Transfer(bytes));

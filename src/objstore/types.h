@@ -63,6 +63,10 @@ struct Transaction {
   std::string oid;
   std::vector<OsdOp> ops;
 
+  // QoS tenant tag, stamped by IoCtx from its creator; 0 = default tenant.
+  // Consumed by the OSD's mClock dequeue when cluster QoS is enabled.
+  uint64_t tenant = 0;
+
   // Optional request trace (non-owning). Valid only for the duration of the
   // synchronous Operate/OperateRead call that carries this transaction —
   // the caller's frame outlives every replica wave. Detached background

@@ -18,8 +18,12 @@ const char* StageName(Stage s) {
       return "compress";
     case Stage::kStore:
       return "store";
+    case Stage::kReplicate:
+      return "replicate";
     case Stage::kDevice:
       return "device";
+    case Stage::kRecovery:
+      return "recovery";
     case Stage::kOther:
       return "other";
   }

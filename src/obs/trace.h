@@ -12,8 +12,9 @@
 // per-span sums double-count overlapping work. The context instead keeps a
 // single time frontier plus per-stage nesting counters; every stage
 // entry/exit first attributes the elapsed interval [frontier, now) to the
-// DEEPEST currently-active stage (device > store > compress > crypto > wb >
-// queue, none active = other). The per-stage durations therefore partition the
+// DEEPEST currently-active stage (recovery > device > replicate > store >
+// compress > crypto > wb > queue, none active = other). The per-stage
+// durations therefore partition the
 // op's end-to-end latency exactly — sum(stage_ns) == latency, always.
 //
 // Everything here only READS the sim clock (Scheduler::Current().now());
@@ -41,10 +42,18 @@ enum class Stage : uint8_t {
                   // deeper than crypto so a compress charge inside a crypto
                   // bracket attributes to the codec, not the cipher
   kStore = 4,     // object-store transaction round-trips
-  kDevice = 5,    // device IO inside the store (journal, data, kv)
-  kOther = 6,     // everything unattributed
+  kReplicate = 5, // primary-copy fan-out: sub-op network + replica software.
+                  // Sits between store and device so replica/primary device
+                  // IO nested inside the wave still attributes to kDevice,
+                  // while the wire + replica-op time gets its own bucket
+  kDevice = 6,    // device IO inside the store (journal, data, kv)
+  kRecovery = 7,  // degraded-path inline pull: the primary streams a missing
+                  // object from a survivor before serving the op. Deeper
+                  // than device: the whole pull (wire + peer IO) is one
+                  // recovery block in the breakdown
+  kOther = 8,     // everything unattributed
 };
-inline constexpr size_t kNumStages = 7;
+inline constexpr size_t kNumStages = 9;
 
 const char* StageName(Stage s);
 

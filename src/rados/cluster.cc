@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace vde::rados {
 
@@ -13,7 +14,11 @@ Osd::Osd(size_t id, size_t node, const ClusterConfig& config)
       node_(node),
       config_(config),
       device_(std::make_shared<dev::NvmeDevice>(config.nvme)),
-      shards_(config.costs.op_shards) {}
+      shards_(config.costs.op_shards) {
+  if (config.qos.enabled) {
+    qos_ = std::make_unique<MClockQueue>(config.costs.op_shards, config.qos);
+  }
+}
 
 sim::Task<Status> Osd::Start() {
   auto store = co_await objstore::ObjectStore::Open(device_, config_.store);
@@ -22,10 +27,24 @@ sim::Task<Status> Osd::Start() {
   co_return Status::Ok();
 }
 
+sim::Task<void> Osd::AdmitOp(uint64_t tenant, sim::SimTime software_cost) {
+  if (qos_) {
+    co_await qos_->Acquire(tenant);
+    MClockGuard guard(*qos_);
+    co_await sim::Sleep{software_cost};
+  } else {
+    co_await shards_.Acquire();
+    sim::SemGuard guard(shards_);
+    co_await sim::Sleep{software_cost};
+  }
+}
+
 sim::Task<Status> Osd::HandleReplicaWrite(const objstore::Transaction& txn,
                                           const objstore::SnapContext& snapc) {
   // Replication requests run on a dedicated queue (no primary-shard
   // contention; also removes any chance of cross-OSD shard deadlock).
+  // They bypass mClock too — the client op already paid its tenant's dues
+  // at the primary, and Ceph likewise schedules sub-ops ahead of new work.
   co_await sim::Sleep{config_.costs.replica_op +
                       config_.costs.per_extra_op *
                           (txn.ops.empty() ? 0 : txn.ops.size() - 1)};
@@ -34,34 +53,87 @@ sim::Task<Status> Osd::HandleReplicaWrite(const objstore::Transaction& txn,
 
 sim::Task<Status> Osd::HandlePrimaryWrite(Cluster& cluster,
                                           const objstore::Transaction& txn,
-                                          const objstore::SnapContext& snapc,
-                                          const std::vector<size_t>& acting) {
-  // Primary software cost under an op shard.
+                                          const objstore::SnapContext& snapc) {
+  const uint32_t pg = cluster.placement().PgOf(txn.oid);
   {
-    co_await shards_.Acquire();
-    sim::SemGuard guard(shards_);
-    co_await sim::Sleep{config_.costs.write_op +
-                        config_.costs.per_extra_op *
-                            (txn.ops.empty() ? 0 : txn.ops.size() - 1)};
+    // Bounce stale-routed ops before spending a shard: the authoritative
+    // map names the primary; a mismatch means the client's map is old.
+    const std::vector<size_t> routed = cluster.placement().OsdsForPg(pg);
+    if (!cluster.IsOsdUp(id_) || routed.empty() || routed[0] != id_) {
+      co_return Status::Busy("EAGAIN: not primary");
+    }
+  }
+
+  // Primary software cost under an op shard (mClock-ordered when enabled).
+  co_await AdmitOp(txn.tenant,
+                   config_.costs.write_op +
+                       config_.costs.per_extra_op *
+                           (txn.ops.empty() ? 0 : txn.ops.size() - 1));
+
+  PgLog& log = cluster.pg_log(pg);
+  // A primary that is itself missing this object (it took over the PG
+  // mid-backfill) pulls the head from a survivor before overwriting state
+  // it never had — otherwise a sub-object write would resurrect zeros.
+  if (log.IsMissing(id_, txn.oid)) {
+    obs::SpanScope pull_span(txn.trace, obs::Stage::kRecovery);
+    co_await cluster.recovery().RecoverObject(pg, id_, txn.oid,
+                                              /*inline_pull=*/true);
+  }
+
+  // The acting set is re-read after admission: a map change while this op
+  // queued must not resurrect a downed member.
+  const std::vector<size_t> acting = cluster.placement().OsdsForPg(pg);
+  const uint64_t gen = log.NoteWrite(txn.oid);
+
+  // Replica targets: surviving acting members that are not already missing
+  // this object. A member missing it stays missing — the generation bump
+  // above keeps the divergence in the log for recovery to settle.
+  std::vector<size_t> targets;
+  targets.reserve(acting.size());
+  for (size_t r = 1; r < acting.size(); ++r) {
+    if (log.IsMissing(acting[r], txn.oid)) {
+      cluster.stats().skipped_replicas++;
+      continue;
+    }
+    targets.push_back(acting[r]);
+  }
+  // Degraded = committing on fewer copies than the replication factor,
+  // whether the acting set shrank (whole node down) or a member is still
+  // owed the object by recovery.
+  if (1 + targets.size() < cluster.config().replication) {
+    cluster.stats().degraded_writes++;
   }
 
   // Local apply and replica fan-out proceed concurrently; the op commits
-  // when the slowest participant commits (primary-copy replication).
-  std::vector<Status> results(acting.size(), Status::Ok());
+  // when the slowest surviving participant commits (primary-copy
+  // replication).
+  std::vector<Status> results(1 + targets.size(), Status::Ok());
   std::vector<sim::Task<void>> waves;
-  // acting[0] is this OSD.
-  waves.push_back([](Osd* self, const objstore::Transaction* txn,
+  waves.push_back([](Osd* self, Cluster* cluster, uint32_t pg_id,
+                     uint64_t write_gen, const objstore::Transaction* txn,
                      const objstore::SnapContext* snapc,
                      Status* out) -> sim::Task<void> {
     *out = co_await self->store_->Apply(*txn, *snapc);
-  }(this, &txn, &snapc, &results[0]));
+    if (out->ok()) {
+      cluster->pg_log(pg_id).NoteHave(self->id(), txn->oid, write_gen);
+    }
+  }(this, &cluster, pg, gen, &txn, &snapc, &results[0]));
 
   const size_t payload = txn.PayloadBytes();
-  for (size_t r = 1; r < acting.size(); ++r) {
+  for (size_t r = 0; r < targets.size(); ++r) {
     waves.push_back([](Cluster* cluster, Osd* primary, size_t replica_id,
-                       size_t payload, const objstore::Transaction* txn,
+                       uint32_t pg_id, uint64_t write_gen, size_t payload,
+                       const objstore::Transaction* txn,
                        const objstore::SnapContext* snapc,
                        Status* out) -> sim::Task<void> {
+      obs::SpanScope span(txn->trace, obs::Stage::kReplicate);
+      if (!cluster->IsOsdUp(replica_id)) {
+        // Member died between election and fan-out: the write commits on
+        // the survivors; peering already logged the divergence.
+        cluster->stats().skipped_replicas++;
+        *out = Status::Ok();
+        co_return;
+      }
       Osd& replica = cluster->osd(replica_id);
       // Ship the sub-op over the cluster network.
       co_await net::Send(cluster->node_nic(primary->node()),
@@ -72,7 +144,11 @@ sim::Task<Status> Osd::HandlePrimaryWrite(Cluster& cluster,
       co_await net::Send(cluster->node_nic(replica.node()),
                          cluster->node_nic(primary->node()),
                          cluster->config().response_header_bytes);
-    }(&cluster, this, acting[r], payload, &txn, &snapc, &results[r]));
+      if (out->ok()) {
+        cluster->pg_log(pg_id).NoteHave(replica_id, txn->oid, write_gen);
+      }
+    }(&cluster, this, targets[r], pg, gen, payload, &txn, &snapc,
+                     &results[1 + r]));
   }
   co_await sim::WhenAll(std::move(waves));
 
@@ -83,62 +159,113 @@ sim::Task<Status> Osd::HandlePrimaryWrite(Cluster& cluster,
 }
 
 sim::Task<Result<objstore::ReadResult>> Osd::HandleRead(
-    const objstore::Transaction& txn, objstore::SnapId snap) {
+    Cluster& cluster, const objstore::Transaction& txn,
+    objstore::SnapId snap) {
+  const uint32_t pg = cluster.placement().PgOf(txn.oid);
   {
-    co_await shards_.Acquire();
-    sim::SemGuard guard(shards_);
-    co_await sim::Sleep{config_.costs.read_op +
-                        config_.costs.per_extra_op_read *
-                            (txn.ops.empty() ? 0 : txn.ops.size() - 1)};
+    const std::vector<size_t> routed = cluster.placement().OsdsForPg(pg);
+    if (!cluster.IsOsdUp(id_) || routed.empty() || routed[0] != id_) {
+      co_return Status::Busy("EAGAIN: not primary");
+    }
+  }
+  co_await AdmitOp(txn.tenant,
+                   config_.costs.read_op +
+                       config_.costs.per_extra_op_read *
+                           (txn.ops.empty() ? 0 : txn.ops.size() - 1));
+  PgLog& log = cluster.pg_log(pg);
+  if (log.IsMissing(id_, txn.oid)) {
+    obs::SpanScope pull_span(txn.trace, obs::Stage::kRecovery);
+    co_await cluster.recovery().RecoverObject(pg, id_, txn.oid,
+                                              /*inline_pull=*/true);
   }
   co_return co_await store_->ExecuteRead(txn, snap);
 }
 
 // --- IoCtx ---
 
+sim::Task<Result<size_t>> IoCtx::PickPrimary(uint32_t pg, size_t attempt) {
+  const auto& config = cluster_->config();
+  for (; attempt <= config.max_op_retries; ++attempt) {
+    const std::vector<size_t> acting = cluster_->client_map().ActingFor(pg);
+    if (!acting.empty() && cluster_->IsOsdUp(acting[0])) co_return acting[0];
+    // The cached map points at a dead primary (or no primary at all): the
+    // client pays a connect timeout, fetches a fresh map, and retries.
+    cluster_->stats().osd_timeouts++;
+    const uint64_t seen = cluster_->client_map().epoch();
+    co_await sim::Sleep{config.osd_timeout};
+    co_await cluster_->RefreshClientMap(seen);
+  }
+  co_return Status::IoError("no reachable primary for pg");
+}
+
 sim::Task<Status> IoCtx::Operate(const std::string& oid,
                                  objstore::Transaction txn,
                                  const objstore::SnapContext& snapc) {
   txn.oid = oid;
+  txn.tenant = tenant_;
   const auto& config = cluster_->config();
   co_await sim::Sleep{config.client_op_cost};
-  const auto acting = cluster_->placement().OsdsFor(oid);
-  Osd& primary = cluster_->osd(acting[0]);
+  const uint32_t pg = cluster_->client_map().PgOf(oid);
 
-  // Client -> primary: headers + payload.
-  co_await net::Send(cluster_->client_nic(),
-                     cluster_->node_nic(primary.node()),
-                     config.request_header_bytes + txn.PayloadBytes());
-  Status result =
-      co_await primary.HandlePrimaryWrite(*cluster_, txn, snapc, acting);
-  // Primary -> client: ack.
-  co_await net::Send(cluster_->node_nic(primary.node()),
-                     cluster_->client_nic(), config.response_header_bytes);
-  co_return result;
+  for (size_t attempt = 0;; ++attempt) {
+    auto primary_id = co_await PickPrimary(pg, attempt);
+    if (!primary_id.ok()) co_return primary_id.status();
+    Osd& primary = cluster_->osd(*primary_id);
+    const uint64_t seen = cluster_->client_map().epoch();
+
+    // Client -> primary: headers + payload.
+    co_await net::Send(cluster_->client_nic(),
+                       cluster_->node_nic(primary.node()),
+                       config.request_header_bytes + txn.PayloadBytes());
+    Status result = co_await primary.HandlePrimaryWrite(*cluster_, txn, snapc);
+    // Primary -> client: ack (or the EAGAIN bounce).
+    co_await net::Send(cluster_->node_nic(primary.node()),
+                       cluster_->client_nic(), config.response_header_bytes);
+    if (result.code() == StatusCode::kBusy &&
+        attempt < config.max_op_retries) {
+      cluster_->stats().eagain_redirects++;
+      co_await cluster_->RefreshClientMap(seen);
+      continue;
+    }
+    co_return result;
+  }
 }
 
 sim::Task<Result<objstore::ReadResult>> IoCtx::OperateRead(
     const std::string& oid, objstore::Transaction txn, objstore::SnapId snap) {
   txn.oid = oid;
+  txn.tenant = tenant_;
   const auto& config = cluster_->config();
   co_await sim::Sleep{config.client_op_cost};
-  const auto acting = cluster_->placement().OsdsFor(oid);
-  Osd& primary = cluster_->osd(acting[0]);
+  const uint32_t pg = cluster_->client_map().PgOf(oid);
 
-  co_await net::Send(cluster_->client_nic(),
-                     cluster_->node_nic(primary.node()),
-                     config.request_header_bytes);
-  auto result = co_await primary.HandleRead(txn, snap);
-  size_t payload = config.response_header_bytes;
-  if (result.ok()) {
-    payload += result->data.size();
-    for (const auto& [k, v] : result->omap_values) {
-      payload += k.size() + v.size();
+  for (size_t attempt = 0;; ++attempt) {
+    auto primary_id = co_await PickPrimary(pg, attempt);
+    if (!primary_id.ok()) co_return primary_id.status();
+    Osd& primary = cluster_->osd(*primary_id);
+    const uint64_t seen = cluster_->client_map().epoch();
+
+    co_await net::Send(cluster_->client_nic(),
+                       cluster_->node_nic(primary.node()),
+                       config.request_header_bytes);
+    auto result = co_await primary.HandleRead(*cluster_, txn, snap);
+    size_t payload = config.response_header_bytes;
+    if (result.ok()) {
+      payload += result->data.size();
+      for (const auto& [k, v] : result->omap_values) {
+        payload += k.size() + v.size();
+      }
     }
+    co_await net::Send(cluster_->node_nic(primary.node()),
+                       cluster_->client_nic(), payload);
+    if (!result.ok() && result.status().code() == StatusCode::kBusy &&
+        attempt < config.max_op_retries) {
+      cluster_->stats().eagain_redirects++;
+      co_await cluster_->RefreshClientMap(seen);
+      continue;
+    }
+    co_return result;
   }
-  co_await net::Send(cluster_->node_nic(primary.node()),
-                     cluster_->client_nic(), payload);
-  co_return result;
 }
 
 sim::Task<Status> IoCtx::WriteFull(const std::string& oid, Bytes data) {
@@ -168,8 +295,10 @@ sim::Task<Result<Bytes>> IoCtx::Read(const std::string& oid, uint64_t off,
 Cluster::Cluster(ClusterConfig config)
     : config_(config),
       placement_(PlacementConfig{config.pg_count, config.nodes,
-                                 config.osds_per_node, config.replication}) {
+                                 config.osds_per_node, config.replication}),
+      client_map_(placement_.map()) {
   client_nic_ = std::make_unique<net::Nic>(config_.client_nic);
+  mon_nic_ = std::make_unique<net::Nic>(config_.mon_nic);
   for (size_t n = 0; n < config_.nodes; ++n) {
     node_nics_.push_back(std::make_unique<net::Nic>(config_.node_nic));
   }
@@ -179,6 +308,8 @@ Cluster::Cluster(ClusterConfig config)
           std::make_unique<Osd>(n * config_.osds_per_node + i, n, config_));
     }
   }
+  pg_logs_.resize(config_.pg_count);
+  recovery_ = std::make_unique<RecoveryManager>(*this, config_.recovery);
 }
 
 sim::Task<Result<std::unique_ptr<Cluster>>> Cluster::Create(
@@ -191,10 +322,72 @@ sim::Task<Result<std::unique_ptr<Cluster>>> Cluster::Create(
   co_return cluster;
 }
 
+void Cluster::PeerAll() {
+  for (uint32_t pg = 0; pg < config_.pg_count; ++pg) {
+    pg_logs_[pg].Peer(placement_.map().ActingFor(pg));
+  }
+}
+
+void Cluster::MarkOsdDown(size_t id) {
+  placement_.map().MarkDown(id);
+  PeerAll();
+  recovery_->Kick();
+}
+
+void Cluster::MarkOsdUp(size_t id) {
+  placement_.map().MarkUp(id);
+  PeerAll();
+  recovery_->Kick();
+}
+
+void Cluster::SetOsdWeight(size_t id, double weight) {
+  placement_.map().SetWeight(id, weight);
+  PeerAll();
+  recovery_->Kick();
+}
+
+sim::Task<void> Cluster::RefreshClientMap(uint64_t seen_epoch) {
+  if (client_map_.epoch() > seen_epoch) co_return;  // already refreshed
+  if (refresh_inflight_) {
+    // Piggyback on the round-trip already in flight.
+    auto gate = refresh_gate_;
+    co_await gate->Wait();
+    co_return;
+  }
+  refresh_inflight_ = true;
+  refresh_gate_ = std::make_shared<sim::Gate>();
+  auto gate = refresh_gate_;
+  co_await net::Send(*client_nic_, *mon_nic_, config_.request_header_bytes);
+  co_await net::Send(*mon_nic_, *client_nic_,
+                     config_.map_bytes_base + 16 * osds_.size());
+  client_map_ = placement_.map();
+  stats_.map_refreshes++;
+  refresh_inflight_ = false;
+  gate->Fire();
+}
+
+size_t Cluster::DegradedObjectCount() const {
+  size_t n = 0;
+  for (const PgLog& log : pg_logs_) n += log.MissingCount();
+  return n;
+}
+
+sim::Task<void> Cluster::WaitForClean() {
+  recovery_->Kick();
+  co_await recovery_->WaitForClean();
+}
+
+void Cluster::SetTenantSpec(const TenantSpec& spec) {
+  for (auto& osd : osds_) {
+    if (osd->qos() != nullptr) osd->qos()->SetSpec(spec);
+  }
+}
+
 sim::Task<void> Cluster::Drain() {
   for (auto& osd : osds_) {
     co_await osd->store().Drain();
   }
+  co_await WaitForClean();
 }
 
 objstore::StoreStats Cluster::TotalStoreStats() const {
@@ -242,9 +435,9 @@ dev::DeviceStats Cluster::TotalDeviceStats() const {
   return total;
 }
 
-void Cluster::ExportMetrics(obs::Metrics& node) const {
-  obs::Metrics& store = node.Child("store");
-  const objstore::StoreStats ss = TotalStoreStats();
+namespace {
+
+void ExportStoreStats(obs::Metrics& store, const objstore::StoreStats& ss) {
   store.Counter("transactions", ss.transactions);
   store.Counter("journal_bytes", ss.journal_bytes);
   store.Counter("rmw_sectors", ss.rmw_sectors);
@@ -255,6 +448,26 @@ void Cluster::ExportMetrics(obs::Metrics& node) const {
   store.Counter("bytes_trimmed", ss.bytes_trimmed);
   store.Counter("bytes_restored", ss.bytes_restored);
   store.Counter("trimmed_reads", ss.trimmed_reads);
+}
+
+void ExportDeviceStats(obs::Metrics& device, const dev::DeviceStats& ds) {
+  device.Counter("read_ops", ds.read_ops);
+  device.Counter("write_ops", ds.write_ops);
+  device.Counter("sectors_read", ds.sectors_read);
+  device.Counter("sectors_written", ds.sectors_written);
+  device.Counter("bytes_read", ds.bytes_read);
+  device.Counter("bytes_written", ds.bytes_written);
+}
+
+void ExportNicGauges(obs::Metrics& m, net::Nic& nic) {
+  m.Counter("egress_bytes", nic.egress().bytes_transferred());
+  m.Counter("ingress_bytes", nic.ingress().bytes_transferred());
+}
+
+}  // namespace
+
+void Cluster::ExportMetrics(obs::Metrics& node) const {
+  ExportStoreStats(node.Child("store"), TotalStoreStats());
   obs::Metrics& space = node.Child("space");
   const objstore::StoreSpace sp = TotalStoreSpace();
   space.Gauge("total_bytes", static_cast<double>(sp.total_bytes));
@@ -262,14 +475,56 @@ void Cluster::ExportMetrics(obs::Metrics& node) const {
   space.Gauge("punched_bytes", static_cast<double>(sp.punched_bytes));
   space.Gauge("fragments", static_cast<double>(sp.fragments));
   space.Gauge("punched_fragments", static_cast<double>(sp.punched_fragments));
-  obs::Metrics& device = node.Child("device");
-  const dev::DeviceStats ds = TotalDeviceStats();
-  device.Counter("read_ops", ds.read_ops);
-  device.Counter("write_ops", ds.write_ops);
-  device.Counter("sectors_read", ds.sectors_read);
-  device.Counter("sectors_written", ds.sectors_written);
-  device.Counter("bytes_read", ds.bytes_read);
-  device.Counter("bytes_written", ds.bytes_written);
+  ExportDeviceStats(node.Child("device"), TotalDeviceStats());
+
+  // Per-OSD children: the PR 8 follow-on. `net` is the node NIC serving
+  // the OSD (OSDs on one node share it).
+  obs::Metrics& per_osd = node.Child("osd");
+  for (const auto& osd : osds_) {
+    obs::Metrics& m = per_osd.Child(std::to_string(osd->id()));
+    m.Gauge("up", IsOsdUp(osd->id()) ? 1 : 0);
+    m.Gauge("weight", placement_.map().Weight(osd->id()));
+    ExportStoreStats(m.Child("store"), osd->store().stats());
+    ExportDeviceStats(m.Child("device"), osd->device().stats());
+    ExportNicGauges(m.Child("net"), *node_nics_[osd->node()]);
+    if (osd->qos() != nullptr) {
+      obs::Metrics& q = m.Child("qos");
+      q.Gauge("free_slots", static_cast<double>(osd->qos()->free_slots()));
+      for (const auto& [tenant, st] : osd->qos()->tenant_stats()) {
+        obs::Metrics& tm = q.Child("tenant_" + std::to_string(tenant));
+        tm.Counter("admitted", st.admitted);
+        tm.Counter("queued", st.queued);
+        tm.Counter("reservation_dispatches", st.reservation_dispatches);
+        tm.Counter("wait_ns", static_cast<uint64_t>(st.wait_ns));
+      }
+    }
+  }
+
+  obs::Metrics& nets = node.Child("net");
+  ExportNicGauges(nets.Child("client"), *client_nic_);
+  ExportNicGauges(nets.Child("mon"), *mon_nic_);
+  for (size_t n = 0; n < node_nics_.size(); ++n) {
+    ExportNicGauges(nets.Child("node_" + std::to_string(n)), *node_nics_[n]);
+  }
+
+  obs::Metrics& mon = node.Child("mon");
+  mon.Gauge("epoch", static_cast<double>(placement_.map().epoch()));
+  mon.Gauge("client_epoch", static_cast<double>(client_map_.epoch()));
+  mon.Gauge("osds_up", static_cast<double>(placement_.map().UpCount()));
+  mon.Counter("map_refreshes", stats_.map_refreshes);
+  mon.Counter("eagain_redirects", stats_.eagain_redirects);
+  mon.Counter("osd_timeouts", stats_.osd_timeouts);
+  mon.Counter("degraded_writes", stats_.degraded_writes);
+  mon.Counter("skipped_replicas", stats_.skipped_replicas);
+
+  obs::Metrics& rec = node.Child("recovery");
+  const RecoveryStats& rs = recovery_->stats();
+  rec.Gauge("degraded_objects", static_cast<double>(DegradedObjectCount()));
+  rec.Counter("objects_pushed", rs.objects_pushed);
+  rec.Counter("bytes_pushed", rs.bytes_pushed);
+  rec.Counter("inline_pulls", rs.inline_pulls);
+  rec.Counter("stale_pushes", rs.stale_pushes);
+  rec.Counter("objects_unrecoverable", rs.objects_unrecoverable);
 }
 
 }  // namespace vde::rados

@@ -1,10 +1,25 @@
-// RADOS-like cluster: nodes with NICs and OSDs, a monitor (placement +
-// snapshot-id allocation), and a client IoCtx issuing replicated,
+// RADOS-like cluster: nodes with NICs and OSDs, a monitor (versioned OSD
+// map + snapshot-id allocation), and a client IoCtx issuing replicated,
 // transactional object operations over the simulated network.
 //
 // Topology and defaults mirror the paper's testbed (§3.2): 3 nodes x 9 NVMe
 // OSDs, 3-way replication, 4 MiB objects; bandwidths calibrated in
 // bench/cluster_fixture.h.
+//
+// Scale-out semantics (placement v2):
+//   - The monitor owns the authoritative OsdMap; the client caches a copy.
+//     An op that reaches an OSD that is not (or no longer) the PG's primary
+//     bounces with EAGAIN (kBusy); the client refreshes its map from the
+//     monitor over the NIC and retries. An op aimed at a dead primary pays
+//     a connect timeout first.
+//   - MarkOsdDown degrades the affected PGs: writes keep committing on the
+//     surviving replicas, with the divergent objects tracked in per-PG
+//     logs. RecoveryManager streams them back in the background; a primary
+//     that is itself missing an object pulls it inline before serving.
+//   - With qos.enabled, each OSD runs an mClock dequeue (osd_qos.h) in
+//     front of its op shards, keyed by the op's tenant tag.
+// All three features are pay-to-use: on a healthy cluster with qos off the
+// event sequence is bit-identical to the pre-v2 data plane.
 #pragma once
 
 #include <memory>
@@ -14,7 +29,10 @@
 #include "device/nvme.h"
 #include "net/link.h"
 #include "objstore/object_store.h"
+#include "rados/osd_qos.h"
+#include "rados/pg_log.h"
 #include "rados/placement.h"
+#include "rados/recovery.h"
 #include "sim/sync.h"
 
 namespace vde::obs {
@@ -43,12 +61,32 @@ struct ClusterConfig {
                             /*propagation=*/20 * sim::kUs, /*streams=*/12};
   net::NicConfig node_nic{/*gbytes_per_sec=*/1.6,
                           /*propagation=*/20 * sim::kUs, /*streams=*/12};
+  net::NicConfig mon_nic{/*gbytes_per_sec=*/1.6,
+                         /*propagation=*/20 * sim::kUs, /*streams=*/12};
   dev::NvmeConfig nvme{};
   objstore::StoreConfig store{};
   OsdCostModel costs{};
   sim::SimTime client_op_cost = 10 * sim::kUs;
   size_t request_header_bytes = 256;
   size_t response_header_bytes = 128;
+  // Cost a client pays discovering a dead primary in a stale map (connect
+  // timeout) before refreshing and retrying.
+  sim::SimTime osd_timeout = 2 * sim::kMs;
+  // Monitor map payload: base + 16 bytes per OSD.
+  size_t map_bytes_base = 128;
+  size_t max_op_retries = 8;
+  RecoveryConfig recovery{};
+  OsdQosConfig qos{};
+};
+
+// Client-visible counters for the map/retry protocol and degraded writes.
+struct ClusterStats {
+  uint64_t map_refreshes = 0;     // monitor round-trips for a fresh map
+  uint64_t eagain_redirects = 0;  // ops bounced by a non-primary OSD
+  uint64_t osd_timeouts = 0;      // ops that waited out a dead primary
+  uint64_t degraded_writes = 0;   // writes committed below full width
+  uint64_t skipped_replicas = 0;  // replica sub-ops skipped (member missing
+                                  // the object or down mid-wave)
 };
 
 class Cluster;
@@ -63,36 +101,50 @@ class Osd {
   size_t id() const { return id_; }
   size_t node() const { return node_; }
   dev::NvmeDevice& device() { return *device_; }
+  const dev::NvmeDevice& device() const { return *device_; }
   objstore::ObjectStore& store() { return *store_; }
+  const objstore::ObjectStore& store() const { return *store_; }
+  // Null when qos is disabled (the plain shard semaphore is in charge).
+  const MClockQueue* qos() const { return qos_.get(); }
+  MClockQueue* qos() { return qos_.get(); }
 
-  // Primary write: local apply + fan-out replication, ack when all commit.
+  // Primary write: local apply + fan-out replication, ack when all
+  // surviving acting members commit. Bounces with kBusy when this OSD is
+  // not the PG's primary in the authoritative map (stale client).
   sim::Task<Status> HandlePrimaryWrite(Cluster& cluster,
                                        const objstore::Transaction& txn,
-                                       const objstore::SnapContext& snapc,
-                                       const std::vector<size_t>& acting);
+                                       const objstore::SnapContext& snapc);
 
   // Replica-side apply (already on the replica's node).
   sim::Task<Status> HandleReplicaWrite(const objstore::Transaction& txn,
                                        const objstore::SnapContext& snapc);
 
   sim::Task<Result<objstore::ReadResult>> HandleRead(
-      const objstore::Transaction& txn, objstore::SnapId snap);
+      Cluster& cluster, const objstore::Transaction& txn,
+      objstore::SnapId snap);
 
  private:
+  // Op-shard admission: mClock when enabled, plain FIFO semaphore when not.
+  sim::Task<void> AdmitOp(uint64_t tenant, sim::SimTime software_cost);
+
   size_t id_;
   size_t node_;
   const ClusterConfig& config_;
   std::shared_ptr<dev::NvmeDevice> device_;
   std::shared_ptr<objstore::ObjectStore> store_;
   sim::Semaphore shards_;
+  std::unique_ptr<MClockQueue> qos_;
 };
 
 // Client handle: placement-aware replicated object IO (libRADOS IoCtx).
+// Ops issued through it carry `tenant` for cluster-side mClock QoS.
 class IoCtx {
  public:
-  explicit IoCtx(Cluster& cluster) : cluster_(&cluster) {}
+  explicit IoCtx(Cluster& cluster, uint64_t tenant = 0)
+      : cluster_(&cluster), tenant_(tenant) {}
 
-  // Replicated write transaction; completes when every replica committed.
+  // Replicated write transaction; completes when every surviving acting
+  // member committed.
   sim::Task<Status> Operate(const std::string& oid,
                             objstore::Transaction txn,
                             const objstore::SnapContext& snapc);
@@ -109,7 +161,13 @@ class IoCtx {
                                 objstore::SnapId snap = objstore::kHeadSnap);
 
  private:
+  // Primary election per the client's cached map. Returns the primary's id
+  // or, after paying the connect timeout for a dead primary in a stale map
+  // and refreshing, asks the caller to retry (returns false).
+  sim::Task<Result<size_t>> PickPrimary(uint32_t pg, size_t attempt);
+
   Cluster* cluster_;
+  uint64_t tenant_ = 0;
 };
 
 class Cluster {
@@ -119,17 +177,51 @@ class Cluster {
 
   const ClusterConfig& config() const { return config_; }
   net::Nic& client_nic() { return *client_nic_; }
+  net::Nic& mon_nic() { return *mon_nic_; }
   net::Nic& node_nic(size_t node) { return *node_nics_[node]; }
   Osd& osd(size_t id) { return *osds_[id]; }
   size_t osd_count() const { return osds_.size(); }
   const Placement& placement() const { return placement_; }
 
-  IoCtx ioctx() { return IoCtx(*this); }
+  IoCtx ioctx(uint64_t tenant = 0) { return IoCtx(*this, tenant); }
 
   // Monitor role: snapshot-id allocation (self-managed snaps).
   uint64_t AllocateSnapId() { return next_snap_id_++; }
 
-  // Waits for all background work on every OSD (test determinism).
+  // --- Failure / recovery (monitor + OSD map) ---
+
+  // Marks an OSD down: bumps the map epoch, re-peers the affected PGs
+  // (divergence shows up in their logs), and kicks background recovery
+  // toward the new acting sets. Callers must co_await WaitForClean() (or
+  // Drain()) before destroying the cluster.
+  void MarkOsdDown(size_t id);
+  void MarkOsdUp(size_t id);
+  void SetOsdWeight(size_t id, double weight);
+  bool IsOsdUp(size_t id) const { return placement_.map().IsUp(id); }
+
+  // The client's cached map (refreshed from the monitor on EAGAIN).
+  const OsdMap& client_map() const { return client_map_; }
+  // Monitor round-trip for a fresh map; concurrent callers share one
+  // in-flight refresh. No-op when the cache already moved past seen_epoch.
+  sim::Task<void> RefreshClientMap(uint64_t seen_epoch);
+
+  PgLog& pg_log(uint32_t pg) { return pg_logs_[pg]; }
+  const PgLog& pg_log(uint32_t pg) const { return pg_logs_[pg]; }
+  // Objects still owed to some acting member, summed over all PGs.
+  size_t DegradedObjectCount() const;
+
+  RecoveryManager& recovery() { return *recovery_; }
+  // Resolves when no PG is degraded and recovery workers have parked.
+  sim::Task<void> WaitForClean();
+
+  // Registers/updates a tenant's mClock spec on every OSD.
+  void SetTenantSpec(const TenantSpec& spec);
+
+  ClusterStats& stats() { return stats_; }
+  const ClusterStats& stats() const { return stats_; }
+
+  // Waits for all background work on every OSD (test determinism), then
+  // for recovery to go clean.
   sim::Task<void> Drain();
 
   // Aggregate device stats across all OSDs (Manager role).
@@ -140,17 +232,32 @@ class Cluster {
   objstore::StoreStats TotalStoreStats() const;
   objstore::StoreSpace TotalStoreSpace() const;
 
-  // Exports the aggregate store/space/device totals into the registry.
+  // Exports the aggregate store/space/device totals plus per-OSD children
+  // (cluster.osd.<id>.{store,device,net,qos}), NIC byte gauges, the map /
+  // retry counters, and recovery progress into the registry.
   void ExportMetrics(obs::Metrics& node) const;
 
  private:
+  friend class Osd;
+  friend class IoCtx;
+
   explicit Cluster(ClusterConfig config);
 
+  // Recomputes every PG's missing set against the current acting sets.
+  void PeerAll();
+
   ClusterConfig config_;
-  Placement placement_;
+  Placement placement_;   // authoritative (monitor) map
+  OsdMap client_map_;     // client's cached copy
   std::unique_ptr<net::Nic> client_nic_;
+  std::unique_ptr<net::Nic> mon_nic_;
   std::vector<std::unique_ptr<net::Nic>> node_nics_;
   std::vector<std::unique_ptr<Osd>> osds_;
+  std::vector<PgLog> pg_logs_;
+  std::unique_ptr<RecoveryManager> recovery_;
+  ClusterStats stats_;
+  bool refresh_inflight_ = false;
+  std::shared_ptr<sim::Gate> refresh_gate_;
   uint64_t next_snap_id_ = 1;
 };
 

@@ -1,0 +1,146 @@
+// Cluster-side mClock QoS: a tenant-tagged dequeue in front of each OSD's
+// op shards.
+//
+// The client-side qos::Scheduler (PR 3) polices a tenant at its own
+// dispatch point — a rogue client that bypasses it (or several hosts
+// sharing one cluster) is invisible to it. mClock (Gulati et al., OSDI'10)
+// is the standard answer on the server side, and what Ceph ships: every op
+// carries a tenant tag, and each OSD orders admission into its op shards by
+// per-tenant reservation (minimum IOPS), weight (proportional share of the
+// surplus), and limit (IOPS cap) tags.
+//
+// Tag assignment at arrival (t = sim seconds, per tenant i):
+//   R^k = max(R^{k-1} + 1/r_i, t)   reservation clock  (r_i = 0 -> never)
+//   L^k = max(L^{k-1} + 1/l_i, t)   limit clock        (l_i = 0 -> always)
+//   P^k = max(P^{k-1} + 1/w_i, t)   proportional clock
+// Dispatch prefers the smallest eligible R tag (reservation phase); when no
+// reservation is due, the smallest P tag among tenants whose L tag has
+// passed (weight phase). A weight-phase dispatch credits the tenant's
+// pending R tags by 1/r so reservation clocks track only reservation-phase
+// service. When every queued head is reservation- and limit-blocked, a
+// timer wakes the queue at the earliest tag.
+//
+// Determinism and the disabled path: ties break toward the lowest tenant
+// id; a single default tenant (r=0, l=0) degrades to exact FIFO with the
+// same suspend/resume pattern as sim::Semaphore, and a disabled queue is
+// never constructed — the OSD falls back to its plain shard semaphore, so
+// qos off is bit-identical on the sim clock.
+#pragma once
+
+#include <cmath>
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "sim/scheduler.h"
+#include "sim/task.h"
+
+namespace vde::rados {
+
+// One tenant's mClock parameters. id 0 is the default/untagged tenant.
+struct TenantSpec {
+  uint64_t id = 0;
+  double reservation_iops = 0;  // guaranteed minimum; 0 = none
+  double weight = 1.0;          // share of surplus capacity
+  double limit_iops = 0;        // hard cap; 0 = uncapped
+};
+
+struct OsdQosConfig {
+  bool enabled = false;
+  // Specs applied at cluster creation; tenants not listed get defaults
+  // (no reservation, weight 1, no limit). SetSpec can add/adjust later.
+  std::vector<TenantSpec> tenants;
+};
+
+class MClockQueue {
+ public:
+  struct TenantStats {
+    uint64_t admitted = 0;                 // ops that got a shard
+    uint64_t queued = 0;                   // ops that had to wait
+    uint64_t reservation_dispatches = 0;   // admitted via the R phase
+    sim::SimTime wait_ns = 0;              // total queue wait
+  };
+
+  MClockQueue(size_t shards, const OsdQosConfig& config);
+  ~MClockQueue();
+  MClockQueue(const MClockQueue&) = delete;
+  MClockQueue& operator=(const MClockQueue&) = delete;
+
+  void SetSpec(const TenantSpec& spec);
+
+  struct [[nodiscard]] Awaiter {
+    MClockQueue& q;
+    uint64_t tenant;
+    bool await_ready() { return q.TryAdmit(tenant); }
+    void await_suspend(std::coroutine_handle<> h) { q.Enqueue(tenant, h); }
+    void await_resume() {}
+  };
+
+  // co_await Acquire(tenant) holds one shard slot; Release() frees it.
+  Awaiter Acquire(uint64_t tenant) { return Awaiter{*this, tenant}; }
+  void Release();
+
+  size_t free_slots() const { return free_; }
+  const std::map<uint64_t, TenantStats>& tenant_stats() const {
+    return stats_;
+  }
+
+ private:
+  struct Waiter {
+    std::coroutine_handle<> handle;
+    double rtag = 0;
+    double ltag = 0;
+    double ptag = 0;
+    sim::SimTime enqueued = 0;
+  };
+  struct Tenant {
+    TenantSpec spec;
+    double r_prev = 0, l_prev = 0, p_prev = 0;
+    double r_credit = 0;  // weight-phase service credited to the R clock
+    std::deque<Waiter> queue;
+  };
+
+  static double NowSec() {
+    return static_cast<double>(sim::Scheduler::Current().now()) * 1e-9;
+  }
+  Tenant& GetTenant(uint64_t id);
+  // Assigns arrival tags for one op of `tenant` at time t.
+  Waiter Tag(Tenant& tenant, double t);
+  // Fast path: admit immediately iff a slot is free, nothing is queued, and
+  // the tenant's limit clock has passed (no suspension, no events).
+  bool TryAdmit(uint64_t tenant);
+  void Enqueue(uint64_t tenant, std::coroutine_handle<> h);
+  // Dispatches queued ops into free slots per the two-phase mClock rule;
+  // arms the wakeup timer when everything runnable is tag-blocked.
+  void Pump();
+  void ArmTimer(double at_sec);
+  static sim::Task<void> TimerFire(MClockQueue* q, std::shared_ptr<bool> alive,
+                                   uint64_t seq, sim::SimTime at);
+
+  size_t free_;
+  std::map<uint64_t, Tenant> tenants_;
+  std::map<uint64_t, TenantStats> stats_;
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+  uint64_t timer_seq_ = 0;
+  bool timer_armed_ = false;
+  sim::SimTime timer_at_ = 0;
+};
+
+// RAII slot holder (the MClockQueue analog of sim::SemGuard).
+class MClockGuard {
+ public:
+  explicit MClockGuard(MClockQueue& q) : q_(&q) {}
+  MClockGuard(const MClockGuard&) = delete;
+  MClockGuard& operator=(const MClockGuard&) = delete;
+  ~MClockGuard() {
+    if (q_) q_->Release();
+  }
+
+ private:
+  MClockQueue* q_;
+};
+
+}  // namespace vde::rados

@@ -1,0 +1,59 @@
+#include "rados/pg_log.h"
+
+namespace vde::rados {
+
+void PgLog::NoteHave(size_t osd, const std::string& oid, uint64_t g) {
+  uint64_t& applied = have_[osd][oid];
+  if (g > applied) applied = g;
+  if (applied >= gen(oid)) {
+    auto it = missing_.find(osd);
+    if (it != missing_.end()) {
+      it->second.erase(oid);
+      if (it->second.empty()) missing_.erase(it);
+    }
+  }
+}
+
+bool PgLog::Has(size_t osd, const std::string& oid) const {
+  auto it = have_.find(osd);
+  if (it == have_.end()) return false;
+  auto jt = it->second.find(oid);
+  return jt != it->second.end() && jt->second >= gen(oid);
+}
+
+bool PgLog::IsMissing(size_t osd, const std::string& oid) const {
+  auto it = missing_.find(osd);
+  return it != missing_.end() && it->second.count(oid) > 0;
+}
+
+void PgLog::Peer(const std::vector<size_t>& acting) {
+  missing_.clear();
+  for (size_t member : acting) {
+    const auto have_it = have_.find(member);
+    for (const auto& [oid, g] : gens_) {
+      uint64_t applied = 0;
+      if (have_it != have_.end()) {
+        auto jt = have_it->second.find(oid);
+        if (jt != have_it->second.end()) applied = jt->second;
+      }
+      if (applied < g) missing_[member].insert(oid);
+    }
+    auto it = missing_.find(member);
+    if (it != missing_.end() && it->second.empty()) missing_.erase(it);
+  }
+}
+
+size_t PgLog::MissingCount() const {
+  size_t n = 0;
+  for (const auto& [osd, oids] : missing_) n += oids.size();
+  return n;
+}
+
+void PgLog::Forget(size_t osd, const std::string& oid) {
+  auto it = missing_.find(osd);
+  if (it == missing_.end()) return;
+  it->second.erase(oid);
+  if (it->second.empty()) missing_.erase(it);
+}
+
+}  // namespace vde::rados

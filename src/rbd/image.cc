@@ -291,6 +291,7 @@ sim::Task<Result<std::shared_ptr<Image>>> Image::Create(
           "compression min_gain_pct must be below 100");
     }
   }
+  if (normalized.tenant.id != 0) cluster.SetTenantSpec(normalized.tenant);
   std::shared_ptr<Image> image(new Image(cluster, name, normalized));
   image->encrypted_ = options.enc.mode != core::CipherMode::kNone;
 
@@ -318,8 +319,9 @@ sim::Task<Result<std::shared_ptr<Image>>> Image::Open(
     rados::Cluster& cluster, const std::string& name,
     const std::string& passphrase, WritebackConfig writeback,
     std::shared_ptr<qos::Scheduler> qos_scheduler, qos::QosPolicy qos,
-    IvCacheConfig iv_cache, MetaStoreConfig meta_store, obs::Config obs) {
-  auto io = cluster.ioctx();
+    IvCacheConfig iv_cache, MetaStoreConfig meta_store, obs::Config obs,
+    rados::TenantSpec tenant) {
+  auto io = cluster.ioctx(tenant.id);
   const std::string header_oid = "rbd_header." + name;
   auto raw = co_await io.Read(header_oid, 0, kHeaderFirstRead);
   if (!raw.ok()) co_return raw.status();
@@ -416,6 +418,8 @@ sim::Task<Result<std::shared_ptr<Image>>> Image::Open(
   options.iv_cache = iv_cache;
   options.meta_store = meta_store;
   options.obs = obs;
+  options.tenant = tenant;
+  if (tenant.id != 0) cluster.SetTenantSpec(tenant);
   std::shared_ptr<Image> image(new Image(cluster, name, options));
   image->encrypted_ = encrypted;
   image->snaps_ = std::move(snaps);
@@ -459,7 +463,7 @@ sim::Task<Status> Image::EnsureObjectState(uint64_t object_no,
 }
 
 sim::Task<Status> Image::PersistMetadata() {
-  auto io = cluster_.ioctx();
+  auto io = this->io();
   co_return co_await io.WriteFull(
       HeaderObject(), SerializeMetadata(options_, luks_, encrypted_, snaps_));
 }

@@ -71,6 +71,11 @@ struct ImageOptions {
   // per-stage latency histograms, slow-op tracking. Disabled (default) is
   // a bit-identical sim-clock passthrough.
   obs::Config obs;
+  // Cluster-side QoS identity (not persisted): every RADOS op this image
+  // issues carries tenant.id for the OSDs' mClock dequeues, and Open/Create
+  // register the spec with the cluster. The default (id 0, no reservation
+  // or limit) is the untagged tenant — a no-op unless cluster QoS is on.
+  rados::TenantSpec tenant;
 };
 
 // Every monotonic ImageStats counter, in declaration order. Drives
@@ -207,7 +212,8 @@ class Image {
       const std::string& passphrase, WritebackConfig writeback = {},
       std::shared_ptr<qos::Scheduler> qos_scheduler = nullptr,
       qos::QosPolicy qos = {}, IvCacheConfig iv_cache = {},
-      MetaStoreConfig meta_store = {}, obs::Config obs = {});
+      MetaStoreConfig meta_store = {}, obs::Config obs = {},
+      rados::TenantSpec tenant = {});
 
   ~Image();
 
@@ -297,6 +303,10 @@ class Image {
   // walkable tree replacing per-layer stats plumbing.
   void ExportMetrics(obs::Metrics& root) const;
   rados::Cluster& cluster() const { return cluster_; }
+  // IoCtx carrying this image's cluster-QoS tenant tag. All image-issued
+  // RADOS ops must go through this (not cluster().ioctx()) so mClock can
+  // attribute them.
+  rados::IoCtx io() const { return cluster_.ioctx(options_.tenant.id); }
   qos::Scheduler* qos_scheduler() const {
     return options_.qos_scheduler.get();
   }

@@ -436,7 +436,7 @@ sim::Task<Status> ImageRequest::ReadChunk(size_t idx) {
       // end to end and reads zeros without any store round-trip.
       VDE_CO_RETURN_IF_ERROR(plan.Finish(objstore::ReadResult{}, out));
     } else {
-      auto io = image_.cluster_.ioctx();
+      auto io = image_.io();
       txn.trace = ctx();
       obs::SpanScope store_span(ctx(), obs::Stage::kStore);
       auto got =
@@ -605,7 +605,7 @@ sim::Task<Status> ImageRequest::RmwReadEdges(const Chunk& chunk,
   }
   objstore::ReadResult fetched;
   if (!txn.ops.empty()) {
-    auto io = image_.cluster_.ioctx();
+    auto io = image_.io();
     txn.trace = ctx();
     obs::SpanScope store_span(ctx(), obs::Stage::kStore);
     auto got =
@@ -745,7 +745,7 @@ sim::Task<Status> ImageRequest::WriteChunk(size_t idx) {
       auto update =
           co_await ts.Stage(chunk.cover.object_no, written_range, {}, txn);
       VDE_CO_RETURN_IF_ERROR(update.status());
-      auto io = image_.cluster_.ioctx();
+      auto io = image_.io();
       txn.trace = ctx();
       obs::SpanScope store_span(ctx(), obs::Stage::kStore);
       VDE_CO_RETURN_IF_ERROR(co_await io.Operate(
@@ -784,7 +784,7 @@ sim::Task<Status> ImageRequest::WriteChunk(size_t idx) {
   auto update =
       co_await ts.Stage(chunk.cover.object_no, written_range, {}, txn);
   VDE_CO_RETURN_IF_ERROR(update.status());
-  auto io = image_.cluster_.ioctx();
+  auto io = image_.io();
   txn.trace = ctx();
   obs::SpanScope store_span(ctx(), obs::Stage::kStore);
   VDE_CO_RETURN_IF_ERROR(co_await io.Operate(chunk.cover.oid, std::move(txn),
@@ -827,7 +827,7 @@ sim::Task<Status> ImageRequest::DiscardChunk(size_t idx) {
   const Chunk& chunk = chunks_[idx];
   Writeback& wb = *image_.writeback_;
   core::EncryptionFormat& fmt = *image_.format_;
-  auto io = image_.cluster_.ioctx();
+  auto io = image_.io();
   const uint64_t start = chunk.byte_off;
   const uint64_t end = chunk.byte_off + chunk.byte_len;
   // Whole blocks inside the range, as cover-relative block indices.

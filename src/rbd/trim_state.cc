@@ -62,7 +62,7 @@ sim::Task<Status> TrimState::Ensure(uint64_t object_no) {
   objstore::Transaction txn;
   fmt.MakeBitmapRead(txn);
   stats_.loads++;
-  auto io = image_.cluster_.ioctx();
+  auto io = image_.io();
   auto got = co_await io.OperateRead(image_.ObjectName(object_no),
                                      std::move(txn), objstore::kHeadSnap);
   if (got.status().IsNotFound()) {

@@ -111,7 +111,7 @@ sim::Task<Status> Writeback::ReadBlock(uint64_t object_no, uint64_t block,
     VDE_CO_RETURN_IF_ERROR(plan.Finish(objstore::ReadResult{}, out));
     co_return Status::Ok();
   }
-  auto io = image_.cluster_.ioctx();
+  auto io = image_.io();
   auto got = co_await io.OperateRead(ext.oid, std::move(txn),
                                      objstore::kHeadSnap);
   if (got.status().IsNotFound()) {
@@ -280,7 +280,7 @@ sim::Task<Status> Writeback::WriteOutStage(uint64_t object_no, uint64_t block,
     co_await sim::ChargeCpu{sim::ShardOf(image_.ObjectName(object_no)),
                             compress_cost};
   }
-  auto io = image_.cluster_.ioctx();
+  auto io = image_.io();
   Status applied = co_await io.Operate(image_.ObjectName(object_no),
                                        std::move(txn), image_.SnapContext());
   // Flush and snapshot drains funnel through here: the freshly persisted

@@ -1,0 +1,368 @@
+// Failure + recovery + cluster QoS: degraded writes, client map refresh on
+// dead/mispointed primaries, background and inline recovery, the recovery
+// throttle, and the mClock dequeue (identity, caps, reservations, and the
+// rbd tenant plumb-through).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "../testutil.h"
+#include "rados/cluster.h"
+#include "rbd/image.h"
+#include "util/rng.h"
+
+namespace vde::rados {
+namespace {
+
+ClusterConfig SmallCluster() {
+  ClusterConfig c;
+  c.store.journal_size = 8ull << 20;
+  c.store.kv_region_size = 32ull << 20;
+  return c;
+}
+
+TEST(ClusterFailure, WritesKeepCommittingAfterOsdLoss) {
+  testutil::RunSim([]() -> sim::Task<void> {
+    ClusterConfig config = SmallCluster();
+    // Recovery off so the replacement member stays missing the object for
+    // the duration of the test (deterministic degraded window).
+    config.recovery.parallelism = 0;
+    auto cluster = co_await Cluster::Create(config);
+    CO_ASSERT_OK(cluster.status());
+    auto io = (*cluster)->ioctx();
+    Rng rng(7);
+    const Bytes data = rng.RandomBytes(16384);
+    CO_ASSERT_OK(co_await io.WriteFull("deg", data));
+    const auto acting = (*cluster)->placement().OsdsFor("deg");
+
+    (*cluster)->MarkOsdDown(acting[1]);
+    // The write commits on the survivors; the primary is unchanged, so no
+    // redirect is needed, but it lands below full width: the same-node
+    // replacement never saw the object.
+    CO_ASSERT_OK(co_await io.WriteFull("deg", data));
+    EXPECT_GT((*cluster)->stats().degraded_writes, 0u);
+    EXPECT_GT((*cluster)->stats().skipped_replicas, 0u);
+
+    auto back = co_await io.Read("deg", 0, data.size());
+    CO_ASSERT_OK(back.status());
+    EXPECT_EQ(*back, data);
+  });
+}
+
+TEST(ClusterFailure, DeadPrimaryCostsTimeoutThenMapRefresh) {
+  testutil::RunSim([]() -> sim::Task<void> {
+    auto cluster = co_await Cluster::Create(SmallCluster());
+    CO_ASSERT_OK(cluster.status());
+    auto io = (*cluster)->ioctx();
+    Rng rng(8);
+    const Bytes data = rng.RandomBytes(4096);
+    CO_ASSERT_OK(co_await io.WriteFull("redirect", data));
+    const auto acting = (*cluster)->placement().OsdsFor("redirect");
+
+    // Kill the primary. The client's cached map still points at it: the
+    // next op pays the connect timeout, refreshes, and lands on the new
+    // primary (same node, by the movement bound).
+    (*cluster)->MarkOsdDown(acting[0]);
+    const uint64_t stale_epoch = (*cluster)->client_map().epoch();
+    CO_ASSERT_OK(co_await io.WriteFull("redirect", data));
+    EXPECT_GT((*cluster)->stats().osd_timeouts, 0u);
+    EXPECT_GT((*cluster)->stats().map_refreshes, 0u);
+    EXPECT_GT((*cluster)->client_map().epoch(), stale_epoch);
+
+    const auto now_acting = (*cluster)->placement().OsdsFor("redirect");
+    EXPECT_NE(now_acting[0], acting[0]);
+    auto back = co_await io.Read("redirect", 0, data.size());
+    CO_ASSERT_OK(back.status());
+    EXPECT_EQ(*back, data);
+    co_await (*cluster)->Drain();
+  });
+}
+
+TEST(ClusterFailure, BackgroundRecoveryRestoresFullWidth) {
+  testutil::RunSim([]() -> sim::Task<void> {
+    auto cluster = co_await Cluster::Create(SmallCluster());
+    CO_ASSERT_OK(cluster.status());
+    auto io = (*cluster)->ioctx();
+    Rng rng(9);
+    std::vector<std::string> oids;
+    const Bytes data = rng.RandomBytes(32768);
+    for (int i = 0; i < 24; ++i) {
+      oids.push_back("bg." + std::to_string(i));
+      CO_ASSERT_OK(co_await io.WriteFull(oids.back(), data));
+    }
+    const auto victim_acting = (*cluster)->placement().OsdsFor(oids[0]);
+    (*cluster)->MarkOsdDown(victim_acting[0]);
+    EXPECT_GT((*cluster)->DegradedObjectCount(), 0u);
+
+    co_await (*cluster)->WaitForClean();
+    EXPECT_EQ((*cluster)->DegradedObjectCount(), 0u);
+    EXPECT_GT((*cluster)->recovery().stats().objects_pushed, 0u);
+    // Every object is back at full width on its (possibly new) acting set.
+    for (const auto& oid : oids) {
+      const auto acting = (*cluster)->placement().OsdsFor(oid);
+      CO_ASSERT_EQ(acting.size(), 3u);
+      for (size_t id : acting) {
+        EXPECT_TRUE((*cluster)->osd(id).store().ObjectExists(oid))
+            << oid << " on osd " << id;
+        EXPECT_EQ((*cluster)->osd(id).store().ObjectSize(oid), data.size());
+      }
+    }
+    co_await (*cluster)->Drain();
+  });
+}
+
+TEST(ClusterFailure, RevivedOsdCatchesUpOnMissedWrites) {
+  testutil::RunSim([]() -> sim::Task<void> {
+    auto cluster = co_await Cluster::Create(SmallCluster());
+    CO_ASSERT_OK(cluster.status());
+    auto io = (*cluster)->ioctx();
+    Rng rng(10);
+    const Bytes v1 = rng.RandomBytes(8192);
+    const Bytes v2 = rng.RandomBytes(8192);
+    CO_ASSERT_OK(co_await io.WriteFull("revive", v1));
+    const auto acting = (*cluster)->placement().OsdsFor("revive");
+
+    (*cluster)->MarkOsdDown(acting[2]);
+    CO_ASSERT_OK(co_await io.WriteFull("revive", v2));  // missed by acting[2]
+    co_await (*cluster)->WaitForClean();
+
+    (*cluster)->MarkOsdUp(acting[2]);
+    co_await (*cluster)->WaitForClean();
+    // Peering on the way back up flags the stale copy; recovery replaces it.
+    objstore::Transaction read;
+    read.oid = "revive";
+    objstore::OsdOp op;
+    op.type = objstore::OsdOp::Type::kRead;
+    op.offset = 0;
+    op.length = v2.size();
+    read.ops.push_back(std::move(op));
+    auto direct = co_await (*cluster)->osd(acting[2]).store().ExecuteRead(
+        read, objstore::kHeadSnap);
+    CO_ASSERT_OK(direct.status());
+    EXPECT_EQ(direct->data, v2);
+    co_await (*cluster)->Drain();
+  });
+}
+
+TEST(ClusterFailure, PrimaryMissingObjectPullsInline) {
+  testutil::RunSim([]() -> sim::Task<void> {
+    ClusterConfig config = SmallCluster();
+    // No background workers: the only way a degraded object heals is a
+    // client op forcing the primary's inline pull.
+    config.recovery.parallelism = 0;
+    auto cluster = co_await Cluster::Create(config);
+    CO_ASSERT_OK(cluster.status());
+    auto io = (*cluster)->ioctx();
+    Rng rng(11);
+    const Bytes data = rng.RandomBytes(16384);
+    CO_ASSERT_OK(co_await io.WriteFull("inline", data));
+    const auto acting = (*cluster)->placement().OsdsFor("inline");
+
+    // New primary (same node as the dead one) has never seen the object.
+    (*cluster)->MarkOsdDown(acting[0]);
+    auto back = co_await io.Read("inline", 0, data.size());
+    CO_ASSERT_OK(back.status());
+    EXPECT_EQ(*back, data);
+    EXPECT_GT((*cluster)->recovery().stats().inline_pulls, 0u);
+    const auto now_acting = (*cluster)->placement().OsdsFor("inline");
+    EXPECT_TRUE(
+        (*cluster)->osd(now_acting[0]).store().ObjectExists("inline"));
+  });
+}
+
+TEST(ClusterFailure, RecoveryRespectsTokenBucketThrottle) {
+  testutil::RunSim([]() -> sim::Task<void> {
+    ClusterConfig config = SmallCluster();
+    // 1 MiB/s with a 64 KiB burst: pushing ~24 x 64 KiB must take >= 1 s of
+    // sim time even though the NICs could move it in milliseconds.
+    config.recovery.rate_bytes_per_sec = 1.0 * (1 << 20);
+    config.recovery.burst_bytes = 64.0 * 1024;
+    auto cluster = co_await Cluster::Create(config);
+    CO_ASSERT_OK(cluster.status());
+    auto io = (*cluster)->ioctx();
+    Rng rng(12);
+    const Bytes data = rng.RandomBytes(64 * 1024);
+    std::vector<std::string> oids;
+    for (int i = 0; i < 24; ++i) {
+      oids.push_back("thr." + std::to_string(i));
+      CO_ASSERT_OK(co_await io.WriteFull(oids.back(), data));
+    }
+    const auto acting = (*cluster)->placement().OsdsFor(oids[0]);
+    const sim::SimTime t0 = sim::Scheduler::Current().now();
+    (*cluster)->MarkOsdDown(acting[0]);
+    co_await (*cluster)->WaitForClean();
+    const sim::SimTime elapsed = sim::Scheduler::Current().now() - t0;
+    const auto& rs = (*cluster)->recovery().stats();
+    EXPECT_GT(rs.bytes_pushed, 0u);
+    // bytes / rate, minus the burst the bucket started with.
+    const double floor_s =
+        (static_cast<double>(rs.bytes_pushed) - 64.0 * 1024) / (1 << 20);
+    EXPECT_GT(static_cast<double>(elapsed) / 1e9, floor_s * 0.9);
+    co_await (*cluster)->Drain();
+  });
+}
+
+// Runs `ops` sequential 16 KiB writes and returns the sim-clock duration.
+sim::Task<sim::SimTime> TimedWrites(Cluster& cluster, int ops,
+                                    uint64_t tenant) {
+  auto io = cluster.ioctx(tenant);
+  Rng rng(13);
+  const Bytes data = rng.RandomBytes(16384);
+  const sim::SimTime t0 = sim::Scheduler::Current().now();
+  for (int i = 0; i < ops; ++i) {
+    Status s = co_await io.WriteFull("qos." + std::to_string(i), data);
+    if (!s.ok()) co_return 0;
+  }
+  co_return sim::Scheduler::Current().now() - t0;
+}
+
+TEST(ClusterQos, SingleDefaultTenantMatchesDisabledClock) {
+  sim::SimTime base = 0, mclock = 0;
+  testutil::RunSim([&]() -> sim::Task<void> {
+    auto cluster = co_await Cluster::Create(SmallCluster());
+    CO_ASSERT_OK(cluster.status());
+    base = co_await TimedWrites(**cluster, 48, 0);
+    co_await (*cluster)->Drain();
+  });
+  testutil::RunSim([&]() -> sim::Task<void> {
+    ClusterConfig config = SmallCluster();
+    config.qos.enabled = true;  // one untagged tenant, no caps
+    auto cluster = co_await Cluster::Create(config);
+    CO_ASSERT_OK(cluster.status());
+    mclock = co_await TimedWrites(**cluster, 48, 0);
+    co_await (*cluster)->Drain();
+  });
+  ASSERT_GT(base, 0u);
+  EXPECT_EQ(base, mclock)
+      << "mClock with a single uncapped tenant must not move the clock";
+}
+
+TEST(ClusterQos, LimitCapsTenantThroughput) {
+  testutil::RunSim([]() -> sim::Task<void> {
+    ClusterConfig config = SmallCluster();
+    config.qos.enabled = true;
+    config.qos.tenants.push_back(
+        TenantSpec{/*id=*/1, /*reservation_iops=*/0, /*weight=*/1.0,
+                   /*limit_iops=*/100});
+    auto cluster = co_await Cluster::Create(config);
+    CO_ASSERT_OK(cluster.status());
+    // The limit clock is per OSD (as in Ceph's dmclock): hammer one object
+    // so every op lands on the same primary's L tag chain.
+    auto io = (*cluster)->ioctx(1);
+    Rng rng(13);
+    const Bytes data = rng.RandomBytes(16384);
+    const sim::SimTime t0 = sim::Scheduler::Current().now();
+    for (int i = 0; i < 51; ++i) {
+      CO_ASSERT_OK(co_await io.WriteFull("qos.limit", data));
+    }
+    const sim::SimTime elapsed = sim::Scheduler::Current().now() - t0;
+    // 51 ops at 100 IOPS: >= 0.5 s of limit spacing.
+    EXPECT_GT(elapsed, static_cast<sim::SimTime>(450) * sim::kMs);
+    co_await (*cluster)->Drain();
+  });
+}
+
+TEST(ClusterQos, ReservationShieldsVictimFromGreedyNeighbor) {
+  testutil::RunSim([]() -> sim::Task<void> {
+    ClusterConfig config = SmallCluster();
+    config.qos.enabled = true;
+    config.qos.tenants.push_back(
+        TenantSpec{/*id=*/1, /*reservation_iops=*/0, /*weight=*/8.0,
+                   /*limit_iops=*/0});  // greedy
+    config.qos.tenants.push_back(
+        TenantSpec{/*id=*/2, /*reservation_iops=*/2000, /*weight=*/1.0,
+                   /*limit_iops=*/0});  // victim with a floor
+    auto cluster = co_await Cluster::Create(config);
+    CO_ASSERT_OK(cluster.status());
+
+    // Saturate every OSD with greedy traffic, then measure the victim.
+    bool stop = false;
+    sim::WaitGroup wg;
+    for (int w = 0; w < 64; ++w) {
+      wg.Add(1);
+      sim::Scheduler::Current().Spawn(
+          [](Cluster* c, bool* stop, sim::WaitGroup* wg,
+             int seed) -> sim::Task<void> {
+            auto io = c->ioctx(1);
+            Rng rng(100 + seed);
+            const Bytes data = rng.RandomBytes(16384);
+            int i = 0;
+            while (!*stop) {
+              co_await io.WriteFull(
+                  "greedy." + std::to_string(seed) + "." +
+                      std::to_string(i++ % 8),
+                  data);
+            }
+            wg->Done();
+          }(&**cluster, &stop, &wg, w));
+    }
+    co_await sim::Sleep{50 * sim::kMs};  // let the greedy queues build
+    const sim::SimTime victim_time = co_await [](Cluster* c)
+        -> sim::Task<sim::SimTime> {
+      auto io = c->ioctx(2);
+      Rng rng(14);
+      const Bytes data = rng.RandomBytes(16384);
+      const sim::SimTime t0 = sim::Scheduler::Current().now();
+      for (int i = 0; i < 32; ++i) {
+        co_await io.WriteFull("victim." + std::to_string(i), data);
+      }
+      co_return sim::Scheduler::Current().now() - t0;
+    }(&**cluster);
+    stop = true;
+    co_await wg.Wait();
+    co_await (*cluster)->Drain();
+
+    // With a 2000-IOPS reservation the victim's 32 sequential ops should
+    // ride the R phase past the greedy backlog: well under the time 32 ops
+    // would take at the back of a 64-deep weight-8 queue.
+    uint64_t reservation_dispatches = 0;
+    for (size_t i = 0; i < (*cluster)->osd_count(); ++i) {
+      const auto* q = (*cluster)->osd(i).qos();
+      CO_ASSERT_TRUE(q != nullptr);
+      auto it = q->tenant_stats().find(2);
+      if (it != q->tenant_stats().end()) {
+        reservation_dispatches += it->second.reservation_dispatches;
+      }
+    }
+    EXPECT_GT(reservation_dispatches, 0u);
+    EXPECT_LT(victim_time, static_cast<sim::SimTime>(2) * sim::kSec);
+  });
+}
+
+TEST(ClusterQos, ImageOpsCarryTenantTag) {
+  testutil::RunSim([]() -> sim::Task<void> {
+    ClusterConfig config = SmallCluster();
+    config.qos.enabled = true;
+    auto cluster = co_await Cluster::Create(config);
+    CO_ASSERT_OK(cluster.status());
+
+    rbd::ImageOptions options;
+    options.size = 64ull << 20;
+    options.tenant =
+        TenantSpec{/*id=*/42, /*reservation_iops=*/0, /*weight=*/2.0,
+                   /*limit_iops=*/0};
+    auto image =
+        co_await rbd::Image::Create(**cluster, "tagged", "pw", options);
+    CO_ASSERT_OK(image.status());
+    Rng rng(15);
+    Bytes buf = rng.RandomBytes(65536);
+    CO_ASSERT_OK(
+        co_await (*image)->Write(0, ByteSpan(buf.data(), buf.size())));
+    CO_ASSERT_OK(co_await (*image)->Flush());
+    co_await (*cluster)->Drain();
+
+    uint64_t tagged_ops = 0;
+    for (size_t i = 0; i < (*cluster)->osd_count(); ++i) {
+      const auto* q = (*cluster)->osd(i).qos();
+      CO_ASSERT_TRUE(q != nullptr);
+      auto it = q->tenant_stats().find(42);
+      if (it != q->tenant_stats().end()) tagged_ops += it->second.admitted;
+    }
+    EXPECT_GT(tagged_ops, 0u)
+        << "image IO must reach the OSDs under its tenant id";
+  });
+}
+
+}  // namespace
+}  // namespace vde::rados
